@@ -1,0 +1,188 @@
+// Package main_test is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (Section V). Each benchmark runs the
+// corresponding experiment end to end and prints the rows/series the paper
+// reports, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. The repetition counts are reduced from
+// the paper's 1000 to keep a full pass in minutes; the cmd/ binaries expose
+// flags for full-scale runs.
+package main_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hplsim/internal/cluster"
+	"hplsim/internal/experiments"
+	"hplsim/internal/nas"
+)
+
+// benchReps is the per-configuration repetition count used by the bench
+// harness (the paper uses 1000; see cmd/nastables -reps).
+const benchReps = 60
+
+// BenchmarkFigure1 regenerates Figure 1: the preemption/barrier timeline.
+func BenchmarkFigure1(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Figure1(uint64(i + 1))
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkFigure2 regenerates Figure 2: ep.A.8 execution-time distribution
+// under the standard Linux scheduler.
+func BenchmarkFigure2(b *testing.B) {
+	var d experiments.DistributionResult
+	for i := 0; i < b.N; i++ {
+		d = experiments.Figure2(benchReps, 2)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatDistribution(
+		"Figure 2: ep.A.8 distribution (standard Linux)", d))
+}
+
+// BenchmarkFigure3 regenerates Figures 3a and 3b: execution time vs CPU
+// migrations and vs context switches.
+func BenchmarkFigure3(b *testing.B) {
+	var migr, ctx experiments.CorrelationResult
+	for i := 0; i < b.N; i++ {
+		migr, ctx = experiments.Figure3(benchReps, 3)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatCorrelation("Figure 3a", migr))
+	fmt.Println(experiments.FormatCorrelation("Figure 3b", ctx))
+}
+
+// BenchmarkFigure4 regenerates Figure 4: ep.A.8 distribution under the RT
+// scheduler.
+func BenchmarkFigure4(b *testing.B) {
+	var d experiments.DistributionResult
+	for i := 0; i < b.N; i++ {
+		d = experiments.Figure4(benchReps, 4)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatDistribution(
+		"Figure 4: ep.A.8 distribution (RT scheduler)", d))
+}
+
+// BenchmarkTableIa regenerates Table Ia: scheduler OS noise under the
+// standard kernel.
+func BenchmarkTableIa(b *testing.B) {
+	var rows []experiments.TableIRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableI(experiments.Std, benchReps, 5)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatTableI("Table Ia: scheduler OS noise (standard Linux)", rows))
+}
+
+// BenchmarkTableIb regenerates Table Ib: scheduler OS noise under HPL.
+func BenchmarkTableIb(b *testing.B) {
+	var rows []experiments.TableIRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableI(experiments.HPL, benchReps, 6)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatTableI("Table Ib: scheduler OS noise (HPL)", rows))
+}
+
+// BenchmarkTableII regenerates Table II: execution times, Std vs HPL.
+func BenchmarkTableII(b *testing.B) {
+	var rows []experiments.TableIIRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableII(benchReps, 7)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatTableII(rows))
+}
+
+// BenchmarkResonance regenerates the Section II noise-resonance scaling
+// study (extension E9).
+func BenchmarkResonance(b *testing.B) {
+	nodes := []int{1, 16, 128, 1024}
+	var std, hpl []cluster.Point
+	for i := 0; i < b.N; i++ {
+		std, hpl = experiments.ResonanceStudy(nodes, 10, 75, 200, 8)
+	}
+	b.StopTimer()
+	fmt.Println("--- standard Linux node ---")
+	fmt.Println(cluster.Format(std))
+	fmt.Println("--- HPL node ---")
+	fmt.Println(cluster.Format(hpl))
+}
+
+// BenchmarkAblationDynamicBalance runs A1: HPL with dynamic balancing
+// re-enabled.
+func BenchmarkAblationDynamicBalance(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationDynamicBalance(nas.MustGet("is", 'A'), benchReps, 9)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatAblation("A1: dynamic balancing", rows))
+}
+
+// BenchmarkAblationPlacement runs A2: naive vs topology-aware placement.
+func BenchmarkAblationPlacement(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationPlacement(10, 10)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatAblation("A2: fork placement (4 ranks)", rows))
+}
+
+// BenchmarkAblationAlternatives runs A3-A5: CFS, nice -20, pinning, RT vs
+// HPL.
+func BenchmarkAblationAlternatives(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationAlternatives(nas.MustGet("is", 'A'), benchReps, 11)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatAblation("A3-A5: Section IV alternatives", rows))
+}
+
+// BenchmarkAblationTick runs A6: the tick-frequency sweep.
+func BenchmarkAblationTick(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationTick(nas.MustGet("lu", 'A'), 10, 12)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatAblation("A6: tick frequency", rows))
+}
+
+// BenchmarkAblationNettick runs A7: the NETTICK adaptive-tick study.
+func BenchmarkAblationNettick(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationNettick(nas.MustGet("is", 'A'), 10, 13)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatAblation("A7: NETTICK adaptive tick", rows))
+}
+
+// BenchmarkEnergyStudy runs the power-dimension study (paper future work).
+func BenchmarkEnergyStudy(b *testing.B) {
+	var rows []experiments.EnergyRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.EnergyStudy(uint64(i + 14))
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatEnergy(rows))
+}
+
+// BenchmarkSyncStudy runs the synchronisation-structure study.
+func BenchmarkSyncStudy(b *testing.B) {
+	var rows []experiments.SyncRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.SyncStudy(10, 15)
+	}
+	b.StopTimer()
+	fmt.Println(experiments.FormatSyncStudy(rows))
+}

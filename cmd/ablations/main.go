@@ -1,0 +1,74 @@
+// Command ablations runs the design-choice studies from DESIGN.md:
+//
+//	A1  HPL with dynamic balancing re-enabled ("balancing tasks
+//	    dynamically simply introduces too much OS noise")
+//	A2  naive first-fit placement vs the topology-aware spread
+//	A3-A5 the Section IV alternatives: standard CFS, nice -20, static
+//	    pinning, and the RT scheduler, against HPL
+//	A6  tick-frequency sweep (micro-noise / NETTICK discussion)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hplsim/internal/experiments"
+	"hplsim/internal/nas"
+)
+
+func main() {
+	which := flag.String("run", "all", "ablation to run: dynamic, placement, alternatives, tick, nettick, energy, sync, all")
+	bench := flag.String("bench", "is", "NAS benchmark for per-profile ablations")
+	class := flag.String("class", "A", "NAS class: A or B")
+	reps := flag.Int("reps", 40, "repetitions per configuration")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	flag.Parse()
+
+	prof, err := nas.Get(*bench, (*class)[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "dynamic":
+			fmt.Print(experiments.FormatAblation(
+				fmt.Sprintf("A1: dynamic balancing (%s)", prof.Name()),
+				experiments.AblationDynamicBalance(prof, *reps, *seed)))
+		case "placement":
+			fmt.Print(experiments.FormatAblation(
+				"A2: fork placement, 4 ranks of ep.A on 2x2x2 (SMT matters)",
+				experiments.AblationPlacement(*reps, *seed)))
+		case "alternatives":
+			fmt.Print(experiments.FormatAblation(
+				fmt.Sprintf("A3-A5: Section IV alternatives (%s)", prof.Name()),
+				experiments.AblationAlternatives(prof, *reps, *seed)))
+		case "tick":
+			fmt.Print(experiments.FormatAblation(
+				fmt.Sprintf("A6: tick frequency sweep (%s, HPL)", prof.Name()),
+				experiments.AblationTick(prof, *reps, *seed)))
+		case "nettick":
+			fmt.Print(experiments.FormatAblation(
+				fmt.Sprintf("A7: NETTICK adaptive tick (%s)", prof.Name()),
+				experiments.AblationNettick(prof, *reps, *seed)))
+		case "energy":
+			fmt.Print(experiments.FormatEnergy(experiments.EnergyStudy(*seed)))
+		case "sync":
+			fmt.Print(experiments.FormatSyncStudy(experiments.SyncStudy(*reps, *seed)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *which == "all" {
+		for _, n := range []string{"dynamic", "placement", "alternatives", "tick", "nettick", "energy", "sync"} {
+			run(n)
+			fmt.Println()
+		}
+		return
+	}
+	run(*which)
+}

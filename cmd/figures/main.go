@@ -1,0 +1,130 @@
+// Command figures regenerates the paper's figures:
+//
+//	figures -fig 1          preemption timeline (Figure 1)
+//	figures -fig 2          ep.A.8 distribution, standard Linux (Figure 2)
+//	figures -fig 3          time vs migrations / context switches (Figures 3a, 3b)
+//	figures -fig 4          ep.A.8 distribution, RT scheduler (Figure 4)
+//	figures -fig resonance  the Section II noise-resonance scaling argument
+//	figures -fig all        everything
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"hplsim/internal/cluster"
+	"hplsim/internal/experiments"
+)
+
+// writeCSV writes rows to dir/name, creating dir if needed.
+func writeCSV(dir, name string, header []string, rows [][]string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write(header); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func distCSV(dir, name string, d experiments.DistributionResult) {
+	rows := make([][]string, 0, len(d.Results))
+	for _, r := range d.Results {
+		rows = append(rows, []string{
+			ftoa(r.ElapsedSec), ftoa(r.Migrations()), ftoa(r.CtxSwitches()),
+		})
+	}
+	writeCSV(dir, name, []string{"elapsed_s", "migrations", "ctx_switches"}, rows)
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to produce: 1, 2, 3, 4, resonance, all")
+	reps := flag.Int("reps", 300, "repetitions for the distribution figures (paper: 1000)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	csvDir := flag.String("csv", "", "also write raw per-run data as CSV files into this directory")
+	flag.Parse()
+
+	run := func(name string) {
+		switch name {
+		case "1":
+			fmt.Println(experiments.Figure1(*seed))
+		case "2":
+			d := experiments.Figure2(*reps, *seed)
+			fmt.Println(experiments.FormatDistribution(
+				"Figure 2: execution time distribution for NAS ep.A.8 (standard Linux)", d))
+			distCSV(*csvDir, "figure2_std.csv", d)
+		case "3":
+			migr, ctx := experiments.Figure3(*reps, *seed)
+			fmt.Println(experiments.FormatCorrelation("Figure 3a", migr))
+			fmt.Println(experiments.FormatCorrelation("Figure 3b", ctx))
+			if *csvDir != "" {
+				rows := make([][]string, 0, len(migr.X))
+				for i := range migr.X {
+					rows = append(rows, []string{
+						ftoa(migr.X[i]), ftoa(ctx.X[i]), ftoa(migr.Y[i]),
+					})
+				}
+				writeCSV(*csvDir, "figure3.csv",
+					[]string{"migrations", "ctx_switches", "elapsed_s"}, rows)
+			}
+		case "4":
+			d := experiments.Figure4(*reps, *seed)
+			fmt.Println(experiments.FormatDistribution(
+				"Figure 4: execution time distribution for NAS ep.A.8 (RT scheduler)", d))
+			distCSV(*csvDir, "figure4_rt.csv", d)
+		case "resonance":
+			nodes := []int{1, 4, 16, 64, 256, 1024, 4096}
+			std, hpl := experiments.ResonanceStudy(nodes, 20, 75, 400, *seed)
+			fmt.Println("--- standard Linux node ---")
+			fmt.Println(cluster.Format(std))
+			fmt.Println("--- HPL node ---")
+			fmt.Println(cluster.Format(hpl))
+			if *csvDir != "" {
+				rows := make([][]string, 0, len(std))
+				for i := range std {
+					rows = append(rows, []string{
+						strconv.Itoa(std[i].Nodes),
+						ftoa(std[i].MeanSlowdown), ftoa(std[i].P99Slowdown),
+						ftoa(hpl[i].MeanSlowdown), ftoa(hpl[i].P99Slowdown),
+					})
+				}
+				writeCSV(*csvDir, "resonance.csv",
+					[]string{"nodes", "std_mean", "std_p99", "hpl_mean", "hpl_p99"}, rows)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"1", "2", "3", "4", "resonance"} {
+			run(f)
+			fmt.Println()
+		}
+		return
+	}
+	run(*fig)
+}

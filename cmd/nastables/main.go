@@ -1,0 +1,54 @@
+// Command nastables regenerates the paper's Tables Ia, Ib, and II: scheduler
+// OS noise (CPU migrations, context switches) and execution-time statistics
+// for the NAS Parallel Benchmarks under the standard Linux scheduler and
+// under HPL.
+//
+// Usage:
+//
+//	nastables -table 1a|1b|2|all [-reps 1000] [-seed 1]
+//
+// The paper uses 1000 repetitions per configuration; the default here is
+// 200, which reproduces every min/avg trend and most tails in seconds of
+// wall time. Raise -reps for the full distributions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hplsim/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to produce: 1a, 1b, 2, all")
+	reps := flag.Int("reps", 200, "repetitions per configuration (paper: 1000)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	flag.Parse()
+
+	switch *table {
+	case "1a":
+		fmt.Print(experiments.FormatTableI(
+			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
+			experiments.TableI(experiments.Std, *reps, *seed)))
+	case "1b":
+		fmt.Print(experiments.FormatTableI(
+			"Table Ib: Scheduler OS noise for NAS (HPL)",
+			experiments.TableI(experiments.HPL, *reps, *seed)))
+	case "2":
+		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed)))
+	case "all":
+		fmt.Print(experiments.FormatTableI(
+			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
+			experiments.TableI(experiments.Std, *reps, *seed)))
+		fmt.Println()
+		fmt.Print(experiments.FormatTableI(
+			"Table Ib: Scheduler OS noise for NAS (HPL)",
+			experiments.TableI(experiments.HPL, *reps, *seed)))
+		fmt.Println()
+		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed)))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q (want 1a, 1b, 2, all)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,80 @@
+// Command tracer records and renders the scheduling timeline of one
+// measured run: a text Gantt chart of every CPU plus the migration and
+// wakeup event log. Useful for seeing exactly how a daemon preempts a
+// rank, how the balancer shuffles tasks under the standard scheduler, and
+// how HPL's timeline stays clean.
+//
+//	tracer -bench is -class A -sched std -from 150ms -window 400ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hplsim/internal/experiments"
+	"hplsim/internal/nas"
+	"hplsim/internal/sim"
+	"hplsim/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "is", "NAS benchmark: cg, ep, ft, is, lu, mg")
+	class := flag.String("class", "A", "NAS class: A or B")
+	schedName := flag.String("sched", "std", "scheduler scheme")
+	seed := flag.Uint64("seed", 1, "random seed")
+	from := flag.Duration("from", 150*time.Millisecond, "window start (virtual time)")
+	window := flag.Duration("window", 400*time.Millisecond, "window length")
+	cols := flag.Int("cols", 120, "Gantt width in cells")
+	events := flag.Bool("events", false, "also dump migration/wake events in the window")
+	flag.Parse()
+
+	prof, err := nas.Get(*bench, (*class)[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var scheme experiments.Scheme
+	found := false
+	for _, sc := range experiments.Schemes() {
+		if sc.String() == *schedName {
+			scheme, found = sc, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schedName)
+		os.Exit(2)
+	}
+
+	rec := trace.NewRecorder()
+	r := experiments.Run(experiments.Options{
+		Profile: prof,
+		Scheme:  scheme,
+		Seed:    *seed,
+		Tracer:  rec,
+	})
+
+	lo := sim.Time(sim.DurationOf(*from))
+	hi := lo.Add(sim.DurationOf(*window))
+	fmt.Printf("%s under %s (seed %d): elapsed %.3fs, %d migrations, %d ctx switches\n\n",
+		prof.Name(), scheme, *seed, r.ElapsedSec,
+		r.Window.Migrations, r.Window.ContextSwitches)
+	fmt.Print(rec.Gantt(lo, hi, *cols))
+
+	if *events {
+		fmt.Println("\nevents:")
+		n := 0
+		for _, e := range rec.Evs {
+			if e.At < lo || e.At > hi || e.Kind == "mark" {
+				continue
+			}
+			fmt.Printf("  %v %-8s %-12s %s\n", e.At, e.Kind, e.Task, e.Label)
+			n++
+			if n > 200 {
+				fmt.Println("  ... (truncated)")
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Energy trade-off: the "power dimension" the paper names as HPL's next
+// extension. HPL's topology-aware placement wakes more cores (higher
+// instantaneous power) but finishes sooner; packing ranks onto fewer cores
+// draws less power but pays the SMT throughput penalty. Which wins on
+// energy is an empirical question this example answers with the simulated
+// node's power model.
+//
+//	go run ./examples/energy_tradeoff
+package main
+
+import (
+	"fmt"
+
+	"hplsim/internal/experiments"
+)
+
+func main() {
+	rows := experiments.EnergyStudy(42)
+	fmt.Print(experiments.FormatEnergy(rows))
+
+	aware, packed := rows[0], rows[1]
+	fmt.Println()
+	if aware.Joules < packed.Joules {
+		fmt.Printf("Race-to-idle wins: spreading draws %.0fW more but finishes\n",
+			aware.Watts-packed.Watts)
+		fmt.Printf("%.1fx sooner, for %.0f J less total energy. The base power of\n",
+			packed.Seconds/aware.Seconds, packed.Joules-aware.Joules)
+		fmt.Println("the node dominates: every extra second costs the whole blade.")
+	} else {
+		fmt.Println("Packing wins on energy despite the longer runtime.")
+	}
+}

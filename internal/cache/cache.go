@@ -1,0 +1,144 @@
+// Package cache models the per-core cache warmth of tasks and its effect on
+// execution speed.
+//
+// The paper attributes the indirect cost of preemption and CPU migration to
+// cache effects: a preempting process evicts an HPC task's lines, and a
+// migrated task "may lose its cache contents and cannot run at full speed
+// until the cache rewarms" (Section III). We capture that with a scalar
+// warmth w in [0,1] per task:
+//
+//   - while the task runs, warmth approaches 1 with time constant WarmTau:
+//     dw/dt = (1-w)/WarmTau
+//   - execution speed is ips * (1 - S*(1-w)), where S in [0,1] is the
+//     workload's cache sensitivity (fraction of peak lost when fully cold);
+//   - when other tasks run on the same core, warmth decays exponentially
+//     with the exposure time (EvictTau);
+//   - a migration to a different physical core zeroes warmth; a migration
+//     between SMT siblings keeps it (they share L1/L2 on POWER6).
+//
+// Work is measured in nanoseconds of full-speed compute, so a task with
+// sensitivity 0 and no SMT contention finishes W nanoseconds of work in
+// exactly W nanoseconds. The integration below is exact for the warmth ODE,
+// and FinishTime inverts it with a guarded Newton iteration.
+package cache
+
+import (
+	"math"
+
+	"hplsim/internal/sim"
+)
+
+// Model holds the cache time constants for a machine.
+type Model struct {
+	// WarmTau is the rewarm time constant: after running cold for
+	// WarmTau, a task has recovered ~63% of its warmth.
+	WarmTau sim.Duration
+	// EvictTau is the eviction time constant: after other tasks have run
+	// on the warm core for EvictTau, warmth has decayed to ~37%.
+	EvictTau sim.Duration
+}
+
+// DefaultModel returns constants sized for a POWER6-class core: 64 KiB L1 +
+// 4 MiB semi-private L2 rewarm in a few milliseconds of misses, and a
+// preempting daemon of comparable footprint evicts on a similar scale.
+func DefaultModel() Model {
+	return Model{
+		WarmTau:  3 * sim.Millisecond,
+		EvictTau: 4 * sim.Millisecond,
+	}
+}
+
+// Warmth evolves warmth w0 after running for dt.
+func (m Model) Warmth(w0 float64, dt sim.Duration) float64 {
+	if dt <= 0 {
+		return w0
+	}
+	return 1 - (1-w0)*math.Exp(-float64(dt)/float64(m.WarmTau))
+}
+
+// Evict decays warmth w0 after other tasks have occupied the core for
+// exposure time.
+func (m Model) Evict(w0 float64, exposure sim.Duration) float64 {
+	if exposure <= 0 {
+		return w0
+	}
+	return w0 * math.Exp(-float64(exposure)/float64(m.EvictTau))
+}
+
+// Progress reports the work (full-speed nanoseconds) completed by a task
+// that runs for dt starting at warmth w0 with sensitivity s, and the warmth
+// at the end of the span. The result is the exact integral of the speed
+// curve ips(t) = 1 - s*(1-w(t)).
+func (m Model) Progress(dt sim.Duration, w0, s float64) (work float64, w1 float64) {
+	if dt <= 0 {
+		return 0, w0
+	}
+	t := float64(dt)
+	tau := float64(m.WarmTau)
+	cold := s * (1 - w0)
+	// integral of cold*e^(-t/tau) over the span
+	lost := cold * tau * (1 - math.Exp(-t/tau))
+	return t - lost, m.Warmth(w0, dt)
+}
+
+// FinishTime reports the wall time needed to complete `work` full-speed
+// nanoseconds starting at warmth w0 with sensitivity s. It inverts
+// Progress; Progress(FinishTime(W), w0, s) == W to within a nanosecond.
+func (m Model) FinishTime(work float64, w0, s float64) sim.Duration {
+	if work <= 0 {
+		return 0
+	}
+	tau := float64(m.WarmTau)
+	c := s * (1 - w0) * tau // total work deficit if run forever from cold
+	if c < 1e-9 {
+		return sim.Duration(math.Ceil(work))
+	}
+	// Solve f(t) = t - c*(1-e^(-t/tau)) - work = 0. f is convex and
+	// increasing; starting from the upper bound work+c Newton converges
+	// monotonically from above.
+	t := work + c
+	for i := 0; i < 32; i++ {
+		et := math.Exp(-t / tau)
+		f := t - c*(1-et) - work
+		if f < 0.5 { // within half a nanosecond
+			break
+		}
+		df := 1 - c/tau*et
+		t -= f / df
+	}
+	if t < work {
+		t = work // speed never exceeds 1: wall time >= work
+	}
+	return sim.Duration(math.Ceil(t))
+}
+
+// Speed reports the instantaneous execution speed (fraction of peak) at
+// warmth w with sensitivity s.
+func Speed(w, s float64) float64 { return 1 - s*(1-w) }
+
+// State is the cache bookkeeping attached to each task.
+type State struct {
+	// Warmth is the task's current cache warmth in [0,1], valid for Core.
+	Warmth float64
+	// Core is the physical core the warmth refers to, -1 if never run.
+	Core int
+	// BusySnapshot is the owning core's busy-time accumulator at the
+	// moment the task was last descheduled; the difference on resume is
+	// the eviction exposure.
+	BusySnapshot sim.Duration
+}
+
+// NewState returns the cold initial state.
+func NewState() State { return State{Core: -1} }
+
+// OnMigrate updates warmth for a move to newCore. Moves between SMT
+// siblings (same physical core) preserve warmth; anything else is a cold
+// start, matching the paper's footnote that migration overhead "is
+// mitigated if the source and destination cores share some levels of
+// cache".
+func (s *State) OnMigrate(newCore int) {
+	if s.Core != newCore {
+		s.Warmth = 0
+		s.Core = newCore
+	}
+}

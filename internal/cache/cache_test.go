@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hplsim/internal/sim"
+)
+
+func TestWarmthMonotone(t *testing.T) {
+	m := DefaultModel()
+	w := 0.0
+	for i := 0; i < 20; i++ {
+		w2 := m.Warmth(w, sim.Millisecond)
+		if w2 < w || w2 > 1 {
+			t.Fatalf("warmth not monotone in [0,1]: %v -> %v", w, w2)
+		}
+		w = w2
+	}
+	if w < 0.95 {
+		t.Fatalf("warmth after 20ms (tau=3ms) = %v, want near 1", w)
+	}
+}
+
+func TestWarmthComposition(t *testing.T) {
+	// Running 5ms then 7ms equals running 12ms.
+	m := DefaultModel()
+	a := m.Warmth(m.Warmth(0.2, 5*sim.Millisecond), 7*sim.Millisecond)
+	b := m.Warmth(0.2, 12*sim.Millisecond)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("warmth not compositional: %v vs %v", a, b)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	m := DefaultModel()
+	w := m.Evict(1.0, m.EvictTau)
+	if math.Abs(w-1/math.E) > 1e-9 {
+		t.Fatalf("Evict after one tau = %v, want 1/e", w)
+	}
+	if m.Evict(0.5, 0) != 0.5 {
+		t.Fatal("zero exposure changed warmth")
+	}
+}
+
+func TestProgressInsensitiveTask(t *testing.T) {
+	// Sensitivity 0: work == wall time exactly.
+	m := DefaultModel()
+	work, w1 := m.Progress(10*sim.Millisecond, 0, 0)
+	if work != float64(10*sim.Millisecond) {
+		t.Fatalf("work = %v, want 10ms", work)
+	}
+	if w1 <= 0.9 {
+		t.Fatalf("warmth did not rise: %v", w1)
+	}
+}
+
+func TestProgressColdPenalty(t *testing.T) {
+	// A fully cold, fully sensitive task loses about tau of work when
+	// running much longer than tau.
+	m := DefaultModel()
+	dt := 100 * sim.Millisecond
+	work, _ := m.Progress(dt, 0, 1)
+	lost := float64(dt) - work
+	if math.Abs(lost-float64(m.WarmTau)) > float64(m.WarmTau)*1e-6 {
+		t.Fatalf("asymptotic loss = %v ns, want ~tau = %v", lost, m.WarmTau)
+	}
+}
+
+func TestProgressAdditive(t *testing.T) {
+	// Splitting a span at any point yields the same total work.
+	m := DefaultModel()
+	w0, s := 0.3, 0.6
+	whole, _ := m.Progress(9*sim.Millisecond, w0, s)
+	a, wm := m.Progress(4*sim.Millisecond, w0, s)
+	b, _ := m.Progress(5*sim.Millisecond, wm, s)
+	if math.Abs(whole-(a+b)) > 1e-6 {
+		t.Fatalf("progress not additive: %v vs %v", whole, a+b)
+	}
+}
+
+func TestFinishTimeInvertsProgress(t *testing.T) {
+	m := DefaultModel()
+	check := func(workMs, w0f, sf uint16) bool {
+		work := float64(workMs%200+1) * 1e6 // 1..200ms of work
+		w0 := float64(w0f%1000) / 1000
+		s := float64(sf%1000) / 1000
+		dt := m.FinishTime(work, w0, s)
+		got, _ := m.Progress(dt, w0, s)
+		// FinishTime rounds up to whole ns, so got >= work, within 2ns
+		// of slack (1ns rounding + speed<=1).
+		return got >= work-1e-6 && got <= work+2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinishTimeBounds(t *testing.T) {
+	m := DefaultModel()
+	work := float64(5 * sim.Millisecond)
+	dt := m.FinishTime(work, 0, 0.8)
+	if float64(dt) < work {
+		t.Fatalf("finish faster than full speed: %v < %v", dt, work)
+	}
+	upper := work + 0.8*float64(m.WarmTau)
+	if float64(dt) > upper+1 {
+		t.Fatalf("finish slower than cold bound: %v > %v", float64(dt), upper)
+	}
+	if m.FinishTime(0, 0, 1) != 0 {
+		t.Fatal("zero work takes time")
+	}
+}
+
+func TestFinishTimeWarmIsFaster(t *testing.T) {
+	m := DefaultModel()
+	work := float64(2 * sim.Millisecond)
+	cold := m.FinishTime(work, 0, 0.7)
+	warm := m.FinishTime(work, 0.9, 0.7)
+	if warm >= cold {
+		t.Fatalf("warm start not faster: warm=%v cold=%v", warm, cold)
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	if Speed(1, 1) != 1 || Speed(0, 1) != 0 || Speed(0, 0.4) != 0.6 {
+		t.Fatal("Speed formula wrong")
+	}
+}
+
+func TestStateMigration(t *testing.T) {
+	s := NewState()
+	if s.Core != -1 {
+		t.Fatal("initial core not -1")
+	}
+	s.Warmth = 0.8
+	s.Core = 2
+	s.OnMigrate(2) // same core: keep warmth
+	if s.Warmth != 0.8 {
+		t.Fatal("same-core migrate lost warmth")
+	}
+	s.OnMigrate(3) // cross-core: cold
+	if s.Warmth != 0 || s.Core != 3 {
+		t.Fatalf("cross-core migrate kept warmth: %+v", s)
+	}
+}
+
+func BenchmarkFinishTime(b *testing.B) {
+	m := DefaultModel()
+	for i := 0; i < b.N; i++ {
+		m.FinishTime(float64(3*sim.Millisecond), 0.2, 0.7)
+	}
+}
+
+func BenchmarkProgress(b *testing.B) {
+	m := DefaultModel()
+	for i := 0; i < b.N; i++ {
+		m.Progress(4*sim.Millisecond, 0.3, 0.5)
+	}
+}

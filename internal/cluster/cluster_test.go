@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hplsim/internal/sim"
+)
+
+// noisySample builds a node distribution: mostly ideal iterations with a
+// fraction `p` delayed by `factor`x.
+func noisySample(ideal float64, p, factor float64, n int, seed uint64) NodeSample {
+	rng := sim.NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		if rng.Float64() < p {
+			xs[i] = ideal * factor
+		} else {
+			xs[i] = ideal
+		}
+	}
+	return NodeSample{IterationSec: xs, Ideal: ideal}
+}
+
+func TestResonanceAmplifiesWithScale(t *testing.T) {
+	// 2% of iterations delayed 2x on one node: on one node the expected
+	// slowdown is ~2%; at 1024 nodes nearly every global iteration hits
+	// a delayed node, approaching the full 2x.
+	ns := noisySample(0.1, 0.02, 2.0, 20000, 1)
+	pts := Resonance(ns, []int{1, 16, 256, 4096}, 100, 300, sim.NewRNG(2))
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanSlowdown < pts[i-1].MeanSlowdown-0.01 {
+			t.Fatalf("slowdown not monotone: %+v", pts)
+		}
+	}
+	if pts[0].MeanSlowdown > 1.05 {
+		t.Fatalf("single node slowdown = %.3f, want ~1.02", pts[0].MeanSlowdown)
+	}
+	if pts[3].MeanSlowdown < 1.8 {
+		t.Fatalf("4096-node slowdown = %.3f, want ~2 (noise resonance)", pts[3].MeanSlowdown)
+	}
+	if pts[3].ProbIterDelayed < 0.99 {
+		t.Fatalf("P(iter delayed) at scale = %.3f, want ~1 (Section II)", pts[3].ProbIterDelayed)
+	}
+}
+
+func TestQuietNodeStaysFlat(t *testing.T) {
+	ns := noisySample(0.1, 0, 1, 1000, 3)
+	pts := Resonance(ns, []int{1, 1024}, 50, 100, sim.NewRNG(4))
+	for _, p := range pts {
+		if math.Abs(p.MeanSlowdown-1) > 0.01 {
+			t.Fatalf("quiet node slowdown at %d nodes = %.4f", p.Nodes, p.MeanSlowdown)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if (NodeSample{}).Valid() {
+		t.Fatal("empty sample valid")
+	}
+	ns := NodeSample{IterationSec: []float64{1}, Ideal: 1}
+	if !ns.Valid() {
+		t.Fatal("valid sample rejected")
+	}
+	assertPanics(t, func() { Resonance(NodeSample{}, []int{1}, 1, 1, sim.NewRNG(0)) })
+	assertPanics(t, func() { Resonance(ns, []int{1}, 0, 1, sim.NewRNG(0)) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestRootN(t *testing.T) {
+	check := func(u16 uint16, n8 uint8) bool {
+		u := float64(u16) / 65536
+		n := int(n8%64) + 1
+		r := rootN(u, n)
+		if r < 0 || r > 1 {
+			return false
+		}
+		return math.Abs(powInt(r, n)-u) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowInt(t *testing.T) {
+	if powInt(2, 10) != 1024 {
+		t.Fatalf("powInt(2,10) = %v", powInt(2, 10))
+	}
+	if powInt(0.5, 2) != 0.25 {
+		t.Fatalf("powInt(0.5,2) = %v", powInt(0.5, 2))
+	}
+	if powInt(3, 0) != 1 {
+		t.Fatal("powInt(x,0) != 1")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	ns := noisySample(0.1, 0.05, 3, 5000, 5)
+	pts := Resonance(ns, []int{1, 64}, 50, 100, sim.NewRNG(6))
+	out := Format(pts)
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "64") {
+		t.Fatalf("format missing fields:\n%s", out)
+	}
+}

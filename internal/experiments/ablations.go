@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hplsim/internal/kernel"
+	"hplsim/internal/mpi"
+	"hplsim/internal/nas"
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/stats"
+	"hplsim/internal/task"
+)
+
+// AblationRow compares one configuration against the HPL baseline.
+type AblationRow struct {
+	Label string
+	Times stats.Summary
+	Mig   stats.Summary
+	Ctx   stats.Summary
+}
+
+// runScheme collects a row for one (profile, scheme) pair.
+func runScheme(label string, prof nas.Profile, scheme Scheme, reps int, seed uint64) AblationRow {
+	rs := RunMany(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps)
+	el := make([]float64, len(rs))
+	mg := make([]float64, len(rs))
+	cx := make([]float64, len(rs))
+	for i, r := range rs {
+		el[i], mg[i], cx[i] = r.ElapsedSec, r.Migrations(), r.CtxSwitches()
+	}
+	return AblationRow{
+		Label: label,
+		Times: stats.Summarize(el),
+		Mig:   stats.Summarize(mg),
+		Ctx:   stats.Summarize(cx),
+	}
+}
+
+// AblationDynamicBalance (A1) tests the paper's claim that "balancing tasks
+// dynamically simply introduces too much OS noise": the HPC class with the
+// dynamic load balancer left on, against proper HPL.
+func AblationDynamicBalance(prof nas.Profile, reps int, seed uint64) []AblationRow {
+	return []AblationRow{
+		runScheme("hpl (fork-time only)", prof, HPL, reps, seed),
+		runScheme("hpl + dynamic balance", prof, HPLDynamic, reps, seed),
+	}
+}
+
+// AblationPlacement (A2) tests the topology-aware spread against first-fit
+// placement. The difference shows with fewer ranks than hardware threads:
+// with four ranks, topology-aware placement gives every rank a whole core
+// while first-fit packs two SMT siblings per core on one chip.
+func AblationPlacement(reps int, seed uint64) []AblationRow {
+	// A 4-rank variant of ep.A: same per-rank work, half the ranks.
+	prof := nas.MustGet("ep", 'A')
+	rows := []AblationRow{}
+	for _, cfg := range []struct {
+		label string
+		naive bool
+	}{
+		{"topology-aware placement", false},
+		{"naive first-fit placement", true},
+	} {
+		el := make([]float64, reps)
+		for i := 0; i < reps; i++ {
+			el[i] = runFourRanks(prof, cfg.naive, seed+uint64(i)*7919)
+		}
+		rows = append(rows, AblationRow{Label: cfg.label, Times: stats.Summarize(el)})
+	}
+	return rows
+}
+
+// runFourRanks runs a 4-rank ep-like job under HPL and returns the elapsed
+// seconds. Kept separate from Run because the paper's harness is fixed at
+// 8 ranks.
+func runFourRanks(prof nas.Profile, naive bool, seed uint64) float64 {
+	k := kernel.New(kernel.Config{
+		Balance:           sched.BalanceHPL,
+		HPCNaivePlacement: naive,
+		Seed:              seed,
+	})
+	cfg := prof.WorldConfig(task.HPC, 0, 0)
+	cfg.Ranks = 4
+	w := mpi.NewWorld(k, cfg)
+	w.OnComplete = func() { k.Eng.After(sim.Millisecond, k.Stop) }
+	w.Launch(nil, prof.Program(k.RNG(1)))
+	k.Run(sim.Time(sim.Seconds(prof.TargetSeconds*20) + 60*sim.Second))
+	return w.Elapsed().Seconds()
+}
+
+// AblationAlternatives compares the Section IV alternatives (RT scheduler,
+// static pinning, nice -20) and standard CFS against HPL on one profile,
+// with the CNK-style dedicated node as the lightweight-kernel bound from
+// the paper's related work.
+func AblationAlternatives(prof nas.Profile, reps int, seed uint64) []AblationRow {
+	rows := []AblationRow{}
+	for _, s := range []Scheme{Std, Nice, Pinned, RT, HPL, CNK} {
+		rows = append(rows, runScheme(s.String(), prof, s, reps, seed))
+	}
+	return rows
+}
+
+// AblationTick (A6) sweeps the timer frequency to expose tick micro-noise
+// (the NETTICK discussion in Section V): higher HZ steals more CPU time
+// and adds scheduling points.
+func AblationTick(prof nas.Profile, reps int, seed uint64) []AblationRow {
+	rows := []AblationRow{}
+	for _, hz := range []int{100, 250, 1000} {
+		rs := RunMany(Options{Profile: prof, Scheme: HPL, Seed: seed, HZ: hz}, reps)
+		el := make([]float64, len(rs))
+		for i, r := range rs {
+			el[i] = r.ElapsedSec
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("HZ=%d", hz),
+			Times: stats.Summarize(el),
+		})
+	}
+	return rows
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-26s | %8s %8s %8s %8s | %9s %9s\n",
+		"configuration", "min(s)", "avg(s)", "max(s)", "var%", "migr avg", "ctx avg")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s | %8.3f %8.3f %8.3f %8.2f | %9.1f %9.1f\n",
+			r.Label, r.Times.Min, r.Times.Mean, r.Times.Max, r.Times.VarPct(),
+			r.Mig.Mean, r.Ctx.Mean)
+	}
+	return b.String()
+}
+
+// AblationNettick (A7) measures the NETTICK-style adaptive tick the paper
+// pairs with HPL: with the housekeeping tick, the timer micro-noise on
+// lone HPC ranks all but disappears.
+func AblationNettick(prof nas.Profile, reps int, seed uint64) []AblationRow {
+	rows := []AblationRow{}
+	for _, cfg := range []struct {
+		label    string
+		adaptive bool
+		hz       int
+	}{
+		{"HPL, HZ=1000", false, 1000},
+		{"HPL, HZ=250", false, 250},
+		{"HPL + NETTICK", true, 1000},
+	} {
+		rs := RunMany(Options{Profile: prof, Scheme: HPL, Seed: seed,
+			HZ: cfg.hz, AdaptiveTick: cfg.adaptive}, reps)
+		el := make([]float64, len(rs))
+		for i, r := range rs {
+			el[i] = r.ElapsedSec
+		}
+		rows = append(rows, AblationRow{Label: cfg.label, Times: stats.Summarize(el)})
+	}
+	return rows
+}
+
+// EnergyRow reports the energy/performance trade-off of one placement.
+type EnergyRow struct {
+	Label   string
+	Seconds float64
+	Joules  float64
+	Watts   float64
+}
+
+// EnergyStudy quantifies the power dimension the paper leaves as future
+// work: a 4-rank job placed topology-aware (one rank per core, four cores
+// awake) versus packed (two cores awake, SMT-shared). Spreading finishes
+// faster; packing draws less power; the energy verdict depends on both.
+func EnergyStudy(seed uint64) []EnergyRow {
+	prof := nas.MustGet("ep", 'A')
+	rows := []EnergyRow{}
+	for _, cfg := range []struct {
+		label string
+		naive bool
+	}{
+		{"topology-aware (4 cores awake)", false},
+		{"packed first-fit (2 cores awake)", true},
+	} {
+		k := kernel.New(kernel.Config{
+			Balance:           sched.BalanceHPL,
+			HPCNaivePlacement: cfg.naive,
+			Seed:              seed,
+		})
+		wcfg := prof.WorldConfig(task.HPC, 0, 0)
+		wcfg.Ranks = 4
+		w := mpi.NewWorld(k, wcfg)
+		w.OnComplete = func() { k.Stop() }
+		w.Launch(nil, prof.Program(k.RNG(1)))
+		k.Run(sim.Time(sim.Seconds(prof.TargetSeconds*20) + 60*sim.Second))
+		e := k.Energy()
+		rows = append(rows, EnergyRow{
+			Label:   cfg.label,
+			Seconds: w.Elapsed().Seconds(),
+			Joules:  e.Joules,
+			Watts:   e.AvgWatts,
+		})
+	}
+	return rows
+}
+
+// FormatEnergy renders the energy study.
+func FormatEnergy(rows []EnergyRow) string {
+	var b strings.Builder
+	b.WriteString("Energy/performance trade-off of HPC placement (4 ranks, ep.A-sized work)\n")
+	fmt.Fprintf(&b, "%-34s %10s %12s %10s\n", "placement", "time (s)", "energy (J)", "avg W")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %10.2f %12.0f %10.1f\n", r.Label, r.Seconds, r.Joules, r.Watts)
+	}
+	return b.String()
+}

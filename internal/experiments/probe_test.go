@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"hplsim/internal/nas"
+	"hplsim/internal/stats"
+)
+
+func TestProbeEpDistributions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for _, sc := range []Scheme{Std, RT, HPL} {
+		rs := RunMany(Options{Profile: nas.MustGet("ep", 'A'), Scheme: sc, Seed: 1000}, 150)
+		el := make([]float64, len(rs))
+		mg := make([]float64, len(rs))
+		cx := make([]float64, len(rs))
+		for i, r := range rs {
+			el[i], mg[i], cx[i] = r.ElapsedSec, r.Migrations(), r.CtxSwitches()
+		}
+		s := stats.Summarize(el)
+		m := stats.Summarize(mg)
+		c := stats.Summarize(cx)
+		fmt.Printf("%-4v time[%0.2f/%0.2f/%0.2f var%%=%0.0f p95=%0.2f] migr[%0.0f/%0.0f/%0.0f] ctx[%0.0f/%0.0f/%0.0f]\n",
+			sc, s.Min, s.Mean, s.Max, s.VarPct(), s.P95, m.Min, m.Mean, m.Max, c.Min, c.Mean, c.Max)
+	}
+}

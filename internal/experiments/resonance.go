@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"hplsim/internal/cluster"
+	"hplsim/internal/nas"
+	"hplsim/internal/sim"
+)
+
+// CollectNodeSample gathers the per-iteration time distribution of one
+// (profile, scheme) node configuration by running the full single-node
+// simulation `runs` times.
+func CollectNodeSample(prof nas.Profile, scheme Scheme, runs int, seed uint64) cluster.NodeSample {
+	rs := RunMany(Options{Profile: prof, Scheme: scheme, Seed: seed}, runs)
+	var iters []float64
+	for _, r := range rs {
+		iters = append(iters, r.IterationSec...)
+	}
+	// The ideal iteration time: per-iteration work at the steady SMT
+	// rate plus the communication charge.
+	ideal := (prof.WorkPerIter() + float64(prof.CommPerIter)) /
+		nas.SMTSteadyFactor / 1e9
+	return cluster.NodeSample{IterationSec: iters, Ideal: ideal}
+}
+
+// ResonanceStudy runs the Section II scaling argument end to end for both
+// the standard scheduler and HPL: measure each node configuration, then
+// compose clusters of growing size. It returns (std, hpl) scaling curves.
+func ResonanceStudy(nodes []int, nodeRuns, iters, draws int, seed uint64) (std, hpl []cluster.Point) {
+	prof := nas.MustGet("cg", 'B') // iteration-rich, medium length
+	rng := sim.NewRNG(seed)
+	stdSample := CollectNodeSample(prof, Std, nodeRuns, seed)
+	hplSample := CollectNodeSample(prof, HPL, nodeRuns, seed+1)
+	std = cluster.Resonance(stdSample, nodes, iters, draws, rng.Split(1))
+	hpl = cluster.Resonance(hplSample, nodes, iters, draws, rng.Split(2))
+	return std, hpl
+}

@@ -1,0 +1,321 @@
+// Package experiments reproduces the paper's measurement methodology and
+// each of its tables and figures.
+//
+// A single Run boots a fresh simulated node with the standard daemon
+// population and storm process, then executes the paper's command chain
+//
+//	perf stat -a  ->  chrt --hpc  ->  mpiexec -n 8  ->  ranks
+//
+// recording the NAS-reported execution time and the perf window's context
+// switches and CPU migrations. The scheduler scheme selects the paper's
+// configurations: standard CFS, the RT scheduler (Figure 4), HPL (the
+// contribution), and the alternatives Section IV argues against (static
+// pinning, nice -20) plus the ablations in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+
+	"hplsim/internal/kernel"
+	"hplsim/internal/mpi"
+	"hplsim/internal/nas"
+	"hplsim/internal/noise"
+	"hplsim/internal/perf"
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// Scheme selects the scheduler configuration of a run.
+type Scheme int
+
+const (
+	// Std is the unmodified kernel: ranks under CFS, standard balancing.
+	Std Scheme = iota
+	// RT runs the ranks under SCHED_RR priority 50 via chrt -r
+	// (Figure 4).
+	RT
+	// HPL is the paper's system: ranks in the HPC class, fork-time
+	// topology-aware placement, no dynamic balancing while HPC tasks
+	// are alive.
+	HPL
+	// HPLDynamic is ablation A1: the HPC class with dynamic balancing
+	// left enabled for all classes.
+	HPLDynamic
+	// HPLNaive is ablation A2: HPL with first-fit placement instead of
+	// the topology-aware spread.
+	HPLNaive
+	// Pinned is CFS with each rank bound to one hardware thread via
+	// sched_setaffinity (the static alternative of Section IV).
+	Pinned
+	// Nice is CFS with ranks at nice -20 (the priority alternative of
+	// Section IV).
+	Nice
+	// CNK models the lightweight-kernel gold standard of the paper's
+	// related work (IBM's Compute Node Kernel): a dedicated compute
+	// node with no daemon population, no maintenance storms, no
+	// launcher helpers, and only a housekeeping tick. It bounds the
+	// best any scheduler policy could do, quantifying the paper's claim
+	// that HPL makes a monolithic kernel "behave like a micro-kernel".
+	CNK
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Std:
+		return "std"
+	case RT:
+		return "rt"
+	case HPL:
+		return "hpl"
+	case HPLDynamic:
+		return "hpl-dynamic"
+	case HPLNaive:
+		return "hpl-naive"
+	case Pinned:
+		return "pinned"
+	case Nice:
+		return "nice"
+	case CNK:
+		return "cnk"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists all runnable schemes.
+func Schemes() []Scheme {
+	return []Scheme{Std, RT, HPL, HPLDynamic, HPLNaive, Pinned, Nice, CNK}
+}
+
+// Options parameterise one run.
+type Options struct {
+	Profile nas.Profile
+	Scheme  Scheme
+	Seed    uint64
+	// HZ overrides the tick frequency (0 = default 250).
+	HZ int
+	// AdaptiveTick enables the NETTICK-style housekeeping tick for lone
+	// HPC tasks (Section V).
+	AdaptiveTick bool
+	// NoDaemons suppresses the background daemon population.
+	NoDaemons bool
+	// NoStorms suppresses the heavy-storm process.
+	NoStorms bool
+	// Storms overrides the storm configuration (nil = default).
+	Storms *noise.StormConfig
+	// Inject adds Ferreira-style fixed noise (resonance studies).
+	Inject noise.Injection
+	// Tracer, if set, records the run's timeline.
+	Tracer kernel.Tracer
+	// SpinThreshold overrides the MPI spin window (0 = default).
+	SpinThreshold sim.Duration
+	// Horizon caps the virtual runtime (0 = automatic).
+	Horizon sim.Duration
+}
+
+// Result is the outcome of one measured run.
+type Result struct {
+	// ElapsedSec is the NAS-reported execution time: rank launch to last
+	// rank exit, in seconds.
+	ElapsedSec float64
+	// Window holds the perf event deltas over the measurement window.
+	Window perf.Counters
+	// Completed is false if the run hit the horizon (censored).
+	Completed bool
+	// IterationSec are the gaps between successive collective releases,
+	// i.e. the per-iteration wall times seen by the barrier (used by the
+	// cluster resonance study).
+	IterationSec []float64
+	// Sched are the scheduler's decision counters over the whole run.
+	Sched sched.Stats
+	// Energy is the node's integrated energy over the whole run.
+	Energy kernel.EnergyReport
+}
+
+// Migrations is shorthand for the window's migration count.
+func (r Result) Migrations() float64 { return float64(r.Window.Migrations) }
+
+// CtxSwitches is shorthand for the window's context-switch count.
+func (r Result) CtxSwitches() float64 { return float64(r.Window.ContextSwitches) }
+
+// launchDelay is when the perf command starts after boot, leaving the
+// daemon population time to reach steady state.
+const launchDelay = 150 * sim.Millisecond
+
+// Run executes one full measured run.
+func Run(opt Options) Result {
+	prof := opt.Profile
+
+	balance := sched.BalanceStandard
+	switch opt.Scheme {
+	case HPL, HPLNaive, CNK:
+		balance = sched.BalanceHPL
+	case HPLDynamic:
+		balance = sched.BalanceHPLDynamic
+	}
+	if opt.Scheme == CNK {
+		// A dedicated compute-node kernel: nothing else on the node.
+		opt.NoDaemons = true
+		opt.NoStorms = true
+		opt.AdaptiveTick = true
+	}
+
+	k := kernel.New(kernel.Config{
+		HZ:                opt.HZ,
+		Balance:           balance,
+		HPCNaivePlacement: opt.Scheme == HPLNaive,
+		AdaptiveTick:      opt.AdaptiveTick,
+		Seed:              opt.Seed,
+		Tracer:            opt.Tracer,
+	})
+
+	if !opt.NoDaemons {
+		noise.SpawnSystem(k, k.RNG(100))
+	}
+	if !opt.NoStorms {
+		storms := noise.DefaultStorms()
+		if opt.Storms != nil {
+			storms = *opt.Storms
+		}
+		storms.Arm(k, k.RNG(101))
+	}
+	if opt.Inject.Frequency > 0 {
+		opt.Inject.Arm(k, k.RNG(102))
+	}
+
+	// Scheduler scheme for the measured processes.
+	rankPolicy, rankRTPrio, rankNice := task.Normal, 0, 0
+	toolPolicy, toolRTPrio := task.Normal, 0
+	switch opt.Scheme {
+	case RT:
+		rankPolicy, rankRTPrio = task.RR, 50
+		toolPolicy, toolRTPrio = task.RR, 50
+	case HPL, HPLDynamic, HPLNaive, CNK:
+		rankPolicy = task.HPC
+		toolPolicy = task.HPC
+	case Nice:
+		rankNice = -20
+	}
+
+	wcfg := prof.WorldConfig(rankPolicy, rankRTPrio, opt.SpinThreshold)
+	wcfg.Nice = rankNice
+	if opt.Scheme == Pinned {
+		pins := make([]int, k.Topo.NumCPUs())
+		for i := range pins {
+			pins[i] = i
+		}
+		wcfg.PinCPUs = pins
+	}
+
+	world := mpi.NewWorld(k, wcfg)
+	program := prof.Program(k.RNG(103))
+
+	var res Result
+	var window *perf.Window
+	appDone := false
+	world.OnComplete = func() { appDone = true }
+
+	// The measurement chain: perf -> chrt -> mpiexec -> ranks.
+	k.Spawn(nil, kernel.Attr{Name: "perf"}, func(pp *kernel.Proc) {
+		pp.Sleep(launchDelay, func() {
+			pp.Compute(2*sim.Millisecond, func() {
+				// perf stat -a: the system-wide window opens just
+				// before the measured command is forked.
+				window = perf.Open(&k.Perf)
+				pp.Spawn(kernel.Attr{Name: "chrt", Policy: toolPolicy, RTPrio: toolRTPrio},
+					func(cp *kernel.Proc) {
+						cp.Compute(sim.Millisecond, func() {
+							runMpiexec(k, cp, world, program, toolPolicy, toolRTPrio,
+								opt.Scheme == CNK, &appDone)
+							cp.WaitChildren(func() {
+								cp.Compute(500*sim.Microsecond, func() { cp.Exit() })
+							})
+						})
+					})
+				pp.WaitChildren(func() {
+					// chrt exited: close the window and report.
+					pp.Compute(sim.Millisecond, func() {
+						res.Window = window.Close()
+						res.Completed = true
+						pp.Exit()
+						// Small drain so teardown switches settle,
+						// then end the run.
+						k.Eng.After(20*sim.Millisecond, k.Stop)
+					})
+				})
+			})
+		})
+	})
+
+	horizon := opt.Horizon
+	if horizon == 0 {
+		horizon = sim.Seconds(prof.TargetSeconds*150) + 240*sim.Second
+	}
+	k.Run(sim.Time(horizon))
+
+	if !res.Completed && window != nil {
+		res.Window = window.Close()
+	}
+	if world.Elapsed() > 0 {
+		res.ElapsedSec = world.Elapsed().Seconds()
+	} else {
+		// Censored: the app never finished within the horizon.
+		res.ElapsedSec = horizon.Seconds()
+	}
+	for i := 1; i < len(world.ReleaseTimes); i++ {
+		res.IterationSec = append(res.IterationSec,
+			world.ReleaseTimes[i].Sub(world.ReleaseTimes[i-1]).Seconds())
+	}
+	res.Sched = k.Sched.Stats()
+	res.Energy = k.Energy()
+	return res
+}
+
+// runMpiexec models the launcher: it forks short-lived helper processes
+// (the launch/teardown noise of Table Ib's constant baseline), starts the
+// ranks, and polls its children's stdio until they finish, like a real
+// mpiexec. The poller is the "ninth task" whose RT-class wakeups trigger
+// the balancing pathology of Section IV.
+func runMpiexec(k *kernel.Kernel, chrt *kernel.Proc, world *mpi.World,
+	program mpi.Program, policy task.Policy, rtprio int, noHelpers bool, appDone *bool) {
+
+	chrt.Spawn(kernel.Attr{Name: "mpiexec", Policy: policy, RTPrio: rtprio},
+		func(mp *kernel.Proc) {
+			mp.Compute(2*sim.Millisecond, func() {
+				// Launch helpers (CFS regardless of the app class)
+				// and the ranks. A dedicated CNK node has no helper
+				// processes.
+				if !noHelpers {
+					noise.LauncherNoise(k, mp.T, 3, k.RNG(104))
+				}
+				world.Launch(mp, program)
+				// stdio poll loop until the ranks are done.
+				poll := k.RNG(105)
+				var cycle func()
+				cycle = func() {
+					if *appDone {
+						mp.WaitChildren(func() {
+							mp.Compute(sim.Millisecond, func() { mp.Exit() })
+						})
+						return
+					}
+					mp.Sleep(poll.Jitter(3*sim.Second, 0.2), func() {
+						mp.Compute(300*sim.Microsecond, cycle)
+					})
+				}
+				cycle()
+			})
+		})
+}
+
+// RunMany performs reps independent runs with derived seeds.
+func RunMany(opt Options, reps int) []Result {
+	out := make([]Result, reps)
+	for i := 0; i < reps; i++ {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)*0x9e37
+		out[i] = Run(o)
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package kernel
+
+import (
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// resched requests a scheduling pass on cpu at the current instant. Multiple
+// requests within one instant coalesce into a single pass.
+func (k *Kernel) resched(cpu int) {
+	c := k.cpus[cpu]
+	if c.reschedPending {
+		return
+	}
+	c.reschedPending = true
+	k.Eng.At(k.Eng.Now(), func() {
+		c.reschedPending = false
+		k.schedule(c)
+	})
+}
+
+// tickPeriod is the timer interrupt interval.
+func (k *Kernel) tickPeriod() sim.Duration {
+	return sim.Duration(int64(sim.Second) / int64(k.Cfg.HZ))
+}
+
+// armTick schedules the next timer interrupt for a busy CPU. With
+// AdaptiveTick, an HPC task running alone on its CPU only gets a 10 Hz
+// housekeeping tick — the NETTICK optimisation that removes most of the
+// timer micro-noise while the scheduler has nothing to decide.
+func (k *Kernel) armTick(c *cpuState) {
+	if c.tick != nil {
+		return
+	}
+	period := k.tickPeriod()
+	if k.Cfg.AdaptiveTick && c.curr != c.idle &&
+		c.curr.Policy == task.HPC && k.Sched.NrQueued(c.id) == 0 {
+		housekeeping := 100 * sim.Millisecond
+		if housekeeping > period {
+			period = housekeeping
+		}
+	}
+	c.tick = k.Eng.After(period, func() { k.tickFire(c) })
+}
+
+func (k *Kernel) cancelTick(c *cpuState) {
+	if c.tick != nil {
+		k.Eng.Cancel(c.tick)
+		c.tick = nil
+	}
+}
+
+// tickFire is the timer interrupt handler: account the elapsed span, steal
+// the tick cost from the running task, drive the class tick (timeslice and
+// fairness preemption) and the periodic load balancer, and re-arm.
+func (k *Kernel) tickFire(c *cpuState) {
+	c.tick = nil
+	if c.curr == c.idle {
+		return // raced with idling; stay tickless
+	}
+	k.Perf.Ticks++
+	k.syncProgress(c)
+	// The interrupt itself steals CPU time: the paper's "micro noise".
+	c.spanStart = c.spanStart.Add(k.Cfg.TickCost)
+	if c.completion != nil {
+		k.Eng.Reschedule(c.completion, c.completion.When().Add(k.Cfg.TickCost))
+	}
+	k.Sched.Tick(c.id, c.curr)
+	k.Sched.PeriodicBalance(c.id)
+	k.armTick(c)
+}
+
+// smtFactor reports the throughput factor of cpu given how many of its SMT
+// siblings are currently busy.
+func (k *Kernel) smtFactor(cpu int) float64 {
+	busy := 0
+	k.Topo.SiblingsOf(cpu).ForEach(func(sib int) {
+		if sib != cpu && !k.IdleOn(sib) {
+			busy++
+		}
+	})
+	f := k.Cfg.SMTFactors
+	if busy >= len(f) {
+		busy = len(f) - 1
+	}
+	return f[busy]
+}
+
+// syncProgress settles the running span of c.curr up to now: work done,
+// cache warmth, CPU-time accounting, and the class exec charge.
+func (k *Kernel) syncProgress(c *cpuState) {
+	t := c.curr
+	if t == c.idle {
+		return
+	}
+	now := k.Eng.Now()
+	if now <= c.spanStart {
+		return // span has not started yet (switch/tick cost dead time)
+	}
+	dt := now.Sub(c.spanStart)
+	c.spanStart = now
+
+	work, w1 := k.Cfg.Cache.Progress(dt, t.Cache.Warmth, t.Sensitivity)
+	work *= k.smtFactor(c.id)
+	t.Cache.Warmth = w1
+	t.SumExec += dt
+	k.cores[k.Topo.CoreOf(c.id)].busy += dt
+	k.Sched.ExecCharge(c.id, t, dt)
+
+	if t.HasWork() {
+		t.Work -= work
+		if t.Work < 0 {
+			t.Work = 0
+		}
+	}
+}
+
+// advance runs pending zero-work continuations of c.curr and then projects
+// the completion of whatever work they installed.
+func (k *Kernel) advance(c *cpuState) {
+	k.runSteps(c)
+	k.project(c)
+}
+
+// project (re)schedules the completion event for c.curr's pending work.
+func (k *Kernel) project(c *cpuState) {
+	if c.completion != nil {
+		k.Eng.Cancel(c.completion)
+		c.completion = nil
+	}
+	t := c.curr
+	if t == c.idle || t.State != task.Running {
+		return
+	}
+	if t.Spinning() || t.Work <= 0 {
+		return // busy-wait or await-continuation: no completion event
+	}
+	smt := k.smtFactor(c.id)
+	dt := k.Cfg.Cache.FinishTime(t.Work/smt, t.Cache.Warmth, t.Sensitivity)
+	at := c.spanStart.Add(dt)
+	if at < k.Eng.Now() {
+		at = k.Eng.Now()
+	}
+	c.completion = k.Eng.At(at, func() {
+		c.completion = nil
+		k.workDone(c, t)
+	})
+}
+
+// workDone fires when the projected completion of t arrives: settle the
+// span and run the task's continuation (or re-project numerical residue).
+func (k *Kernel) workDone(c *cpuState, t *task.Task) {
+	if c.curr != t {
+		return // raced with a switch; the new projection owns the task
+	}
+	k.syncProgress(c)
+	if t.Work > 1000 { // > 1us of genuine work left: re-project
+		k.project(c)
+		return
+	}
+	t.Work = 0
+	k.advance(c)
+}
+
+// runSteps executes pending zero-work continuations of the running task.
+// A continuation typically installs the next compute step, blocks, spins,
+// or exits; the loop ends as soon as any of those happen. Continuations may
+// re-enter the kernel (SetStep, barrier releases), so the loop guards
+// against reentrancy.
+func (k *Kernel) runSteps(c *cpuState) {
+	if c.inSteps {
+		return
+	}
+	c.inSteps = true
+	defer func() { c.inSteps = false }()
+	t := c.curr
+	for t.State == task.Running && t.Work == 0 && t.OnDone != nil {
+		fn := t.OnDone
+		t.OnDone = nil
+		fn()
+		if c.curr != t {
+			return
+		}
+	}
+}
+
+// schedule is the core reschedule pass for one CPU, the analogue of
+// __schedule(): settle the current span, requeue a still-runnable previous
+// task, pick the next task through the class chain (pulling work if the CPU
+// would otherwise idle), then context-switch.
+func (k *Kernel) schedule(c *cpuState) {
+	now := k.Eng.Now()
+	prev := c.curr
+
+	k.syncProgress(c)
+	if c.completion != nil {
+		k.Eng.Cancel(c.completion)
+		c.completion = nil
+	}
+
+	// Requeue prev if it is still runnable (involuntary switch path).
+	if prev != c.idle && prev.State == task.Running {
+		prev.State = task.Runnable
+		k.Sched.PutPrev(c.id, prev)
+		if !prev.Affinity.Has(c.id) {
+			// An affinity change evicted prev from this CPU: the
+			// migration-thread path of sched_setaffinity.
+			k.Sched.MoveQueued(prev, prev.Affinity.First())
+		}
+	}
+
+	pick := k.Sched.PickNext(c.id)
+	if pick == c.idle && k.Sched.IdleBalance(c.id) {
+		// Pulled a task from a busier CPU rather than idling.
+		pick = k.Sched.PickNext(c.id)
+	}
+
+	if pick == prev {
+		// No switch: restore and resume.
+		pick.State = task.Running
+		k.advance(c)
+		return
+	}
+
+	// A real context switch.
+	k.Perf.ContextSwitches++
+	if prev != c.idle {
+		if prev.State == task.Runnable {
+			k.Perf.InvoluntarySwitches++
+			prev.Counters.NIVCSw++
+		} else {
+			k.Perf.VoluntarySwitches++
+			prev.Counters.NVCSw++
+		}
+		prev.Cache.BusySnapshot = k.cores[k.Topo.CoreOf(c.id)].busy
+		prev.LastRan = now
+	}
+	if k.Cfg.Tracer != nil {
+		k.Cfg.Tracer.Switch(now, c.id, prev, pick)
+	}
+
+	wasIdle := prev == c.idle
+	goesIdle := pick == c.idle
+	if wasIdle != goesIdle {
+		// The core's SMT occupancy changes: settle sibling spans under
+		// the old rate before the transition takes effect, and account
+		// the occupancy interval for the energy model.
+		k.syncSiblings(c.id)
+		k.cpuBusyChanged(c.id, wasIdle)
+	}
+
+	c.curr = pick
+	k.Sched.SetCurr(c.id, pick)
+	if !goesIdle {
+		pick.State = task.Running
+		pick.CPU = c.id
+		core := k.Topo.CoreOf(c.id)
+		if pick.Cache.Core != core {
+			// Cross-core migration: cold caches.
+			pick.Cache.Warmth = 0
+			pick.Cache.Core = core
+		} else {
+			exposure := k.cores[core].busy - pick.Cache.BusySnapshot
+			pick.Cache.Warmth = k.Cfg.Cache.Evict(pick.Cache.Warmth, exposure)
+		}
+		c.spanStart = now.Add(k.Cfg.SwitchCost)
+		k.armTick(c)
+	} else {
+		c.spanStart = now
+		k.cancelTick(c)
+	}
+
+	if wasIdle != goesIdle {
+		k.reprojectSiblings(c.id)
+	}
+	k.advance(c)
+}
+
+// StealTime models hardware-interrupt context on cpu: `d` of CPU time
+// vanishes from whatever is running there, with no scheduler involvement
+// and no context switch — the class-independent noise component that even
+// HPL cannot deflect (it only reorders runnable tasks). Idle CPUs absorb
+// interrupts for free.
+func (k *Kernel) StealTime(cpu int, d sim.Duration) {
+	c := k.cpus[cpu]
+	if c.curr == c.idle || d <= 0 {
+		return
+	}
+	k.syncProgress(c)
+	c.spanStart = c.spanStart.Add(d)
+	if c.completion != nil {
+		k.Eng.Reschedule(c.completion, c.completion.When().Add(d))
+	}
+}
+
+// syncSiblings settles the running spans of the busy SMT siblings of cpu
+// (their throughput is about to change).
+func (k *Kernel) syncSiblings(cpu int) {
+	k.Topo.SiblingsOf(cpu).ForEach(func(sib int) {
+		if sib == cpu {
+			return
+		}
+		sc := k.cpus[sib]
+		if sc.curr != sc.idle {
+			k.syncProgress(sc)
+		}
+	})
+}
+
+// reprojectSiblings recomputes the completion events of busy SMT siblings
+// after an occupancy change.
+func (k *Kernel) reprojectSiblings(cpu int) {
+	k.Topo.SiblingsOf(cpu).ForEach(func(sib int) {
+		if sib == cpu {
+			return
+		}
+		sc := k.cpus[sib]
+		if sc.curr == sc.idle {
+			return
+		}
+		if sc.completion != nil {
+			k.Eng.Cancel(sc.completion)
+			sc.completion = nil
+		}
+		k.project(sc)
+	})
+}

@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hplsim/internal/sim"
+)
+
+// PowerModel parameterises the node's power draw. The paper's conclusions
+// name the "power dimension" as HPL's next extension; this model makes the
+// trade-off measurable: topology-aware spreading keeps more cores awake
+// (higher power, shorter runtime) while packing onto fewer cores saves
+// core power at an SMT throughput cost.
+//
+// Node power at any instant is
+//
+//	Base + ActiveCores*CorePower + BusyThreads*ThreadPower
+//
+// in watts; energy integrates this over virtual time.
+type PowerModel struct {
+	// Base is the always-on node power (fans, memory, fabric), watts.
+	Base float64
+	// CorePower is drawn by each core with at least one busy thread.
+	CorePower float64
+	// ThreadPower is drawn per busy hardware thread.
+	ThreadPower float64
+}
+
+// DefaultPowerModel resembles a POWER6-era blade: ~220 W idle, ~60 W per
+// active core, ~8 W per busy thread.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{Base: 220, CorePower: 60, ThreadPower: 8}
+}
+
+func (m PowerModel) isZero() bool { return m == PowerModel{} }
+
+// EnergyReport is the integrated energy accounting of a run.
+type EnergyReport struct {
+	// Elapsed is the wall time covered.
+	Elapsed sim.Duration
+	// Joules is the total energy.
+	Joules float64
+	// AvgWatts is Joules / Elapsed.
+	AvgWatts float64
+	// ThreadBusy is the summed busy time of all hardware threads.
+	ThreadBusy sim.Duration
+	// CoreActive is the summed time cores had at least one busy thread.
+	CoreActive sim.Duration
+}
+
+func (r EnergyReport) String() string {
+	return fmt.Sprintf("%.1f J over %v (avg %.1f W, thread-busy %v, core-active %v)",
+		r.Joules, r.Elapsed, r.AvgWatts, r.ThreadBusy, r.CoreActive)
+}
+
+// energyState tracks the occupancy integrals needed by the power model.
+type energyState struct {
+	// threadBusy accumulates per-thread busy time (all CPUs).
+	threadBusy sim.Duration
+	// coreActive accumulates core-active time (any thread busy).
+	coreActive sim.Duration
+	// activeSince[core] is when the core last became active; -1 if idle.
+	activeSince []sim.Time
+	// busyThreads[core] counts the core's currently busy threads.
+	busyThreads []int
+	// busySince[cpu] is when the CPU last became busy; -1 if idle.
+	busySince []sim.Time
+}
+
+func newEnergyState(nCores, nCPUs int) *energyState {
+	e := &energyState{
+		activeSince: make([]sim.Time, nCores),
+		busyThreads: make([]int, nCores),
+		busySince:   make([]sim.Time, nCPUs),
+	}
+	for i := range e.activeSince {
+		e.activeSince[i] = -1
+	}
+	for i := range e.busySince {
+		e.busySince[i] = -1
+	}
+	return e
+}
+
+// cpuBusyChanged records a CPU transitioning between idle and busy.
+func (k *Kernel) cpuBusyChanged(cpu int, busy bool) {
+	e := k.energy
+	now := k.Eng.Now()
+	core := k.Topo.CoreOf(cpu)
+	if busy {
+		if e.busySince[cpu] < 0 {
+			e.busySince[cpu] = now
+		}
+		if e.busyThreads[core] == 0 {
+			e.activeSince[core] = now
+		}
+		e.busyThreads[core]++
+		return
+	}
+	if e.busySince[cpu] >= 0 {
+		e.threadBusy += now.Sub(e.busySince[cpu])
+		e.busySince[cpu] = -1
+	}
+	e.busyThreads[core]--
+	if e.busyThreads[core] == 0 && e.activeSince[core] >= 0 {
+		e.coreActive += now.Sub(e.activeSince[core])
+		e.activeSince[core] = -1
+	}
+}
+
+// Energy integrates the power model up to the current virtual time.
+func (k *Kernel) Energy() EnergyReport {
+	e := k.energy
+	now := k.Eng.Now()
+	threadBusy := e.threadBusy
+	coreActive := e.coreActive
+	// Fold in still-open intervals.
+	for cpu, since := range e.busySince {
+		_ = cpu
+		if since >= 0 {
+			threadBusy += now.Sub(since)
+		}
+	}
+	for core, since := range e.activeSince {
+		_ = core
+		if since >= 0 {
+			coreActive += now.Sub(since)
+		}
+	}
+	m := k.Cfg.Power
+	joules := m.Base*now.Seconds() +
+		m.CorePower*coreActive.Seconds() +
+		m.ThreadPower*threadBusy.Seconds()
+	avg := 0.0
+	if now > 0 {
+		avg = joules / now.Seconds()
+	}
+	return EnergyReport{
+		Elapsed:    sim.Duration(now),
+		Joules:     joules,
+		AvgWatts:   avg,
+		ThreadBusy: threadBusy,
+		CoreActive: coreActive,
+	}
+}

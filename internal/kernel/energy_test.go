@@ -1,0 +1,120 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+func TestEnergyIdleNode(t *testing.T) {
+	k := New(Config{Topo: topo.POWER6(), Seed: 1})
+	k.Eng.After(sim.Duration(sim.Second), func() {})
+	k.Run(sim.Time(sim.Second))
+	r := k.Energy()
+	if r.ThreadBusy != 0 || r.CoreActive != 0 {
+		t.Fatalf("idle node reports activity: %+v", r)
+	}
+	want := k.Cfg.Power.Base // 1 second at base watts
+	if math.Abs(r.Joules-want) > 0.01 {
+		t.Fatalf("idle energy = %.2f J, want %.2f", r.Joules, want)
+	}
+}
+
+func TestEnergySingleBusyThread(t *testing.T) {
+	k := New(Config{Topo: topo.POWER6(), SwitchCost: 1, TickCost: 1, Seed: 2})
+	k.Spawn(nil, Attr{Name: "w", Affinity: topo.MaskOf(0)}, func(p *Proc) {
+		p.Compute(500*sim.Millisecond, func() { p.Exit() })
+	})
+	k.Eng.After(sim.Duration(sim.Second), func() {})
+	k.Run(sim.Time(sim.Second))
+	r := k.Energy()
+	if r.ThreadBusy < 499*sim.Millisecond || r.ThreadBusy > 501*sim.Millisecond {
+		t.Fatalf("thread busy = %v, want ~500ms", r.ThreadBusy)
+	}
+	if r.CoreActive < 499*sim.Millisecond || r.CoreActive > 501*sim.Millisecond {
+		t.Fatalf("core active = %v, want ~500ms", r.CoreActive)
+	}
+	m := k.Cfg.Power
+	want := m.Base + 0.5*(m.CorePower+m.ThreadPower)
+	if math.Abs(r.Joules-want) > 0.5 {
+		t.Fatalf("energy = %.2f J, want ~%.2f", r.Joules, want)
+	}
+}
+
+func TestEnergySMTSharesCorePower(t *testing.T) {
+	// Two threads of ONE core for 0.64s of wall each (100ms of work at
+	// the 0.64 SMT factor... use factor 1 for exact numbers): core power
+	// is paid once, thread power twice.
+	k := New(Config{Topo: topo.POWER6(), SwitchCost: 1, TickCost: 1,
+		SMTFactors: []float64{1, 1}, Seed: 3})
+	for i := 0; i < 2; i++ {
+		k.Spawn(nil, Attr{Name: "w", Affinity: topo.MaskOf(i)}, func(p *Proc) {
+			p.Compute(400*sim.Millisecond, func() { p.Exit() })
+		})
+	}
+	k.Eng.After(sim.Duration(sim.Second), func() {})
+	k.Run(sim.Time(sim.Second))
+	r := k.Energy()
+	if r.ThreadBusy < 790*sim.Millisecond || r.ThreadBusy > 810*sim.Millisecond {
+		t.Fatalf("thread busy = %v, want ~800ms", r.ThreadBusy)
+	}
+	if r.CoreActive < 395*sim.Millisecond || r.CoreActive > 410*sim.Millisecond {
+		t.Fatalf("core active = %v, want ~400ms (shared core)", r.CoreActive)
+	}
+}
+
+func TestEnergyOpenIntervals(t *testing.T) {
+	// A task still running at measurement time is accounted up to now.
+	k := New(Config{Topo: topo.POWER6(), SwitchCost: 1, TickCost: 1, Seed: 4})
+	k.Spawn(nil, Attr{Name: "w", Affinity: topo.MaskOf(0)}, func(p *Proc) {
+		p.Compute(10*sim.Second, func() { p.Exit() })
+	})
+	k.Run(sim.Time(sim.Second))
+	r := k.Energy()
+	if r.ThreadBusy < 990*sim.Millisecond {
+		t.Fatalf("open interval not folded in: busy %v", r.ThreadBusy)
+	}
+}
+
+func TestAdaptiveTickReducesTicks(t *testing.T) {
+	run := func(adaptive bool) uint64 {
+		k := New(Config{Topo: topo.POWER6(), AdaptiveTick: adaptive, Seed: 5})
+		k.Spawn(nil, Attr{Name: "rank", Policy: task.HPC, Affinity: topo.MaskOf(0)},
+			func(p *Proc) {
+				p.Compute(2*sim.Duration(sim.Second), func() { p.Exit() })
+			})
+		k.Run(sim.Time(3 * sim.Second))
+		return k.Perf.Ticks
+	}
+	full := run(false)
+	adaptive := run(true)
+	if adaptive*5 > full {
+		t.Fatalf("adaptive tick did not reduce ticks: %d vs %d", adaptive, full)
+	}
+}
+
+func TestAdaptiveTickOnlyForLoneHPC(t *testing.T) {
+	// A CFS task must keep the full tick rate even with AdaptiveTick on
+	// (fairness preemption depends on it).
+	k := New(Config{Topo: topo.POWER6(), AdaptiveTick: true, Seed: 6})
+	k.Spawn(nil, Attr{Name: "w", Affinity: topo.MaskOf(0)}, func(p *Proc) {
+		p.Compute(sim.Duration(sim.Second), func() { p.Exit() })
+	})
+	k.Run(sim.Time(2 * sim.Second))
+	// 1s busy at HZ=250 is ~250 ticks.
+	if k.Perf.Ticks < 200 {
+		t.Fatalf("CFS task lost its tick: %d", k.Perf.Ticks)
+	}
+}
+
+func TestEnergyReportString(t *testing.T) {
+	k := New(Config{Topo: topo.POWER6(), Seed: 7})
+	k.Eng.After(sim.Duration(sim.Second), func() {})
+	k.Run(sim.Time(sim.Second))
+	if s := k.Energy().String(); len(s) == 0 {
+		t.Fatal("empty report string")
+	}
+}

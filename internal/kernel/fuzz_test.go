@@ -1,0 +1,193 @@
+package kernel
+
+// Randomised whole-system property tests: arbitrary mixes of policies,
+// affinities, sleep patterns, and balancing policies must preserve the
+// kernel's global invariants. These catch state-machine corruption that
+// targeted tests miss.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// buildRandomWorkload spawns 5-20 tasks with random policies, affinities,
+// and behaviours on k.
+func buildRandomWorkload(k *Kernel, rng *sim.RNG) []*task.Task {
+	n := 5 + rng.Intn(16)
+	policies := []task.Policy{task.Normal, task.Normal, task.Normal,
+		task.HPC, task.RR, task.FIFO}
+	var tasks []*task.Task
+	for i := 0; i < n; i++ {
+		pol := policies[rng.Intn(len(policies))]
+		attr := Attr{
+			Name:        fmt.Sprintf("fz%d", i),
+			Policy:      pol,
+			Sensitivity: rng.Float64(),
+		}
+		if pol.RealTime() {
+			attr.RTPrio = 1 + rng.Intn(99)
+		} else if pol == task.Normal {
+			attr.Nice = rng.Intn(40) - 20
+		}
+		if rng.Float64() < 0.3 {
+			attr.Affinity = topo.MaskOf(rng.Intn(k.Topo.NumCPUs()))
+		}
+		kind := rng.Intn(3)
+		r := rng.Split(uint64(i) + 100)
+		tasks = append(tasks, k.Spawn(nil, attr, func(p *Proc) {
+			switch kind {
+			case 0: // finite compute, then exit
+				p.Compute(r.UniformDuration(sim.Millisecond, 300*sim.Millisecond),
+					func() { p.Exit() })
+			case 1: // sleep/compute daemon
+				var cycle func()
+				cycle = func() {
+					p.Sleep(r.UniformDuration(sim.Millisecond, 50*sim.Millisecond), func() {
+						p.Compute(r.UniformDuration(100*sim.Microsecond, 10*sim.Millisecond), cycle)
+					})
+				}
+				cycle()
+			default: // CPU hog for the whole run
+				p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+			}
+		}))
+	}
+	return tasks
+}
+
+// checkInvariants asserts the kernel's global consistency at any instant.
+func checkInvariants(t *testing.T, k *Kernel, tasks []*task.Task, horizon sim.Duration) {
+	t.Helper()
+
+	// 1. State/queue consistency for every task.
+	for _, tk := range tasks {
+		switch tk.State {
+		case task.Runnable:
+			if !tk.OnRq {
+				t.Fatalf("%v runnable but not queued", tk)
+			}
+		case task.Running:
+			if tk.OnRq {
+				t.Fatalf("%v running but still queued", tk)
+			}
+			if k.CurrOn(tk.CPU) != tk {
+				t.Fatalf("%v claims to run on cpu%d but curr is %v",
+					tk, tk.CPU, k.CurrOn(tk.CPU))
+			}
+		case task.Sleeping, task.Dead:
+			if tk.OnRq {
+				t.Fatalf("%v %v but queued", tk, tk.State)
+			}
+		case task.New:
+			t.Fatalf("%v still New after run", tk)
+		}
+		if !tk.Affinity.Has(tk.CPU) && tk.State == task.Running {
+			t.Fatalf("%v running outside its affinity %v", tk, tk.Affinity)
+		}
+	}
+
+	// 2. Exactly one running task per CPU (possibly the idle task).
+	for cpu := 0; cpu < k.Topo.NumCPUs(); cpu++ {
+		curr := k.CurrOn(cpu)
+		if curr == nil || curr.State != task.Running {
+			t.Fatalf("cpu%d curr %v not running", cpu, curr)
+		}
+	}
+
+	// 3. Counter arithmetic: every accounted switch had a non-idle prev.
+	if k.Perf.VoluntarySwitches+k.Perf.InvoluntarySwitches > k.Perf.ContextSwitches {
+		t.Fatalf("switch breakdown exceeds total: %+v", k.Perf)
+	}
+
+	// 4. No task consumed more CPU than wall time; the node consumed no
+	// more than ncpu x wall.
+	var sum sim.Duration
+	for _, tk := range tasks {
+		if tk.SumExec > horizon+sim.Millisecond {
+			t.Fatalf("%v consumed %v over a %v horizon", tk, tk.SumExec, horizon)
+		}
+		sum += tk.SumExec
+	}
+	if limit := sim.Duration(k.Topo.NumCPUs()) * horizon; sum > limit+sim.Millisecond {
+		t.Fatalf("total CPU time %v exceeds capacity %v", sum, limit)
+	}
+
+	// 5. Cache warmth stays in [0,1].
+	for _, tk := range tasks {
+		if tk.Cache.Warmth < 0 || tk.Cache.Warmth > 1 {
+			t.Fatalf("%v warmth %v out of range", tk, tk.Cache.Warmth)
+		}
+	}
+}
+
+func TestFuzzRandomWorkloads(t *testing.T) {
+	policies := []sched.BalancePolicy{
+		sched.BalanceStandard, sched.BalanceHPL,
+		sched.BalanceHPLDynamic, sched.BalanceNone,
+	}
+	const seeds = 60
+	for seed := uint64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed)
+			k := New(Config{
+				Topo:    topo.POWER6(),
+				Balance: policies[rng.Intn(len(policies))],
+				HZ:      []int{100, 250, 1000}[rng.Intn(3)],
+				Seed:    seed,
+			})
+			tasks := buildRandomWorkload(k, rng.Split(1))
+			horizon := rng.UniformDuration(100*sim.Millisecond, 2*sim.Second)
+			k.Run(sim.Time(horizon))
+			checkInvariants(t, k, tasks, horizon)
+		})
+	}
+}
+
+func TestFuzzDeterminism(t *testing.T) {
+	// Any random workload must replay bit-identically from its seed.
+	for seed := uint64(100); seed < 110; seed++ {
+		run := func() (uint64, uint64, sim.Duration) {
+			rng := sim.NewRNG(seed)
+			k := New(Config{Topo: topo.POWER6(), Seed: seed})
+			tasks := buildRandomWorkload(k, rng.Split(1))
+			k.Run(sim.Time(sim.Second))
+			var sum sim.Duration
+			for _, tk := range tasks {
+				sum += tk.SumExec
+			}
+			return k.Perf.ContextSwitches, k.Perf.Migrations, sum
+		}
+		c1, m1, s1 := run()
+		c2, m2, s2 := run()
+		if c1 != c2 || m1 != m2 || s1 != s2 {
+			t.Fatalf("seed %d not deterministic: (%d,%d,%v) vs (%d,%d,%v)",
+				seed, c1, m1, s1, c2, m2, s2)
+		}
+	}
+}
+
+func TestFuzzSmallTopologies(t *testing.T) {
+	// The invariants hold on degenerate machines too.
+	shapes := []topo.Topology{
+		{Chips: 1, CoresPerChip: 1, ThreadsPerCore: 1},
+		{Chips: 1, CoresPerChip: 1, ThreadsPerCore: 2},
+		{Chips: 1, CoresPerChip: 2, ThreadsPerCore: 1},
+		{Chips: 4, CoresPerChip: 4, ThreadsPerCore: 2},
+	}
+	for i, tp := range shapes {
+		rng := sim.NewRNG(uint64(i) + 500)
+		k := New(Config{Topo: tp, Seed: uint64(i) + 500})
+		tasks := buildRandomWorkload(k, rng.Split(1))
+		// Clamp single-CPU affinities drawn for bigger machines.
+		horizon := 500 * sim.Millisecond
+		k.Run(sim.Time(horizon))
+		checkInvariants(t, k, tasks, horizon)
+	}
+}

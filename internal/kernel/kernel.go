@@ -1,0 +1,270 @@
+// Package kernel is the simulated operating system: CPUs with context
+// switching and timer ticks, the syscall surface (fork, exit, sleep,
+// sched_setscheduler, sched_setaffinity, nice), execution of task work with
+// cache-warmth and SMT effects, and the glue to the scheduler core.
+//
+// The kernel is deliberately structured like the system the paper modifies:
+// policy lives in the sched packages, mechanism lives here. Experiments
+// construct a Kernel per run, boot it, spawn a workload, and read the perf
+// counters.
+package kernel
+
+import (
+	"fmt"
+
+	"hplsim/internal/cache"
+	"hplsim/internal/perf"
+	"hplsim/internal/sched"
+	"hplsim/internal/sched/cfs"
+	"hplsim/internal/sched/hpc"
+	"hplsim/internal/sched/idleclass"
+	"hplsim/internal/sched/rt"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// Tracer receives scheduling events for timeline reconstruction (Figure 1).
+// All methods are called at the instant the event happens.
+type Tracer interface {
+	// Switch reports a context switch on cpu from prev to next.
+	Switch(now sim.Time, cpu int, prev, next *task.Task)
+	// Migrate reports that t moved from one CPU to another.
+	Migrate(now sim.Time, t *task.Task, from, to int)
+	// Wake reports that t became runnable on cpu.
+	Wake(now sim.Time, t *task.Task, cpu int)
+	// Mark reports a workload-defined event (barrier arrival, release).
+	Mark(now sim.Time, t *task.Task, label string)
+}
+
+// Config parameterises a simulated node.
+type Config struct {
+	// Topo is the machine topology; defaults to the paper's POWER6.
+	Topo topo.Topology
+	// HZ is the timer tick frequency; defaults to 250.
+	HZ int
+	// SwitchCost is the direct cost of a context switch.
+	SwitchCost sim.Duration
+	// TickCost is the CPU time stolen by each timer interrupt
+	// (the paper's "micro noise").
+	TickCost sim.Duration
+	// Cache is the cache warmth model.
+	Cache cache.Model
+	// SMTFactors[i] is the per-thread throughput when i other hardware
+	// threads of the core are busy. Defaults to {1.0, 0.64} (POWER6-era
+	// SMT2: two busy threads each run at 64% of a lone thread).
+	SMTFactors []float64
+	// Balance selects the load-balancing policy.
+	Balance sched.BalancePolicy
+	// HPCNaivePlacement disables the HPC class's topology-aware fork
+	// placement (ablation A2).
+	HPCNaivePlacement bool
+	// AdaptiveTick is the NETTICK-style optimisation the paper pairs
+	// with HPL (Section V): when an HPC task runs alone on its CPU the
+	// periodic tick is stretched to a 10 Hz housekeeping rate, removing
+	// most of the timer micro-noise. Ticks return to full rate as soon
+	// as another task queues up.
+	AdaptiveTick bool
+	// Power parameterises the energy model; zero value uses defaults.
+	Power PowerModel
+	// CFS are the CFS tunables; zero value uses the defaults.
+	CFS cfs.Tunables
+	// Seed drives all stochastic behaviour of the run.
+	Seed uint64
+	// Tracer, if non-nil, receives scheduling events.
+	Tracer Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Topo == (topo.Topology{}) {
+		c.Topo = topo.POWER6()
+	}
+	if c.HZ == 0 {
+		c.HZ = 250
+	}
+	if c.SwitchCost == 0 {
+		c.SwitchCost = 4 * sim.Microsecond
+	}
+	if c.TickCost == 0 {
+		c.TickCost = 3 * sim.Microsecond
+	}
+	if c.Cache == (cache.Model{}) {
+		c.Cache = cache.DefaultModel()
+	}
+	if len(c.SMTFactors) == 0 {
+		c.SMTFactors = []float64{1.0, 0.64}
+	}
+	if c.CFS == (cfs.Tunables{}) {
+		c.CFS = cfs.DefaultTunables()
+	}
+	if c.Power.isZero() {
+		c.Power = DefaultPowerModel()
+	}
+	return c
+}
+
+// cpuState is the kernel's per-CPU structure.
+type cpuState struct {
+	id   int
+	curr *task.Task
+	idle *task.Task
+	// spanStart anchors the progress accounting of curr: work accrues
+	// from this instant. It may sit slightly in the future right after
+	// a context switch (switch cost) or a tick (tick cost).
+	spanStart sim.Time
+	// completion fires when curr's finite work is done.
+	completion *sim.Event
+	// tick is the pending timer interrupt; nil while the CPU idles
+	// (tickless idle).
+	tick *sim.Event
+	// reschedPending guards against scheduling multiple reschedule
+	// passes at the same instant.
+	reschedPending bool
+	// inSteps guards runSteps against reentrancy from continuations.
+	inSteps bool
+}
+
+// coreState is the per-physical-core structure.
+type coreState struct {
+	// busy accumulates CPU time executed on this core; the difference
+	// between two readings bounds the cache eviction a descheduled task
+	// suffered.
+	busy sim.Duration
+}
+
+// Kernel is a booted simulated node.
+type Kernel struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Topo  topo.Topology
+	Sched *sched.Scheduler
+	Perf  perf.Counters
+
+	cpus  []*cpuState
+	cores []*coreState
+	idle  *idleclass.Class
+
+	tasks  []*task.Task
+	nextID int
+
+	energy *energyState
+
+	rng *sim.RNG
+}
+
+// New boots a node: idle tasks are installed on every CPU, ticks are armed
+// lazily when CPUs become busy, and the scheduler class chain RT > HPC >
+// CFS > Idle is constructed.
+func New(cfg Config) *Kernel {
+	cfg = cfg.withDefaults()
+	if err := cfg.Topo.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Topo.NumCPUs()
+	k := &Kernel{
+		Eng:   sim.NewEngine(),
+		Cfg:   cfg,
+		Topo:  cfg.Topo,
+		cpus:  make([]*cpuState, n),
+		cores: make([]*coreState, cfg.Topo.NumCores()),
+		rng:   sim.NewRNG(cfg.Seed),
+	}
+	k.energy = newEnergyState(cfg.Topo.NumCores(), n)
+	k.idle = idleclass.New(n)
+	hpcClass := hpc.New(n)
+	hpcClass.Naive = cfg.HPCNaivePlacement
+	classes := []sched.Class{
+		rt.New(n),
+		hpcClass,
+		cfs.New(n, cfg.CFS),
+		k.idle,
+	}
+	k.Sched = sched.New(sched.Config{
+		Topo:    cfg.Topo,
+		Classes: classes,
+		Hooks:   (*hooks)(k),
+		Policy:  cfg.Balance,
+		RNG:     k.rng.Split(0xba1a), // load-balancer tie-break stream
+		Now:     k.Eng.Now,
+		Timer:   func(d sim.Duration, fn func()) { k.Eng.After(d, fn) },
+	})
+	for i := range k.cores {
+		k.cores[i] = &coreState{}
+	}
+	for cpu := 0; cpu < n; cpu++ {
+		c := &cpuState{id: cpu}
+		swapper := k.newTask(fmt.Sprintf("swapper/%d", cpu), task.Idle)
+		swapper.CPU = cpu
+		swapper.State = task.Running
+		swapper.Affinity = topo.MaskOf(cpu)
+		c.idle = swapper
+		c.curr = swapper
+		k.idle.SetIdleTask(cpu, swapper)
+		k.cpus[cpu] = c
+		k.Sched.SetCurr(cpu, swapper)
+	}
+	return k
+}
+
+// hooks adapts Kernel to sched.Hooks without exporting the methods on
+// Kernel itself.
+type hooks Kernel
+
+// Resched implements sched.Hooks.
+func (h *hooks) Resched(cpu int) { (*Kernel)(h).resched(cpu) }
+
+// Migrated implements sched.Hooks.
+func (h *hooks) Migrated(t *task.Task, from, to int) {
+	k := (*Kernel)(h)
+	k.Perf.Migrations++
+	k.Perf.BalanceMoves++
+	t.Counters.Migrations++
+	if k.Cfg.Tracer != nil {
+		k.Cfg.Tracer.Migrate(k.Eng.Now(), t, from, to)
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
+
+// RNG returns a derived random stream for workload use. The label keeps
+// workload draws independent of kernel-internal draws.
+func (k *Kernel) RNG(label uint64) *sim.RNG { return k.rng.Split(label) }
+
+// Tasks returns all tasks ever created, including idle tasks.
+func (k *Kernel) Tasks() []*task.Task { return k.tasks }
+
+// CPUOf reports which CPU the task is running or queued on.
+func (k *Kernel) CPUOf(t *task.Task) int { return t.CPU }
+
+// CurrOn reports the task currently running on cpu.
+func (k *Kernel) CurrOn(cpu int) *task.Task { return k.cpus[cpu].curr }
+
+// IdleOn reports whether cpu is idle.
+func (k *Kernel) IdleOn(cpu int) bool {
+	c := k.cpus[cpu]
+	return c.curr == c.idle
+}
+
+// Run drives the simulation until the given virtual time.
+func (k *Kernel) Run(until sim.Time) { k.Eng.Run(until) }
+
+// Stop halts the simulation after the current event.
+func (k *Kernel) Stop() { k.Eng.Stop() }
+
+func (k *Kernel) newTask(name string, p task.Policy) *task.Task {
+	t := &task.Task{
+		ID:       k.nextID,
+		Name:     name,
+		Policy:   p,
+		Nice:     0,
+		State:    task.New,
+		CPU:      0,
+		Affinity: k.Topo.AllMask(),
+		Cache:    cache.NewState(),
+		Spawned:  k.Eng.Now(),
+	}
+	k.nextID++
+	k.tasks = append(k.tasks, t)
+	return t
+}

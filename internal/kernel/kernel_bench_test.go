@@ -1,0 +1,60 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/topo"
+)
+
+// BenchmarkBusyNodeSecond measures simulating one virtual second of a
+// fully loaded 8-CPU node (8 CPU hogs, ticks, fairness preemption).
+func BenchmarkBusyNodeSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New(Config{Topo: topo.POWER6(), Seed: uint64(i)})
+		for c := 0; c < 8; c++ {
+			k.Spawn(nil, Attr{Name: "hog"}, func(p *Proc) {
+				p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+			})
+		}
+		k.Run(sim.Time(sim.Second))
+	}
+}
+
+// BenchmarkContextSwitchPath measures the full preempt/switch/resume cycle:
+// two CFS hogs sharing one CPU for a virtual second (~160 switches).
+func BenchmarkContextSwitchPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New(Config{Topo: topo.Topology{Chips: 1, CoresPerChip: 1, ThreadsPerCore: 1},
+			Seed: uint64(i)})
+		for c := 0; c < 2; c++ {
+			k.Spawn(nil, Attr{Name: "hog"}, func(p *Proc) {
+				p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+			})
+		}
+		k.Run(sim.Time(sim.Second))
+	}
+}
+
+// BenchmarkSleepWakeChurn measures the wakeup path: 8 daemons cycling
+// 1ms-sleep / 100us-run for a virtual second (~8000 wakeups).
+func BenchmarkSleepWakeChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New(Config{Topo: topo.POWER6(), Seed: uint64(i)})
+		for c := 0; c < 8; c++ {
+			k.Spawn(nil, Attr{Name: "d"}, func(p *Proc) {
+				var cycle func()
+				cycle = func() {
+					p.Sleep(sim.Millisecond, func() {
+						p.Compute(100*sim.Microsecond, cycle)
+					})
+				}
+				p.Sleep(sim.Millisecond, func() {
+					p.Compute(100*sim.Microsecond, cycle)
+				})
+			})
+		}
+		k.Run(sim.Time(sim.Second))
+	}
+}

@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// Proc is the process-side API handed to workload programs. A program is a
+// chain of continuations: each call installs what the task does next and
+// what happens afterwards. Exactly one of Compute / Spin / Sleep / Block /
+// WaitChildren / Exit must terminate every continuation.
+type Proc struct {
+	K *Kernel
+	T *task.Task
+}
+
+// Compute makes the task execute `work` of full-speed CPU time, then run
+// `then`. The wall time taken depends on cache warmth, the task's
+// sensitivity, and SMT contention.
+func (p *Proc) Compute(work sim.Duration, then func()) {
+	p.ComputeF(float64(work), then)
+}
+
+// ComputeF is Compute with fractional-nanosecond work.
+func (p *Proc) ComputeF(work float64, then func()) {
+	if work <= 0 {
+		work = 1
+	}
+	p.K.SetStep(p.T, work, then)
+}
+
+// Spin puts the task into a busy-wait: it consumes CPU (and contends with
+// its SMT sibling) but makes no progress until another party calls Resume.
+func (p *Proc) Spin() {
+	p.K.SetStep(p.T, task.SpinWork, nil)
+}
+
+// Resume ends a Spin (or primes a not-currently-running task) with a new
+// step: work then continuation.
+func (p *Proc) Resume(work sim.Duration, then func()) {
+	p.K.SetStep(p.T, float64(work), then)
+}
+
+// Sleep blocks the task for d, then runs `then`.
+func (p *Proc) Sleep(d sim.Duration, then func()) {
+	p.K.SleepTask(p.T, d, then)
+}
+
+// Block puts the task to sleep until someone calls p.K.Wake(p.T); on wake
+// it runs `then`.
+func (p *Proc) Block(then func()) {
+	p.T.Work = 0
+	p.T.OnDone = then
+	p.K.block(p.T)
+}
+
+// WaitChildren blocks until all of the task's children have exited, then
+// runs `then` (mpiexec's wait loop).
+func (p *Proc) WaitChildren(then func()) {
+	if p.T.LiveChildren == 0 {
+		p.T.Work = 0
+		p.T.OnDone = then
+		return
+	}
+	p.T.WaitingChildren = true
+	p.Block(then)
+}
+
+// Exit terminates the task.
+func (p *Proc) Exit() {
+	p.K.exit(p.T)
+}
+
+// Mark emits a workload event into the trace, if tracing is enabled.
+func (p *Proc) Mark(label string) {
+	if p.K.Cfg.Tracer != nil {
+		p.K.Cfg.Tracer.Mark(p.K.Now(), p.T, label)
+	}
+}
+
+// Spawn forks a child of this task.
+func (p *Proc) Spawn(attr Attr, start func(child *Proc)) *task.Task {
+	return p.K.Spawn(p.T, attr, start)
+}
+
+// Now reports the current virtual time.
+func (p *Proc) Now() sim.Time { return p.K.Now() }

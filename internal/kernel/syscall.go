@@ -1,0 +1,234 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// Attr describes a task being spawned.
+type Attr struct {
+	Name   string
+	Policy task.Policy
+	// RTPrio applies to FIFO/RR tasks (1..99).
+	RTPrio int
+	// Nice applies to Normal tasks (-20..19).
+	Nice int
+	// Affinity restricts placement; zero means "all CPUs".
+	Affinity topo.CPUMask
+	// Sensitivity is the cache sensitivity of the task's work, in [0,1].
+	Sensitivity float64
+}
+
+// Spawn creates a task and enqueues it. parent may be nil for boot-time
+// tasks; children of a live parent count toward its WaitChildren. start is
+// invoked immediately (in kernel context) to install the task's first step
+// via the returned Proc — typically a Compute call.
+//
+// Fork placement is delegated to the scheduling class; the HPC class
+// implements the paper's topology-aware spread, CFS picks the least-loaded
+// CPU. Placement on a CPU other than the parent's counts as a CPU
+// migration, which is how the paper's Table Ib arrives at one migration per
+// MPI rank created.
+func (k *Kernel) Spawn(parent *task.Task, attr Attr, start func(p *Proc)) *task.Task {
+	t := k.newTask(attr.Name, attr.Policy)
+	t.RTPrio = attr.RTPrio
+	t.Nice = attr.Nice
+	t.Sensitivity = attr.Sensitivity
+	if !attr.Affinity.Empty() {
+		t.Affinity = attr.Affinity
+	}
+	origin := 0
+	if parent != nil {
+		t.Parent = parent
+		parent.LiveChildren++
+		origin = parent.CPU
+	}
+	t.CPU = origin
+	k.Perf.Forks++
+	k.Sched.TaskAlive(t.Policy)
+
+	p := &Proc{K: k, T: t}
+	if start != nil {
+		start(p)
+	}
+	if t.State == task.Sleeping {
+		// The task's first act was a sleep (daemon pattern): it will be
+		// enqueued by the wakeup.
+		return t
+	}
+	if t.Work == 0 && t.OnDone == nil {
+		panic(fmt.Sprintf("kernel: spawned task %q installed no work", attr.Name))
+	}
+
+	cpu := k.Sched.SelectCPU(t, origin, sched.EnqueueFork)
+	if cpu != origin {
+		k.Perf.Migrations++
+		t.Counters.Migrations++
+		if k.Cfg.Tracer != nil {
+			k.Cfg.Tracer.Migrate(k.Eng.Now(), t, origin, cpu)
+		}
+	}
+	t.State = task.Runnable
+	k.Sched.Enqueue(cpu, t, sched.EnqueueFork)
+	return t
+}
+
+// Wake moves a sleeping task to a runqueue. Waking a task that is not
+// sleeping is a no-op (events and explicit wakeups may race benignly).
+func (k *Kernel) Wake(t *task.Task) {
+	if t.State != task.Sleeping {
+		return
+	}
+	t.State = task.Runnable
+	t.Counters.WakeUps++
+	k.Perf.Wakeups++
+	prev := t.CPU
+	cpu := k.Sched.SelectCPU(t, prev, sched.EnqueueWake)
+	if cpu != prev {
+		k.Perf.Migrations++
+		t.Counters.Migrations++
+		if k.Cfg.Tracer != nil {
+			k.Cfg.Tracer.Migrate(k.Eng.Now(), t, prev, cpu)
+		}
+	}
+	if k.Cfg.Tracer != nil {
+		k.Cfg.Tracer.Wake(k.Eng.Now(), t, cpu)
+	}
+	k.Sched.Enqueue(cpu, t, sched.EnqueueWake)
+}
+
+// Block transitions a running task to Sleeping; the caller must have
+// installed the post-wake continuation (Work = 0, OnDone set).
+func (k *Kernel) Block(t *task.Task) { k.block(t) }
+
+// BlockQueued puts a runnable-but-not-running task to sleep: it leaves the
+// runqueue without a context switch (it was not running). This happens when
+// an MPI rank's spin window expires while the rank is preempted.
+func (k *Kernel) BlockQueued(t *task.Task, then func()) {
+	if t.State != task.Runnable || !t.OnRq {
+		panic(fmt.Sprintf("kernel: BlockQueued of %v", t))
+	}
+	k.Sched.Dequeue(t)
+	t.State = task.Sleeping
+	t.Work = 0
+	t.OnDone = then
+}
+
+// block transitions the running task to Sleeping and triggers a reschedule
+// of its CPU. The caller must have installed the post-wake continuation.
+func (k *Kernel) block(t *task.Task) {
+	if t.State != task.Running {
+		panic(fmt.Sprintf("kernel: block of non-running task %v", t))
+	}
+	t.State = task.Sleeping
+	k.resched(t.CPU)
+}
+
+// exit terminates the running task: it leaves the scheduler, its parent is
+// notified (and woken if waiting in WaitChildren), and the CPU reschedules.
+func (k *Kernel) exit(t *task.Task) {
+	if t.State != task.Running {
+		panic(fmt.Sprintf("kernel: exit of non-running task %v", t))
+	}
+	t.State = task.Dead
+	t.Exited = k.Eng.Now()
+	t.Work = 0
+	t.OnDone = nil
+	k.Sched.TaskGone(t.Policy)
+	if p := t.Parent; p != nil {
+		p.LiveChildren--
+		if p.LiveChildren == 0 && p.WaitingChildren {
+			p.WaitingChildren = false
+			k.Wake(p)
+		}
+	}
+	k.resched(t.CPU)
+}
+
+// SetScheduler changes a task's policy and real-time priority, the
+// sched_setscheduler(2) of the simulated kernel. The paper's modified chrt
+// uses this to move an application into the HPC class.
+func (k *Kernel) SetScheduler(t *task.Task, policy task.Policy, rtprio int) {
+	if t.Policy == policy && t.RTPrio == rtprio {
+		return
+	}
+	requeue := t.OnRq
+	if requeue {
+		k.Sched.Dequeue(t)
+	}
+	k.Sched.TaskGone(t.Policy)
+	t.Policy = policy
+	t.RTPrio = rtprio
+	k.Sched.TaskAlive(t.Policy)
+	if requeue {
+		k.Sched.Enqueue(t.CPU, t, sched.EnqueueWake)
+	} else if t.State == task.Running {
+		// The class change may demote the running task.
+		k.resched(t.CPU)
+	}
+}
+
+// SetNice changes a Normal task's nice value (weight takes effect at the
+// next enqueue or charge).
+func (k *Kernel) SetNice(t *task.Task, nice int) {
+	t.Nice = nice
+	t.CFS.Weight = 0 // recomputed lazily from Nice
+}
+
+// SetAffinity restricts the CPUs a task may use, the sched_setaffinity(2)
+// of the simulated kernel (the static-binding alternative discussed in
+// Section IV). A queued task on a now-forbidden CPU is moved immediately; a
+// running task is rescheduled away.
+func (k *Kernel) SetAffinity(t *task.Task, mask topo.CPUMask) {
+	if mask.Empty() {
+		panic("kernel: empty affinity mask")
+	}
+	t.Affinity = mask
+	if mask.Has(t.CPU) {
+		return
+	}
+	switch {
+	case t.OnRq:
+		k.Sched.MoveQueued(t, mask.First())
+	case t.State == task.Running:
+		// Force the task off this CPU at the next pass: requeue will
+		// respect the new mask via SelectCPU on wake... a running task
+		// is handled by an explicit move after preemption.
+		k.resched(t.CPU)
+	}
+}
+
+// SleepTask puts the running task to sleep for d and resumes it with the
+// continuation `then`. A task may also start life asleep: calling SleepTask
+// from the spawn callback makes the task's first act a sleep (the usual
+// shape of a periodic daemon).
+func (k *Kernel) SleepTask(t *task.Task, d sim.Duration, then func()) {
+	t.Work = 0
+	t.OnDone = then
+	if t.State == task.New {
+		t.State = task.Sleeping // Spawn sees this and skips the enqueue
+	} else {
+		k.block(t)
+	}
+	k.Eng.After(d, func() { k.Wake(t) })
+}
+
+// SetStep installs a new compute step on a task. If the task is currently
+// running, the in-flight span is settled first and the completion event is
+// recomputed; if it is runnable or sleeping the step takes effect when it
+// next runs.
+func (k *Kernel) SetStep(t *task.Task, work float64, then func()) {
+	t.OnDone = then
+	if t.State == task.Running {
+		c := k.cpus[t.CPU]
+		k.syncProgress(c)
+		t.Work = work
+		k.advance(c)
+		return
+	}
+	t.Work = work
+}

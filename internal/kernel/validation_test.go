@@ -1,0 +1,176 @@
+package kernel
+
+// System-level validation: the simulated schedulers must obey the analytic
+// properties of the algorithms they implement, not just look plausible.
+
+import (
+	"math"
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// shareRatio runs two CPU-bound CFS tasks with the given nice values on one
+// CPU for `horizon` and returns the ratio of their consumed CPU time.
+func shareRatio(t *testing.T, niceA, niceB int, horizon sim.Duration) float64 {
+	t.Helper()
+	k := New(Config{Topo: uni(), SwitchCost: 1, TickCost: 1, Seed: 77})
+	mk := func(nice int) *task.Task {
+		return k.Spawn(nil, Attr{Name: "hog", Nice: nice}, func(p *Proc) {
+			p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+		})
+	}
+	a, b := mk(niceA), mk(niceB)
+	k.Run(sim.Time(horizon))
+	if b.SumExec == 0 {
+		t.Fatalf("nice %d task starved completely", niceB)
+	}
+	return float64(a.SumExec) / float64(b.SumExec)
+}
+
+func TestCFSShareFollowsWeights(t *testing.T) {
+	// weight(0)/weight(5) = 1024/335 ~ 3.06: the CPU-time ratio over a
+	// long horizon must approach the weight ratio.
+	got := shareRatio(t, 0, 5, 10*sim.Second)
+	want := 1024.0 / 335.0
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("share ratio = %.2f, want ~%.2f (weight ratio)", got, want)
+	}
+}
+
+func TestCFSEqualWeightsEqualShares(t *testing.T) {
+	got := shareRatio(t, 0, 0, 5*sim.Second)
+	if got < 0.97 || got > 1.03 {
+		t.Fatalf("equal-weight share ratio = %.3f, want ~1", got)
+	}
+}
+
+func TestUtilizationConservation(t *testing.T) {
+	// On a fully loaded CPU, the sum of task CPU time plus switch and
+	// tick overheads must equal wall time to within a fraction of a
+	// percent: the simulator does not create or destroy time.
+	k := New(Config{Topo: uni(), Seed: 78})
+	var tasks []*task.Task
+	for i := 0; i < 3; i++ {
+		tasks = append(tasks, k.Spawn(nil, Attr{Name: "hog"}, func(p *Proc) {
+			p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+		}))
+	}
+	horizon := 5 * sim.Second
+	k.Run(sim.Time(horizon))
+	var sum sim.Duration
+	for _, tk := range tasks {
+		sum += tk.SumExec
+	}
+	overhead := sim.Duration(k.Perf.Ticks)*k.Cfg.TickCost +
+		sim.Duration(k.Perf.ContextSwitches)*k.Cfg.SwitchCost
+	total := sum + overhead
+	drift := math.Abs(float64(total-horizon)) / float64(horizon)
+	if drift > 0.005 {
+		t.Fatalf("time not conserved: tasks %v + overhead %v = %v over horizon %v (drift %.3f%%)",
+			sum, overhead, total, horizon, drift*100)
+	}
+}
+
+func TestRTThrottleShareIs95Percent(t *testing.T) {
+	// A lone spinning SCHED_RR task on stock throttling gets exactly
+	// 950ms of each second.
+	k := New(Config{Topo: uni(), SwitchCost: 1, TickCost: 1, Seed: 79})
+	rtHog := k.Spawn(nil, Attr{Name: "rthog", Policy: task.RR, RTPrio: 50}, func(p *Proc) {
+		p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	share := float64(rtHog.SumExec) / float64(10*sim.Second)
+	if share < 0.94 || share > 0.96 {
+		t.Fatalf("RT share = %.3f, want ~0.95 (sched_rt_runtime_us)", share)
+	}
+}
+
+func TestCFSRunsInRTThrottleWindow(t *testing.T) {
+	// With an RT hog and a CFS hog on one CPU, the CFS task gets the 5%
+	// throttle slack.
+	k := New(Config{Topo: uni(), SwitchCost: 1, TickCost: 1, Seed: 80})
+	k.Spawn(nil, Attr{Name: "rthog", Policy: task.RR, RTPrio: 50}, func(p *Proc) {
+		p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+	})
+	cfsHog := k.Spawn(nil, Attr{Name: "cfshog"}, func(p *Proc) {
+		p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	share := float64(cfsHog.SumExec) / float64(10*sim.Second)
+	if share < 0.04 || share > 0.06 {
+		t.Fatalf("CFS share under RT hog = %.3f, want ~0.05", share)
+	}
+}
+
+func TestHPCStarvesCFSCompletely(t *testing.T) {
+	// Unlike RT, the HPC class has no throttling: a spinning HPC rank
+	// starves CFS work entirely — the paper's design (daemons run only
+	// "when there are no HPC tasks running on a CPU").
+	k := New(Config{Topo: uni(), SwitchCost: 1, TickCost: 1,
+		Balance: sched.BalanceHPL, Seed: 81})
+	k.Spawn(nil, Attr{Name: "rank", Policy: task.HPC}, func(p *Proc) {
+		p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+	})
+	cfsHog := k.Spawn(nil, Attr{Name: "daemon"}, func(p *Proc) {
+		p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
+	})
+	k.Run(sim.Time(5 * sim.Second))
+	if cfsHog.SumExec > 0 {
+		t.Fatalf("CFS task ran %v under a live HPC rank", cfsHog.SumExec)
+	}
+}
+
+func TestPoissonDaemonUtilization(t *testing.T) {
+	// A daemon with mean period P and mean service S consumes ~S/(P+S)
+	// of a CPU (renewal reward), since the next sleep starts after the
+	// service completes.
+	k := New(Config{Topo: uni(), SwitchCost: 1, TickCost: 1, Seed: 82})
+	period, service := 20*sim.Millisecond, 2*sim.Millisecond
+	d := k.Spawn(nil, Attr{Name: "d"}, func(p *Proc) {
+		var cycle func()
+		cycle = func() {
+			p.Sleep(period, func() { p.Compute(service, cycle) })
+		}
+		p.Sleep(period, func() { p.Compute(service, cycle) })
+	})
+	horizon := 20 * sim.Second
+	k.Run(sim.Time(horizon))
+	util := float64(d.SumExec) / float64(horizon)
+	want := float64(service) / float64(period+service)
+	if math.Abs(util-want) > want*0.1 {
+		t.Fatalf("daemon utilisation = %.4f, want ~%.4f", util, want)
+	}
+}
+
+func TestSMTThroughputConservation(t *testing.T) {
+	// Two spinning tasks on one core at factor 0.64 deliver 1.28 cores
+	// of throughput; the work completed over a horizon must match.
+	tp := topo.Topology{Chips: 1, CoresPerChip: 1, ThreadsPerCore: 2}
+	k := New(Config{Topo: tp, SwitchCost: 1, TickCost: 1, Seed: 83})
+	var done [2]float64
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn(nil, Attr{Name: "w", Affinity: topo.MaskOf(i)}, func(p *Proc) {
+			// Chain 1s compute blocks, counting completed work.
+			var step func()
+			step = func() {
+				p.Compute(sim.Duration(sim.Second), func() {
+					done[i]++
+					step()
+				})
+			}
+			step()
+		})
+	}
+	k.Run(sim.Time(10 * sim.Second))
+	totalWork := done[0] + done[1] // in simulated CPU-seconds
+	want := 10 * 2 * 0.64
+	if math.Abs(totalWork-want) > 1.5 {
+		t.Fatalf("SMT throughput = %.1f CPU-seconds over 10s, want ~%.1f",
+			totalWork, want)
+	}
+}

@@ -1,0 +1,274 @@
+// Package mpi simulates the MPI runtime behaviour that matters to the
+// paper: SPMD ranks alternating compute and synchronisation phases
+// (Section II), launched by an mpiexec-like parent, synchronising through
+// barriers and allreduces.
+//
+// Waiting follows the adaptive strategy of real MPI libraries: a rank
+// arriving at a synchronisation point busy-waits (consuming its CPU, which
+// keeps it visible to the scheduler and contends with its SMT sibling) for
+// a bounded spin window, then blocks. In a quiet system barrier skew stays
+// below the spin window and ranks never block; when OS noise delays one
+// rank, its peers exhaust the window, block, free their CPUs — and the
+// idle-balancing cascade the paper describes begins.
+package mpi
+
+import (
+	"fmt"
+
+	"hplsim/internal/kernel"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// Config parameterises a World.
+type Config struct {
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// Policy is the scheduling policy of the ranks (Normal, RR, HPC).
+	Policy task.Policy
+	// RTPrio applies when Policy is FIFO/RR.
+	RTPrio int
+	// Nice applies when Policy is Normal (the paper's nice-based
+	// prioritisation alternative).
+	Nice int
+	// PinCPUs, when non-empty, pins rank i to PinCPUs[i mod len]: the
+	// static sched_setaffinity binding discussed in Section IV.
+	PinCPUs []int
+	// SpinThreshold is how long a rank busy-waits at a synchronisation
+	// point before blocking. Zero means block immediately; a negative
+	// value means spin forever.
+	SpinThreshold sim.Duration
+	// Sensitivity is the cache sensitivity of rank compute phases.
+	Sensitivity float64
+	// Latency is the per-synchronisation network/copy cost charged to
+	// every rank after a collective releases.
+	Latency sim.Duration
+	// BytesPerSec is the simulated interconnect bandwidth for payload
+	// cost in Allreduce; zero disables the payload term.
+	BytesPerSec float64
+}
+
+// DefaultSpinThreshold mirrors common MPI progress engines: they busy-poll
+// for tens of milliseconds before yielding to the OS, so ordinary iteration
+// skew never blocks (keeping the paper's flat context-switch floor under
+// HPL) while genuine noise delays — daemon bursts, storms — push peers past
+// the window and into the block/idle-balance cascade.
+const DefaultSpinThreshold = 20 * sim.Millisecond
+
+// Program defines what each rank executes. It is called once per rank when
+// the rank first runs; the implementation drives the rank through its
+// phases using the Rank API.
+type Program func(r *Rank)
+
+// World is one MPI job: a set of ranks and their barrier state.
+type World struct {
+	K   *kernel.Kernel
+	Cfg Config
+
+	Ranks []*Rank
+
+	// barrier state
+	arrived int
+	epoch   int
+
+	started  sim.Time
+	finished sim.Time
+	nLive    int
+	// OnComplete runs when the last rank exits.
+	OnComplete func()
+	// ReleaseTimes records the instant of every collective release, for
+	// per-iteration analyses (the cluster resonance study).
+	ReleaseTimes []sim.Time
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	W  *World
+	ID int
+	P  *kernel.Proc
+
+	// collective wait state
+	waiting bool
+	blocked bool
+	cont    func()
+	spinEv  *sim.Event
+
+	// point-to-point state
+	mailbox []message
+	recv    *recvWait
+}
+
+// NewWorld creates a world; ranks are created by Launch.
+func NewWorld(k *kernel.Kernel, cfg Config) *World {
+	if cfg.Ranks <= 0 {
+		panic("mpi: world needs at least one rank")
+	}
+	if cfg.SpinThreshold == 0 {
+		cfg.SpinThreshold = DefaultSpinThreshold
+	}
+	return &World{K: k, Cfg: cfg}
+}
+
+// Launch forks the ranks from the given parent task (the mpiexec process).
+// Each rank runs program. The parent is typically blocked in WaitChildren
+// afterwards; Launch itself returns immediately.
+func (w *World) Launch(parent *kernel.Proc, program Program) {
+	w.started = w.K.Now()
+	w.nLive = w.Cfg.Ranks
+	// Create every rank before spawning any: a program may address its
+	// peers (Send/Recv) from its very first step.
+	for i := 0; i < w.Cfg.Ranks; i++ {
+		w.Ranks = append(w.Ranks, &Rank{W: w, ID: i})
+	}
+	for i := 0; i < w.Cfg.Ranks; i++ {
+		r := w.Ranks[i]
+		attr := kernel.Attr{
+			Name:        fmt.Sprintf("rank%d", i),
+			Policy:      w.Cfg.Policy,
+			RTPrio:      w.Cfg.RTPrio,
+			Nice:        w.Cfg.Nice,
+			Sensitivity: w.Cfg.Sensitivity,
+		}
+		if len(w.Cfg.PinCPUs) > 0 {
+			attr.Affinity = topo.MaskOf(w.Cfg.PinCPUs[i%len(w.Cfg.PinCPUs)])
+		}
+		spawn := func(p *kernel.Proc) {
+			r.P = p
+			program(r)
+		}
+		if parent != nil {
+			parent.Spawn(attr, spawn)
+		} else {
+			w.K.Spawn(nil, attr, spawn)
+		}
+	}
+}
+
+// Elapsed reports the wall time between launch and last rank exit.
+func (w *World) Elapsed() sim.Duration {
+	return w.finished.Sub(w.started)
+}
+
+// Compute runs `work` of full-speed CPU time, then `then`.
+func (r *Rank) Compute(work sim.Duration, then func()) {
+	r.P.Compute(work, then)
+}
+
+// ComputeF is Compute with fractional work.
+func (r *Rank) ComputeF(work float64, then func()) {
+	r.P.ComputeF(work, then)
+}
+
+// Finish terminates the rank. When the last rank finishes, the world's
+// completion time is recorded and OnComplete fires.
+func (r *Rank) Finish() {
+	w := r.W
+	w.nLive--
+	if w.nLive == 0 {
+		w.finished = w.K.Now()
+		if w.OnComplete != nil {
+			w.OnComplete()
+		}
+	}
+	r.P.Exit()
+}
+
+// Barrier arrives at the world barrier; when the last rank arrives, all
+// ranks continue with their `then` continuations.
+func (r *Rank) Barrier(then func()) {
+	r.arriveSync(then)
+}
+
+// Allreduce is a barrier followed by a per-rank communication cost: the
+// collective's latency plus payload transfer time, charged as work after
+// the release.
+func (r *Rank) Allreduce(bytes int, then func()) {
+	w := r.W
+	comm := w.Cfg.Latency
+	if w.Cfg.BytesPerSec > 0 && bytes > 0 {
+		comm += sim.Seconds(float64(bytes) / w.Cfg.BytesPerSec)
+	}
+	if comm <= 0 {
+		comm = sim.Microsecond
+	}
+	r.arriveSync(func() {
+		r.P.Compute(comm, then)
+	})
+}
+
+// arriveSync implements the spin-then-block synchronisation point.
+func (r *Rank) arriveSync(then func()) {
+	w := r.W
+	r.P.Mark(fmt.Sprintf("arrive:%d", w.epoch))
+	w.arrived++
+	if w.arrived == len(w.Ranks) {
+		w.release(r, then)
+		return
+	}
+	// Not the last: wait. Spin first, then block.
+	r.waiting = true
+	r.cont = then
+	switch {
+	case w.Cfg.SpinThreshold < 0:
+		r.P.Spin()
+	case w.Cfg.SpinThreshold == 0:
+		r.blocked = true
+		r.P.Block(then)
+	default:
+		r.P.Spin()
+		r.spinEv = w.K.Eng.After(w.Cfg.SpinThreshold, r.spinExpired)
+	}
+}
+
+// spinExpired fires when a rank has busy-waited for the full spin window:
+// it gives up its CPU and blocks until the release.
+func (r *Rank) spinExpired() {
+	r.spinEv = nil
+	if !r.waiting {
+		return // raced with release
+	}
+	r.blocked = true
+	t := r.P.T
+	cont := r.cont
+	switch t.State {
+	case task.Running:
+		t.Work = 0
+		t.OnDone = cont
+		r.W.K.Block(t)
+	case task.Runnable:
+		// Preempted while spinning: leave the runqueue quietly.
+		r.W.K.BlockQueued(t, cont)
+	}
+}
+
+// release wakes every waiting rank and continues the releasing rank itself.
+func (w *World) release(last *Rank, lastThen func()) {
+	w.arrived = 0
+	w.epoch++
+	w.ReleaseTimes = append(w.ReleaseTimes, w.K.Now())
+	for _, r := range w.Ranks {
+		if !r.waiting {
+			continue
+		}
+		r.waiting = false
+		if r.spinEv != nil {
+			w.K.Eng.Cancel(r.spinEv)
+			r.spinEv = nil
+		}
+		cont := r.cont
+		r.cont = nil
+		if r.blocked {
+			r.blocked = false
+			// The continuation was installed when the rank blocked.
+			w.K.Wake(r.P.T)
+		} else {
+			// The rank is spinning (running or preempted-runnable):
+			// replace the spin with the continuation.
+			w.K.SetStep(r.P.T, 0, cont)
+		}
+		r.P.Mark(fmt.Sprintf("release:%d", w.epoch-1))
+	}
+	// The last arriver continues directly.
+	w.K.SetStep(last.P.T, 0, lastThen)
+}

@@ -1,0 +1,300 @@
+package mpi
+
+import (
+	"testing"
+
+	"hplsim/internal/kernel"
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// newNode builds an 8-CPU POWER6-like kernel with negligible overheads.
+func newNode(seed uint64, policy sched.BalancePolicy) *kernel.Kernel {
+	return kernel.New(kernel.Config{
+		Topo:       topo.POWER6(),
+		SwitchCost: 1,
+		TickCost:   1,
+		SMTFactors: []float64{1, 1},
+		Balance:    policy,
+		Seed:       seed,
+	})
+}
+
+// spmd returns a program of n iterations of (compute work, barrier).
+func spmd(n int, work sim.Duration) Program {
+	return func(r *Rank) {
+		iter := 0
+		var step func()
+		step = func() {
+			if iter == n {
+				r.Finish()
+				return
+			}
+			iter++
+			r.Compute(work, func() { r.Barrier(step) })
+		}
+		step()
+	}
+}
+
+func TestBalancedSPMDCompletes(t *testing.T) {
+	k := newNode(1, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 8, Policy: task.HPC})
+	completed := false
+	w.OnComplete = func() { completed = true; k.Stop() }
+	w.Launch(nil, spmd(10, 10*sim.Millisecond))
+	k.Run(sim.Time(10 * sim.Second))
+	if !completed {
+		t.Fatal("SPMD job did not complete")
+	}
+	// 10 iterations x 10ms: barriers on a quiet machine add only
+	// microseconds.
+	el := w.Elapsed()
+	if el < 100*sim.Millisecond || el > 105*sim.Millisecond {
+		t.Fatalf("elapsed %v, want ~100ms", el)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	// Ranks with different per-iteration compute must all wait for the
+	// slowest: total = iterations x slowest.
+	k := newNode(2, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 4, Policy: task.HPC})
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, func(r *Rank) {
+		work := sim.Duration(r.ID+1) * 5 * sim.Millisecond // 5,10,15,20ms
+		iter := 0
+		var step func()
+		step = func() {
+			if iter == 5 {
+				r.Finish()
+				return
+			}
+			iter++
+			r.Compute(work, func() { r.Barrier(step) })
+		}
+		step()
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	el := w.Elapsed()
+	want := 5 * 20 * sim.Millisecond
+	if el < want || el > want+10*sim.Millisecond {
+		t.Fatalf("elapsed %v, want ~%v (slowest rank dominates)", el, want)
+	}
+}
+
+func TestFastRanksSpinNotBlock(t *testing.T) {
+	// Skew below the spin threshold: ranks never block, so the only
+	// voluntary switches are the final exits.
+	k := newNode(3, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 4, Policy: task.HPC,
+		SpinThreshold: 50 * sim.Millisecond})
+	// No Stop: with no daemons the event queue drains on its own, letting
+	// the final exit switches land before we read the counters.
+	w.Launch(nil, func(r *Rank) {
+		work := 10*sim.Millisecond + sim.Duration(r.ID)*sim.Millisecond
+		iter := 0
+		var step func()
+		step = func() {
+			if iter == 3 {
+				r.Finish()
+				return
+			}
+			iter++
+			r.Compute(work, func() { r.Barrier(step) })
+		}
+		step()
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	if got := k.Perf.VoluntarySwitches; got != 4 {
+		t.Fatalf("voluntary switches = %d, want 4 (exits only)", got)
+	}
+	if k.Perf.Wakeups != 0 {
+		t.Fatalf("wakeups = %d, want 0 (nobody blocked)", k.Perf.Wakeups)
+	}
+}
+
+func TestSlowRankMakesPeersBlock(t *testing.T) {
+	// Skew above the spin threshold: fast ranks block and are woken.
+	k := newNode(4, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 4, Policy: task.HPC,
+		SpinThreshold: 2 * sim.Millisecond})
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, func(r *Rank) {
+		work := 5 * sim.Millisecond
+		if r.ID == 0 {
+			work = 50 * sim.Millisecond // straggler
+		}
+		iter := 0
+		var step func()
+		step = func() {
+			if iter == 2 {
+				r.Finish()
+				return
+			}
+			iter++
+			r.Compute(work, func() { r.Barrier(step) })
+		}
+		step()
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	if k.Perf.Wakeups < 6 {
+		t.Fatalf("wakeups = %d, want >= 6 (3 peers x 2 barriers)", k.Perf.Wakeups)
+	}
+	el := w.Elapsed()
+	want := 100 * sim.Millisecond
+	if el < want || el > want+10*sim.Millisecond {
+		t.Fatalf("elapsed %v, want ~%v", el, want)
+	}
+}
+
+func TestAllreduceChargesCommCost(t *testing.T) {
+	k := newNode(5, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 2, Policy: task.HPC,
+		Latency: sim.Millisecond, BytesPerSec: 1e9})
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, func(r *Rank) {
+		iter := 0
+		var step func()
+		step = func() {
+			if iter == 10 {
+				r.Finish()
+				return
+			}
+			iter++
+			r.Compute(5*sim.Millisecond, func() {
+				r.Allreduce(1_000_000, step) // 1MB at 1GB/s = 1ms
+			})
+		}
+		step()
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	// 10 x (5ms compute + 1ms latency + 1ms payload) = 70ms.
+	el := w.Elapsed()
+	want := 70 * sim.Millisecond
+	if el < want-2*sim.Millisecond || el > want+5*sim.Millisecond {
+		t.Fatalf("elapsed %v, want ~%v", el, want)
+	}
+}
+
+func TestLaunchFromParent(t *testing.T) {
+	// mpiexec pattern: parent forks ranks and waits for them.
+	k := newNode(6, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 8, Policy: task.HPC})
+	var parentDone sim.Time
+	k.Spawn(nil, kernel.Attr{Name: "mpiexec", Policy: task.HPC}, func(p *kernel.Proc) {
+		p.Compute(sim.Millisecond, func() {
+			w.Launch(p, spmd(5, 10*sim.Millisecond))
+			p.WaitChildren(func() {
+				parentDone = p.Now()
+				p.Exit()
+				k.Stop()
+			})
+		})
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	if parentDone == 0 {
+		t.Fatal("mpiexec never returned from wait")
+	}
+	if parentDone < sim.Time(51*sim.Millisecond) {
+		t.Fatalf("mpiexec done at %v, before ranks could finish", parentDone)
+	}
+	// All ranks exited before the parent.
+	for _, tt := range k.Tasks() {
+		if tt.Parent != nil && tt.State != task.Dead {
+			t.Fatalf("child %v not dead at parent exit", tt)
+		}
+	}
+}
+
+func TestEightRanksUseAllCPUsUnderHPL(t *testing.T) {
+	k := newNode(7, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 8, Policy: task.HPC})
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, spmd(1, 50*sim.Millisecond))
+	k.Run(sim.Time(sim.Second))
+	cpus := map[int]bool{}
+	for _, r := range w.Ranks {
+		cpus[r.P.T.CPU] = true
+	}
+	if len(cpus) != 8 {
+		t.Fatalf("8 ranks used %d CPUs, want 8", len(cpus))
+	}
+	// One fork-placement migration per rank, nothing else.
+	if k.Perf.Migrations > 8 {
+		t.Fatalf("migrations = %d, want <= 8 under HPL", k.Perf.Migrations)
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	run := func() (sim.Duration, uint64) {
+		k := newNode(99, sched.BalanceStandard)
+		w := NewWorld(k, Config{Ranks: 8, Policy: task.Normal,
+			SpinThreshold: sim.Millisecond})
+		w.OnComplete = func() { k.Stop() }
+		w.Launch(nil, spmd(20, 3*sim.Millisecond))
+		k.Run(sim.Time(20 * sim.Second))
+		return w.Elapsed(), k.Perf.ContextSwitches
+	}
+	e1, c1 := run()
+	e2, c2 := run()
+	if e1 != e2 || c1 != c2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", e1, c1, e2, c2)
+	}
+}
+
+func TestTwoConcurrentJobsUnderHPL(t *testing.T) {
+	// Two 8-rank jobs oversubscribe the node 2x: the HPC class
+	// round-robins them (100ms slices), both finish, and the makespan is
+	// roughly the sum of the two jobs' solo times.
+	k := newNode(8, sched.BalanceHPL)
+	mk := func() *World {
+		w := NewWorld(k, Config{Ranks: 8, Policy: task.HPC})
+		w.Launch(nil, spmd(5, 30*sim.Millisecond))
+		return w
+	}
+	w1 := mk()
+	w2 := mk()
+	k.Run(sim.Time(10 * sim.Second))
+	if w1.Elapsed() <= 0 || w2.Elapsed() <= 0 {
+		t.Fatal("a job did not finish under oversubscription")
+	}
+	// Solo each job is ~150ms (beyond one 100ms round-robin slice, so
+	// the jobs genuinely interleave); sharing the machine, the last
+	// finisher lands near the 300ms combined demand and neither job is
+	// starved.
+	last := w1.Elapsed()
+	if w2.Elapsed() > last {
+		last = w2.Elapsed()
+	}
+	if last < 290*sim.Millisecond || last > 420*sim.Millisecond {
+		t.Fatalf("makespan %v, want ~300ms for 2x oversubscription", last)
+	}
+	for i, w := range []*World{w1, w2} {
+		if w.Elapsed() < 150*sim.Millisecond {
+			t.Fatalf("job %d finished impossibly fast: %v", i, w.Elapsed())
+		}
+	}
+}
+
+func TestJobsOfDifferentPoliciesCoexist(t *testing.T) {
+	// An HPC job and a CFS job share the node: the HPC job runs as if
+	// alone; the CFS job only progresses in the gaps (here: after the
+	// HPC job exits).
+	k := newNode(9, sched.BalanceHPL)
+	hpcJob := NewWorld(k, Config{Ranks: 8, Policy: task.HPC})
+	cfsJob := NewWorld(k, Config{Ranks: 8, Policy: task.Normal})
+	hpcJob.Launch(nil, spmd(5, 20*sim.Millisecond))
+	cfsJob.Launch(nil, spmd(2, 10*sim.Millisecond))
+	k.Run(sim.Time(10 * sim.Second))
+
+	hpcEl := hpcJob.Elapsed()
+	if hpcEl > 110*sim.Millisecond {
+		t.Fatalf("HPC job slowed by CFS job: %v", hpcEl)
+	}
+	if cfsJob.Elapsed() <= 0 {
+		t.Fatal("CFS job starved forever")
+	}
+}

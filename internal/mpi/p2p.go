@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"fmt"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// Point-to-point messaging. Sends are buffered and asynchronous (eager
+// protocol, like small-message MPI_Send); receives follow the same
+// spin-then-block waiting discipline as the collectives. This is the
+// substrate for wavefront workloads such as NAS lu, whose pipelined SSOR
+// sweeps synchronise neighbour-to-neighbour rather than globally.
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	from, to int
+	tag      int
+	bytes    int
+}
+
+// pending tracks one rank blocked in Recv.
+type recvWait struct {
+	tag    int
+	then   func(bytes int)
+	spinEv *sim.Event
+}
+
+// Send posts a message to rank `to` and continues immediately after the
+// local copy cost (eager send). If the peer is already waiting for this
+// tag, delivery happens now.
+func (r *Rank) Send(to, tag, bytes int, then func()) {
+	w := r.W
+	if to < 0 || to >= len(w.Ranks) {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", to))
+	}
+	cost := w.sendCost(bytes)
+	r.P.Compute(cost, func() {
+		peer := w.Ranks[to]
+		msg := message{from: r.ID, to: to, tag: tag, bytes: bytes}
+		if peer.recv != nil && peer.recv.tag == tag {
+			peer.deliver(msg)
+			then()
+			return
+		}
+		peer.mailbox = append(peer.mailbox, msg)
+		then()
+	})
+}
+
+// Recv waits for a message with the given tag. If one is already buffered,
+// the receive completes after the copy cost; otherwise the rank spins for
+// the world's spin window, then blocks. `then` receives the payload size.
+func (r *Rank) Recv(tag int, then func(bytes int)) {
+	for i, m := range r.mailbox {
+		if m.tag == tag {
+			r.mailbox = append(r.mailbox[:i:i], r.mailbox[i+1:]...)
+			r.P.Compute(r.W.sendCost(m.bytes), func() { then(m.bytes) })
+			return
+		}
+	}
+	w := r.W
+	r.recv = &recvWait{tag: tag, then: then}
+	switch {
+	case w.Cfg.SpinThreshold < 0:
+		r.P.Spin()
+	case w.Cfg.SpinThreshold == 0:
+		r.recvBlock()
+	default:
+		r.P.Spin()
+		r.recv.spinEv = w.K.Eng.After(w.Cfg.SpinThreshold, r.recvSpinExpired)
+	}
+}
+
+// recvSpinExpired converts a spinning receive into a blocking one.
+func (r *Rank) recvSpinExpired() {
+	if r.recv == nil {
+		return
+	}
+	r.recv.spinEv = nil
+	r.recvBlock()
+}
+
+// recvBlock parks the task until a matching Send wakes it.
+func (r *Rank) recvBlock() {
+	t := r.P.T
+	switch t.State {
+	case task.Running:
+		t.Work = 0
+		t.OnDone = nil
+		r.W.K.Block(t)
+	case task.Runnable:
+		r.W.K.BlockQueued(t, nil)
+	}
+}
+
+// deliver completes a waiting receive with msg.
+func (r *Rank) deliver(msg message) {
+	wait := r.recv
+	r.recv = nil
+	if wait.spinEv != nil {
+		r.W.K.Eng.Cancel(wait.spinEv)
+	}
+	t := r.P.T
+	cost := r.W.sendCost(msg.bytes)
+	cont := func() { wait.then(msg.bytes) }
+	if t.State == task.Sleeping {
+		t.Work = float64(cost)
+		t.OnDone = cont
+		r.W.K.Wake(t)
+		return
+	}
+	// Spinning (running or preempted-runnable): replace the spin.
+	r.W.K.SetStep(t, float64(cost), cont)
+}
+
+// sendCost is the per-message cost: latency plus payload over bandwidth.
+func (w *World) sendCost(bytes int) sim.Duration {
+	cost := w.Cfg.Latency
+	if w.Cfg.BytesPerSec > 0 && bytes > 0 {
+		cost += sim.Seconds(float64(bytes) / w.Cfg.BytesPerSec)
+	}
+	if cost <= 0 {
+		cost = sim.Microsecond
+	}
+	return cost
+}
+
+// SendRecv exchanges messages with a peer: posts a send and then receives
+// with the same tag — the shift/exchange primitive of halo updates.
+func (r *Rank) SendRecv(peer, tag, bytes int, then func()) {
+	r.Send(peer, tag, bytes, func() {
+		r.Recv(tag, func(int) { then() })
+	})
+}

@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+func TestSendBeforeRecv(t *testing.T) {
+	// Rank 0 sends early; rank 1 receives later from its mailbox.
+	k := newNode(10, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 2, Policy: task.HPC, Latency: sim.Microsecond})
+	var got int
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 7, 4096, func() { r.Finish() })
+			return
+		}
+		r.Compute(10*sim.Millisecond, func() {
+			r.Recv(7, func(bytes int) {
+				got = bytes
+				r.Finish()
+			})
+		})
+	})
+	k.Run(sim.Time(sim.Second))
+	if got != 4096 {
+		t.Fatalf("received %d bytes, want 4096", got)
+	}
+}
+
+func TestRecvBeforeSendBlocksAndWakes(t *testing.T) {
+	// Rank 1 receives first (blocks after the spin window); rank 0 sends
+	// much later; the receive must complete.
+	k := newNode(11, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 2, Policy: task.HPC,
+		SpinThreshold: sim.Millisecond, Latency: sim.Microsecond})
+	var doneAt sim.Time
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, func(r *Rank) {
+		if r.ID == 0 {
+			r.Compute(50*sim.Millisecond, func() {
+				r.Send(1, 1, 100, func() { r.Finish() })
+			})
+			return
+		}
+		r.Recv(1, func(int) {
+			doneAt = k.Now()
+			r.Finish()
+		})
+	})
+	k.Run(sim.Time(sim.Second))
+	if doneAt < sim.Time(50*sim.Millisecond) {
+		t.Fatalf("receive completed at %v, before the send", doneAt)
+	}
+	if k.Perf.Wakeups == 0 {
+		t.Fatal("blocked receiver was never woken")
+	}
+}
+
+func TestRecvSpinsWithinWindow(t *testing.T) {
+	// The send arrives inside the spin window: no block, no wakeup.
+	k := newNode(12, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 2, Policy: task.HPC,
+		SpinThreshold: 100 * sim.Millisecond, Latency: sim.Microsecond})
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, func(r *Rank) {
+		if r.ID == 0 {
+			r.Compute(5*sim.Millisecond, func() {
+				r.Send(1, 2, 8, func() { r.Finish() })
+			})
+			return
+		}
+		r.Recv(2, func(int) { r.Finish() })
+	})
+	k.Run(sim.Time(sim.Second))
+	if k.Perf.Wakeups != 0 {
+		t.Fatalf("wakeups = %d, want 0 (receiver should spin)", k.Perf.Wakeups)
+	}
+}
+
+func TestPayloadCostsBandwidth(t *testing.T) {
+	// 10MB at 1GB/s adds ~10ms to the transfer.
+	elapsed := func(bytes int) sim.Duration {
+		k := newNode(13, sched.BalanceHPL)
+		w := NewWorld(k, Config{Ranks: 2, Policy: task.HPC,
+			Latency: sim.Microsecond, BytesPerSec: 1e9})
+		w.OnComplete = func() { k.Stop() }
+		w.Launch(nil, func(r *Rank) {
+			if r.ID == 0 {
+				r.Send(1, 3, bytes, func() { r.Finish() })
+				return
+			}
+			r.Recv(3, func(int) { r.Finish() })
+		})
+		k.Run(sim.Time(sim.Second))
+		return w.Elapsed()
+	}
+	small := elapsed(1)
+	big := elapsed(10_000_000)
+	extra := big - small
+	// Copy cost is charged on both sides: ~20ms for 10MB.
+	if extra < 15*sim.Millisecond || extra > 30*sim.Millisecond {
+		t.Fatalf("10MB added %v, want ~20ms at 1GB/s", extra)
+	}
+}
+
+func TestRingPipeline(t *testing.T) {
+	// A token passed around a 4-rank ring: strict ordering, every rank
+	// handles it once per lap.
+	k := newNode(14, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 4, Policy: task.HPC, Latency: sim.Microsecond})
+	const laps = 5
+	hops := 0
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, func(r *Rank) {
+		next := (r.ID + 1) % 4
+		var pass func(lap int)
+		pass = func(lap int) {
+			if lap == laps {
+				r.Finish()
+				return
+			}
+			r.Recv(lap*10+r.ID, func(int) {
+				hops++
+				r.Compute(sim.Millisecond, func() {
+					nextTag := lap*10 + next
+					if next == 0 {
+						nextTag = (lap + 1) * 10 // wrapped: next lap
+					}
+					r.Send(next, nextTag, 8, func() { pass(lap + 1) })
+				})
+			})
+		}
+		if r.ID == 0 {
+			// Rank 0 seeds the token.
+			r.Send(next, 0*10+next, 8, func() { pass(0) })
+		} else {
+			pass(0)
+		}
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	if hops == 0 {
+		t.Fatal("token never moved")
+	}
+}
+
+func TestWavefrontExchange(t *testing.T) {
+	// lu-style neighbour pipeline: each rank receives from its left,
+	// computes, sends right; 8 ranks, 10 sweeps.
+	k := newNode(15, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 8, Policy: task.HPC, Latency: 20 * sim.Microsecond})
+	w.OnComplete = func() { k.Stop() }
+	w.Launch(nil, func(r *Rank) {
+		sweep := 0
+		var step func()
+		step = func() {
+			if sweep == 10 {
+				r.Finish()
+				return
+			}
+			sweep++
+			compute := func() {
+				r.Compute(2*sim.Millisecond, func() {
+					if r.ID < 7 {
+						r.Send(r.ID+1, sweep*100+r.ID+1, 1024, step)
+					} else {
+						step()
+					}
+				})
+			}
+			if r.ID > 0 {
+				r.Recv(sweep*100+r.ID, func(int) { compute() })
+			} else {
+				compute()
+			}
+		}
+		step()
+	})
+	k.Run(sim.Time(10 * sim.Second))
+	el := w.Elapsed()
+	// Pipeline: first sweep fills (8 stages x ~2ms), later sweeps
+	// overlap; the total is far below 8 x 10 x 2ms serial and at least
+	// the 10 x 2ms critical path.
+	if el < 20*sim.Millisecond || el > 80*sim.Millisecond {
+		t.Fatalf("wavefront elapsed %v, want pipeline-overlapped (~20-60ms)", el)
+	}
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	k := newNode(16, sched.BalanceHPL)
+	w := NewWorld(k, Config{Ranks: 2, Policy: task.HPC})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send to invalid rank did not panic")
+		}
+	}()
+	w.Launch(nil, func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(9, 0, 0, func() { r.Finish() })
+			return
+		}
+		r.Compute(sim.Millisecond, func() { r.Finish() })
+	})
+	k.Run(sim.Time(sim.Second))
+}

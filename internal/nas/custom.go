@@ -1,0 +1,80 @@
+package nas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CustomSpec is the JSON schema for user-defined workload profiles, so the
+// harness can study applications beyond the NAS suite without recompiling:
+//
+//	{
+//	  "bench": "myapp", "class": "A", "ranks": 8,
+//	  "iterations": 40, "target_seconds": 3.5,
+//	  "sensitivity": 0.4, "comm_per_iter_us": 500,
+//	  "imbalance_pct": 0.5, "jitter_pct": 0.3, "run_var_pct": 1.0
+//	}
+type CustomSpec struct {
+	Bench         string  `json:"bench"`
+	Class         string  `json:"class"`
+	Ranks         int     `json:"ranks"`
+	Iterations    int     `json:"iterations"`
+	TargetSeconds float64 `json:"target_seconds"`
+	Sensitivity   float64 `json:"sensitivity"`
+	CommPerIterUS float64 `json:"comm_per_iter_us"`
+	ImbalancePct  float64 `json:"imbalance_pct"`
+	JitterPct     float64 `json:"jitter_pct"`
+	RunVarPct     float64 `json:"run_var_pct"`
+}
+
+// Validate reports the first problem with the spec.
+func (c CustomSpec) Validate() error {
+	switch {
+	case c.Bench == "":
+		return fmt.Errorf("nas: custom spec needs a bench name")
+	case len(c.Class) != 1:
+		return fmt.Errorf("nas: class must be one character, got %q", c.Class)
+	case c.Ranks <= 0:
+		return fmt.Errorf("nas: ranks must be positive, got %d", c.Ranks)
+	case c.Iterations <= 0:
+		return fmt.Errorf("nas: iterations must be positive, got %d", c.Iterations)
+	case c.TargetSeconds <= 0:
+		return fmt.Errorf("nas: target_seconds must be positive, got %v", c.TargetSeconds)
+	case c.Sensitivity < 0 || c.Sensitivity > 1:
+		return fmt.Errorf("nas: sensitivity must be in [0,1], got %v", c.Sensitivity)
+	case c.CommPerIterUS < 0 || c.ImbalancePct < 0 || c.JitterPct < 0 || c.RunVarPct < 0:
+		return fmt.Errorf("nas: negative noise parameter")
+	}
+	return nil
+}
+
+// Profile converts the spec into a runnable Profile.
+func (c CustomSpec) Profile() (Profile, error) {
+	if err := c.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return Profile{
+		Bench:         c.Bench,
+		Class:         c.Class[0],
+		Ranks:         c.Ranks,
+		Iterations:    c.Iterations,
+		TargetSeconds: c.TargetSeconds,
+		Sensitivity:   c.Sensitivity,
+		CommPerIter:   microseconds(c.CommPerIterUS),
+		ImbalancePct:  c.ImbalancePct,
+		JitterPct:     c.JitterPct,
+		RunVarPct:     c.RunVarPct,
+	}, nil
+}
+
+// ParseCustom reads one CustomSpec from JSON.
+func ParseCustom(r io.Reader) (Profile, error) {
+	var spec CustomSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return Profile{}, fmt.Errorf("nas: parsing custom workload: %w", err)
+	}
+	return spec.Profile()
+}

@@ -1,0 +1,63 @@
+package nas
+
+import (
+	"strings"
+	"testing"
+
+	"hplsim/internal/sim"
+)
+
+const goodSpec = `{
+  "bench": "myapp", "class": "A", "ranks": 8,
+  "iterations": 40, "target_seconds": 3.5,
+  "sensitivity": 0.4, "comm_per_iter_us": 500,
+  "imbalance_pct": 0.5, "jitter_pct": 0.3, "run_var_pct": 1.0
+}`
+
+func TestParseCustom(t *testing.T) {
+	p, err := ParseCustom(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "myapp.A.8" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if p.Iterations != 40 || p.TargetSeconds != 3.5 {
+		t.Fatalf("fields wrong: %+v", p)
+	}
+	if p.CommPerIter != 500*sim.Microsecond {
+		t.Fatalf("CommPerIter = %v", p.CommPerIter)
+	}
+	if p.WorkPerIter() <= 0 {
+		t.Fatal("work not derivable")
+	}
+}
+
+func TestParseCustomRejectsBadSpecs(t *testing.T) {
+	cases := []struct{ name, json string }{
+		{"missing bench", `{"class":"A","ranks":8,"iterations":1,"target_seconds":1}`},
+		{"bad class", `{"bench":"x","class":"AB","ranks":8,"iterations":1,"target_seconds":1}`},
+		{"zero ranks", `{"bench":"x","class":"A","ranks":0,"iterations":1,"target_seconds":1}`},
+		{"zero iterations", `{"bench":"x","class":"A","ranks":8,"iterations":0,"target_seconds":1}`},
+		{"negative target", `{"bench":"x","class":"A","ranks":8,"iterations":1,"target_seconds":-1}`},
+		{"sensitivity > 1", `{"bench":"x","class":"A","ranks":8,"iterations":1,"target_seconds":1,"sensitivity":2}`},
+		{"unknown field", `{"bench":"x","class":"A","ranks":8,"iterations":1,"target_seconds":1,"bogus":1}`},
+		{"not json", `nope`},
+	}
+	for _, c := range cases {
+		if _, err := ParseCustom(strings.NewReader(c.json)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCustomProfileRuns(t *testing.T) {
+	p, err := ParseCustom(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, _ := runProfile(t, p, 5)
+	if el < p.TargetSeconds*0.97 || el > p.TargetSeconds*1.10 {
+		t.Fatalf("custom profile elapsed %.3fs vs target %.2fs", el, p.TargetSeconds)
+	}
+}

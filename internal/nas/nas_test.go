@@ -1,0 +1,189 @@
+package nas
+
+import (
+	"testing"
+
+	"hplsim/internal/kernel"
+	"hplsim/internal/mpi"
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+func TestAllTwelveConfigurations(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("profiles = %d, want 12 (paper Tables I and II)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if seen[p.Name()] {
+			t.Fatalf("duplicate profile %s", p.Name())
+		}
+		seen[p.Name()] = true
+		if p.Ranks != 8 {
+			t.Fatalf("%s: ranks = %d, want 8", p.Name(), p.Ranks)
+		}
+		if p.Iterations <= 0 || p.TargetSeconds <= 0 {
+			t.Fatalf("%s: bad iterations/target", p.Name())
+		}
+		if p.Sensitivity < 0 || p.Sensitivity > 1 {
+			t.Fatalf("%s: sensitivity out of range", p.Name())
+		}
+	}
+	// The paper's exact set.
+	for _, name := range []string{"cg", "ep", "ft", "is", "lu", "mg"} {
+		for _, class := range []byte{'A', 'B'} {
+			if _, err := Get(name, class); err != nil {
+				t.Fatalf("missing %s.%c", name, class)
+			}
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("bt", 'A'); err == nil {
+		t.Fatal("bt should be unknown (paper omits non-8-rank benchmarks)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet of unknown did not panic")
+		}
+	}()
+	MustGet("zz", 'Q')
+}
+
+func TestName(t *testing.T) {
+	if got := MustGet("ep", 'A').Name(); got != "ep.A.8" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestWorkPerIterPositiveAndConsistent(t *testing.T) {
+	for _, p := range All() {
+		w := p.WorkPerIter()
+		if w <= 0 {
+			t.Fatalf("%s: non-positive work", p.Name())
+		}
+		// Reconstruct the target: iterations x (work+comm)/smt ~ target.
+		total := float64(p.Iterations) * (w + float64(p.CommPerIter)) /
+			SMTSteadyFactor / 1e9
+		if total < p.TargetSeconds*0.98 || total > p.TargetSeconds*1.02 {
+			t.Fatalf("%s: reconstructed %.3fs vs target %.2fs", p.Name(), total, p.TargetSeconds)
+		}
+	}
+}
+
+func TestTargetsMatchPaperTableII(t *testing.T) {
+	// Spot-check the calibration anchors against Table II HPL minima.
+	anchors := map[string]float64{
+		"cg.A.8": 0.68, "ep.A.8": 8.54, "ft.A.8": 2.05,
+		"is.B.8": 1.82, "lu.B.8": 71.81, "mg.B.8": 4.48,
+	}
+	for name, want := range anchors {
+		for _, p := range All() {
+			if p.Name() == name && p.TargetSeconds != want {
+				t.Fatalf("%s target = %v, want %v", name, p.TargetSeconds, want)
+			}
+		}
+	}
+}
+
+// runProfile executes a profile noise-free under HPL and returns elapsed
+// seconds and the kernel.
+func runProfile(t *testing.T, p Profile, seed uint64) (float64, *kernel.Kernel) {
+	t.Helper()
+	k := kernel.New(kernel.Config{
+		Topo:    topo.POWER6(),
+		Balance: sched.BalanceHPL,
+		Seed:    seed,
+	})
+	w := mpi.NewWorld(k, p.WorldConfig(task.HPC, 0, 0))
+	w.OnComplete = func() { k.Eng.After(sim.Millisecond, k.Stop) }
+	w.Launch(nil, p.Program(k.RNG(1)))
+	k.Run(sim.Time(sim.Seconds(p.TargetSeconds*30) + 120*sim.Second))
+	if w.Elapsed() <= 0 {
+		t.Fatalf("%s did not complete", p.Name())
+	}
+	return w.Elapsed().Seconds(), k
+}
+
+func TestProgramHitsCalibrationTarget(t *testing.T) {
+	for _, name := range []string{"is", "mg", "ft", "cg"} {
+		p := MustGet(name, 'A')
+		el, _ := runProfile(t, p, 7)
+		// Noise-free run lands within ~8% above the target (startup,
+		// handshakes, first-iteration cold caches).
+		if el < p.TargetSeconds*0.97 || el > p.TargetSeconds*1.10 {
+			t.Errorf("%s: elapsed %.3fs vs target %.2fs", p.Name(), el, p.TargetSeconds)
+		}
+	}
+}
+
+func TestRunVarDrawsDiffer(t *testing.T) {
+	// Two runs with different seeds see different intrinsic work scales.
+	p := MustGet("is", 'A')
+	a, _ := runProfile(t, p, 1)
+	b, _ := runProfile(t, p, 2)
+	if a == b {
+		t.Fatal("intrinsic run variability missing: identical elapsed")
+	}
+	// But bounded by RunVarPct (plus small scheduling noise).
+	hi, lo := a, b
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if (hi-lo)/lo > (p.RunVarPct+2)/100 {
+		t.Fatalf("runs differ by %.1f%%, beyond RunVarPct %.1f%%",
+			(hi-lo)/lo*100, p.RunVarPct)
+	}
+}
+
+func TestHandshakesProduceVoluntarySwitches(t *testing.T) {
+	p := MustGet("is", 'A')
+	_, k := runProfile(t, p, 3)
+	// Each rank performs initCycles+finalizeCycles blocking waits.
+	want := uint64(p.Ranks * (initCycles + finalizeCycles))
+	if k.Perf.VoluntarySwitches < want {
+		t.Fatalf("voluntary switches = %d, want >= %d (handshakes)",
+			k.Perf.VoluntarySwitches, want)
+	}
+}
+
+func TestEpBarelyCommunicates(t *testing.T) {
+	ep := MustGet("ep", 'A')
+	cg := MustGet("cg", 'A')
+	epComm := float64(ep.CommPerIter) * float64(ep.Iterations) / (ep.TargetSeconds * 1e9)
+	cgComm := float64(cg.CommPerIter) * float64(cg.Iterations) / (cg.TargetSeconds * 1e9)
+	if epComm > 0.001 {
+		t.Fatalf("ep communication share %.4f, want < 0.1%%", epComm)
+	}
+	if cgComm < epComm*10 {
+		t.Fatalf("cg should be far more communication-heavy than ep")
+	}
+}
+
+func TestWavefrontCompletesAndPipelines(t *testing.T) {
+	p := MustGet("is", 'A')
+	k := kernel.New(kernel.Config{
+		Topo:    topo.POWER6(),
+		Balance: sched.BalanceHPL,
+		Seed:    21,
+	})
+	w := mpi.NewWorld(k, p.WorldConfig(task.HPC, 0, 0))
+	w.OnComplete = func() { k.Eng.After(sim.Millisecond, k.Stop) }
+	w.Launch(nil, p.ProgramWavefront(k.RNG(1)))
+	k.Run(sim.Time(sim.Seconds(p.TargetSeconds*60) + 120*sim.Second))
+	el := w.Elapsed().Seconds()
+	if el <= 0 {
+		t.Fatal("wavefront job did not complete")
+	}
+	// The pipeline serialises along the critical path: slower than the
+	// barrier version (which runs all ranks concurrently per iteration)
+	// but far better than fully serial (8x).
+	if el < p.TargetSeconds || el > p.TargetSeconds*8 {
+		t.Fatalf("wavefront elapsed %.3fs vs target %.2fs: outside pipeline bounds",
+			el, p.TargetSeconds)
+	}
+}

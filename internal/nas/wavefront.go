@@ -1,0 +1,63 @@
+package nas
+
+import (
+	"hplsim/internal/mpi"
+	"hplsim/internal/sim"
+)
+
+// ProgramWavefront builds an alternative rank program using lu's real
+// communication structure: pipelined neighbour-to-neighbour sweeps
+// (SendRecv along a rank chain) instead of global collectives. The total
+// work matches Program's calibration; what changes is how noise
+// propagates — a global barrier amplifies any one rank's delay to
+// everyone immediately, while a pipeline lets delays overlap with
+// downstream computation and only the critical path suffers.
+//
+// This is the substrate for the synchronisation-structure study: the same
+// noise, measured through two coupling patterns.
+func (p Profile) ProgramWavefront(rng *sim.RNG) mpi.Program {
+	runScale := 1 + rng.Float64()*p.RunVarPct/100
+	base := p.WorkPerIter() * runScale
+	imb := p.ImbalancePct / 100
+	jit := p.JitterPct / 100
+	return func(r *mpi.Rank) {
+		rrng := rng.Split(uint64(r.ID) + 31)
+		rankScale := 1 + imb*(2*rrng.Float64()-1)
+		n := len(r.W.Ranks)
+		iter := 0
+		var sweep func()
+		sweep = func() {
+			if iter == p.Iterations {
+				handshake(r, rrng, finalizeCycles, r.Finish)
+				return
+			}
+			iter++
+			w := base * rankScale
+			if jit > 0 {
+				w *= 1 + jit*rrng.NormFloat64()
+				if w < base/2 {
+					w = base / 2
+				}
+			}
+			compute := func() {
+				r.ComputeF(w, func() {
+					if r.ID < n-1 {
+						// Pass the wavefront downstream.
+						r.Send(r.ID+1, iter*1000+r.ID+1, 4096, sweep)
+					} else {
+						sweep()
+					}
+				})
+			}
+			if r.ID > 0 {
+				// Wait for the upstream neighbour's boundary data.
+				r.Recv(iter*1000+r.ID, func(int) { compute() })
+			} else {
+				compute()
+			}
+		}
+		handshake(r, rrng, initCycles, func() {
+			r.Compute(initWork, func() { r.Barrier(sweep) })
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package noise
+
+import (
+	"testing"
+
+	"hplsim/internal/kernel"
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+func newNode(seed uint64) *kernel.Kernel {
+	return kernel.New(kernel.Config{Topo: topo.POWER6(), Seed: seed})
+}
+
+func TestDaemonCycles(t *testing.T) {
+	k := newNode(1)
+	spec := DaemonSpec{
+		Name:    "testd",
+		Period:  100 * sim.Millisecond,
+		Service: 2 * sim.Millisecond,
+	}
+	d := spec.Spawn(k, k.RNG(1))
+	k.Run(sim.Time(2 * sim.Second))
+	// ~20 activations of 2ms each: SumExec near 40ms.
+	if d.SumExec < 20*sim.Millisecond || d.SumExec > 80*sim.Millisecond {
+		t.Fatalf("daemon SumExec = %v, want ~40ms", d.SumExec)
+	}
+	if d.Counters.WakeUps < 10 {
+		t.Fatalf("daemon woke only %d times", d.Counters.WakeUps)
+	}
+	if d.State == task.Dead {
+		t.Fatal("daemon exited")
+	}
+}
+
+func TestSystemDaemonsAggregateRate(t *testing.T) {
+	// The population's activation rate underpins the Table Ia
+	// calibration: roughly 10-20 wakeups per second system-wide.
+	k := newNode(2)
+	SpawnSystem(k, k.RNG(1))
+	k.Run(sim.Time(10 * sim.Second))
+	wakes := k.Perf.Wakeups
+	perSec := float64(wakes) / 10
+	if perSec < 8 || perSec > 30 {
+		t.Fatalf("daemon wakeups/s = %.1f, want ~10-20", perSec)
+	}
+}
+
+func TestSystemDaemonsNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range SystemDaemons() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate daemon %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Period <= 0 || s.Service <= 0 {
+			t.Fatalf("daemon %q has non-positive period/service", s.Name)
+		}
+	}
+}
+
+func TestStormSpawnsAndEnds(t *testing.T) {
+	k := newNode(3)
+	cfg := StormConfig{
+		MeanInterarrival: 500 * sim.Millisecond,
+		DurMin:           100 * sim.Millisecond,
+		DurMax:           200 * sim.Millisecond,
+		WorkersMin:       4,
+		WorkersMax:       4,
+	}
+	cfg.Arm(k, k.RNG(1))
+	k.Run(sim.Time(3 * sim.Second))
+	var workers, dead int
+	for _, tt := range k.Tasks() {
+		if len(tt.Name) >= 5 && tt.Name[:5] == "storm" {
+			workers++
+			if tt.State == task.Dead {
+				dead++
+			}
+		}
+	}
+	if workers == 0 {
+		t.Fatal("no storm workers spawned in 3s with 0.5s interarrival")
+	}
+	if dead == 0 {
+		t.Fatal("no storm worker exited")
+	}
+}
+
+func TestStormZeroInterarrivalDisabled(t *testing.T) {
+	k := newNode(4)
+	StormConfig{}.Arm(k, k.RNG(1))
+	k.Run(sim.Time(sim.Second))
+	if len(k.Tasks()) != k.Topo.NumCPUs() {
+		t.Fatal("disabled storm config spawned tasks")
+	}
+}
+
+func TestInjectionStealsShare(t *testing.T) {
+	// 2% injection must slow a CPU-bound task by ~2%.
+	k := newNode(5)
+	inj := Injection{Frequency: 100, Duration: 200 * sim.Microsecond}
+	inj.Arm(k, k.RNG(1))
+	var done sim.Time
+	k.Spawn(nil, kernel.Attr{Name: "w", Affinity: topo.MaskOf(0)}, func(p *kernel.Proc) {
+		p.Compute(sim.Duration(sim.Second), func() { done = p.Now(); p.Exit() })
+	})
+	k.Run(sim.Time(5 * sim.Second))
+	slowdown := done.Seconds() - 1.0
+	if slowdown < 0.01 || slowdown > 0.05 {
+		t.Fatalf("2%% injection produced %.1f%% slowdown", slowdown*100)
+	}
+}
+
+func TestInjectionDisabled(t *testing.T) {
+	k := newNode(6)
+	Injection{}.Arm(k, k.RNG(1))
+	if len(k.Tasks()) != k.Topo.NumCPUs() {
+		t.Fatal("zero injection spawned tasks")
+	}
+}
+
+func TestLauncherNoiseExitsQuickly(t *testing.T) {
+	k := newNode(7)
+	parent := k.Spawn(nil, kernel.Attr{Name: "mpiexec"}, func(p *kernel.Proc) {
+		p.Compute(sim.Millisecond, func() {
+			LauncherNoise(k, p.T, 6, k.RNG(2))
+			p.WaitChildren(func() { p.Exit() })
+		})
+	})
+	k.Run(sim.Time(sim.Second))
+	if parent.State != task.Dead {
+		t.Fatal("launcher helpers did not all exit")
+	}
+	helpers := 0
+	for _, tt := range k.Tasks() {
+		if len(tt.Name) > 5 && tt.Name[:5] == "orted" {
+			helpers++
+			if tt.State != task.Dead {
+				t.Fatalf("helper %v still alive", tt)
+			}
+		}
+	}
+	if helpers != 6 {
+		t.Fatalf("spawned %d helpers, want 6", helpers)
+	}
+}
+
+func TestIRQPressureClassIndependent(t *testing.T) {
+	// Interrupt time theft must slow an HPC task even though no other
+	// task ever runs, and must not add context switches.
+	run := func(withIRQ bool) (sim.Time, uint64) {
+		k := kernel.New(kernel.Config{
+			Topo:    topo.POWER6(),
+			Balance: sched.BalanceHPL,
+			Seed:    8,
+		})
+		if withIRQ {
+			for cpu := 0; cpu < k.Topo.NumCPUs(); cpu++ {
+				armIRQPressure(k, cpu, 5*sim.Second, k.RNG(uint64(cpu)))
+			}
+		}
+		var done sim.Time
+		k.Spawn(nil, kernel.Attr{Name: "rank", Policy: task.HPC, Affinity: topo.MaskOf(0)},
+			func(p *kernel.Proc) {
+				p.Compute(sim.Duration(sim.Second), func() { done = p.Now(); p.Exit() })
+			})
+		k.Run(sim.Time(5 * sim.Second))
+		return done, k.Perf.ContextSwitches
+	}
+	base, baseCtx := run(false)
+	slowed, irqCtx := run(true)
+	if slowed <= base {
+		t.Fatal("irq pressure did not slow the HPC task")
+	}
+	loss := (slowed.Seconds() - base.Seconds()) / base.Seconds()
+	if loss < 0.005 || loss > 0.05 {
+		t.Fatalf("irq pressure stole %.2f%%, want ~1.7%%", loss*100)
+	}
+	if irqCtx > baseCtx+2 {
+		t.Fatalf("irq pressure added context switches: %d vs %d", irqCtx, baseCtx)
+	}
+}
+
+func TestSampleDistributions(t *testing.T) {
+	rng := sim.NewRNG(9)
+	if got := sample(rng, Fixed, sim.Millisecond); got != sim.Millisecond {
+		t.Fatalf("Fixed sample = %v", got)
+	}
+	for i := 0; i < 100; i++ {
+		u := sample(rng, Uniform, 10*sim.Millisecond)
+		if u < 5*sim.Millisecond || u >= 15*sim.Millisecond {
+			t.Fatalf("Uniform sample out of band: %v", u)
+		}
+		if e := sample(rng, Exp, sim.Millisecond); e < 0 {
+			t.Fatalf("Exp sample negative: %v", e)
+		}
+	}
+}

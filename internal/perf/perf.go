@@ -1,0 +1,74 @@
+// Package perf collects the software performance events the paper measures
+// with the Linux perf tool (Section III): context switches and CPU
+// migrations, plus a breakdown the analysis uses (voluntary vs involuntary
+// switches, wakeups, balance operations).
+//
+// Counters accumulate system-wide from boot; an experiment opens a Window
+// when its measurement starts (perf launching chrt) and closes it when the
+// measured command exits, mirroring `perf stat -a`.
+package perf
+
+import "fmt"
+
+// Counters are monotonically increasing system-wide event counts.
+type Counters struct {
+	// ContextSwitches counts scheduler switches where the outgoing and
+	// incoming tasks differ (including switches to and from idle), as
+	// perf's context-switches event does.
+	ContextSwitches uint64
+	// Migrations counts task placements on a CPU different from the
+	// task's previous one: fork placement, wake balancing, and load
+	// balancer moves, as perf's cpu-migrations event does.
+	Migrations uint64
+
+	// VoluntarySwitches counts switches where the outgoing task blocked.
+	VoluntarySwitches uint64
+	// InvoluntarySwitches counts switches where the outgoing task was
+	// preempted while still runnable.
+	InvoluntarySwitches uint64
+	// Wakeups counts sleeping-to-runnable transitions.
+	Wakeups uint64
+	// BalanceMoves counts migrations performed by the load balancer
+	// (periodic or idle pull), a subset of Migrations.
+	BalanceMoves uint64
+	// Forks counts task creations.
+	Forks uint64
+	// Ticks counts timer interrupts delivered to busy CPUs.
+	Ticks uint64
+}
+
+// Sub returns the per-window deltas c - start.
+func (c Counters) Sub(start Counters) Counters {
+	return Counters{
+		ContextSwitches:     c.ContextSwitches - start.ContextSwitches,
+		Migrations:          c.Migrations - start.Migrations,
+		VoluntarySwitches:   c.VoluntarySwitches - start.VoluntarySwitches,
+		InvoluntarySwitches: c.InvoluntarySwitches - start.InvoluntarySwitches,
+		Wakeups:             c.Wakeups - start.Wakeups,
+		BalanceMoves:        c.BalanceMoves - start.BalanceMoves,
+		Forks:               c.Forks - start.Forks,
+		Ticks:               c.Ticks - start.Ticks,
+	}
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("ctxsw=%d (vol=%d invol=%d) migrations=%d (balance=%d) wakeups=%d forks=%d",
+		c.ContextSwitches, c.VoluntarySwitches, c.InvoluntarySwitches,
+		c.Migrations, c.BalanceMoves, c.Wakeups, c.Forks)
+}
+
+// Window is an open measurement interval over a Counters instance.
+type Window struct {
+	src   *Counters
+	start Counters
+}
+
+// Open starts a system-wide measurement window, like `perf stat -a cmd`.
+func Open(src *Counters) *Window {
+	return &Window{src: src, start: *src}
+}
+
+// Close returns the event deltas accumulated since Open.
+func (w *Window) Close() Counters {
+	return w.src.Sub(w.start)
+}

@@ -1,0 +1,79 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWindowDeltas(t *testing.T) {
+	var c Counters
+	c.ContextSwitches = 100
+	c.Migrations = 10
+
+	w := Open(&c)
+	c.ContextSwitches += 50
+	c.Migrations += 5
+	c.VoluntarySwitches += 30
+	c.InvoluntarySwitches += 20
+	c.Wakeups += 7
+	c.BalanceMoves += 3
+	c.Forks += 2
+	c.Ticks += 1000
+
+	got := w.Close()
+	want := Counters{
+		ContextSwitches: 50, Migrations: 5,
+		VoluntarySwitches: 30, InvoluntarySwitches: 20,
+		Wakeups: 7, BalanceMoves: 3, Forks: 2, Ticks: 1000,
+	}
+	if got != want {
+		t.Fatalf("window = %+v, want %+v", got, want)
+	}
+}
+
+func TestWindowIsolation(t *testing.T) {
+	var c Counters
+	c.ContextSwitches = 5
+	w1 := Open(&c)
+	c.ContextSwitches = 8
+	w2 := Open(&c)
+	c.ContextSwitches = 10
+	if w1.Close().ContextSwitches != 5 {
+		t.Fatal("w1 delta wrong")
+	}
+	if w2.Close().ContextSwitches != 2 {
+		t.Fatal("w2 delta wrong")
+	}
+}
+
+func TestCloseIdempotentSnapshot(t *testing.T) {
+	var c Counters
+	w := Open(&c)
+	c.Migrations = 3
+	a := w.Close()
+	c.Migrations = 7
+	b := w.Close()
+	if a.Migrations != 3 || b.Migrations != 7 {
+		t.Fatalf("close snapshots wrong: %d then %d", a.Migrations, b.Migrations)
+	}
+}
+
+func TestSub(t *testing.T) {
+	a := Counters{ContextSwitches: 10, Migrations: 4}
+	b := Counters{ContextSwitches: 3, Migrations: 1}
+	d := a.Sub(b)
+	if d.ContextSwitches != 7 || d.Migrations != 3 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Counters{ContextSwitches: 42, Migrations: 7, VoluntarySwitches: 30,
+		InvoluntarySwitches: 12, BalanceMoves: 2, Wakeups: 9, Forks: 1}
+	s := c.String()
+	for _, frag := range []string{"ctxsw=42", "migrations=7", "vol=30", "invol=12"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String missing %q: %s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package rbtree implements a red-black tree with a cached leftmost node.
+//
+// This is the data structure the Linux Completely Fair Scheduler uses for
+// its runqueue timeline: tasks are keyed by virtual runtime, the scheduler
+// repeatedly takes the leftmost (smallest-key) node, and insertions and
+// deletions must be O(log n) with a worst-case balanced height. The
+// implementation here is generic so tests can exercise it with simple
+// integer payloads while the CFS class stores task entities.
+package rbtree
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// Node is a tree node holding a value of type V. Nodes are allocated by
+// Insert and owned by the tree until removed.
+type Node[V any] struct {
+	Value               V
+	key                 uint64
+	seq                 uint64 // insertion order, breaks key ties FIFO
+	left, right, parent *Node[V]
+	color               color
+}
+
+// Key reports the key the node was inserted with.
+func (n *Node[V]) Key() uint64 { return n.key }
+
+// Tree is a red-black tree ordered by (key, insertion sequence). The zero
+// value is an empty tree ready for use.
+type Tree[V any] struct {
+	root     *Node[V]
+	leftmost *Node[V]
+	size     int
+	seq      uint64
+}
+
+// Len reports the number of nodes in the tree.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Min returns the node with the smallest key (oldest among ties), or nil if
+// the tree is empty. It is O(1): the leftmost node is cached, exactly as in
+// the kernel's rb_leftmost optimisation.
+func (t *Tree[V]) Min() *Node[V] { return t.leftmost }
+
+func (t *Tree[V]) less(a, b *Node[V]) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// Insert adds value under key and returns the new node.
+func (t *Tree[V]) Insert(key uint64, value V) *Node[V] {
+	n := &Node[V]{Value: value, key: key, seq: t.seq, color: red}
+	t.seq++
+	t.size++
+
+	// Standard BST insert, tracking whether we stayed leftmost.
+	var parent *Node[V]
+	link := &t.root
+	isLeftmost := true
+	for *link != nil {
+		parent = *link
+		if t.less(n, parent) {
+			link = &parent.left
+		} else {
+			link = &parent.right
+			isLeftmost = false
+		}
+	}
+	n.parent = parent
+	*link = n
+	if isLeftmost {
+		t.leftmost = n
+	}
+	t.insertFixup(n)
+	return n
+}
+
+func (t *Tree[V]) rotateLeft(x *Node[V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[V]) rotateRight(x *Node[V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[V]) insertFixup(z *Node[V]) {
+	for z.parent != nil && z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.color = black
+}
+
+// Next returns the in-order successor of n, or nil.
+func (n *Node[V]) Next() *Node[V] {
+	if n.right != nil {
+		m := n.right
+		for m.left != nil {
+			m = m.left
+		}
+		return m
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+// Remove deletes node n from the tree. Removing a node that is not in the
+// tree corrupts it; callers track membership (as the scheduler does with
+// its on_rq flag).
+func (t *Tree[V]) Remove(n *Node[V]) {
+	t.size--
+	if t.leftmost == n {
+		t.leftmost = n.Next()
+	}
+
+	// Classic CLRS delete with fixup. y is the node physically removed
+	// or moved; x is the child that replaces it (possibly nil, with
+	// xParent tracking its parent).
+	var x, xParent *Node[V]
+	y := n
+	yColor := y.color
+
+	switch {
+	case n.left == nil:
+		x = n.right
+		xParent = n.parent
+		t.transplant(n, n.right)
+	case n.right == nil:
+		x = n.left
+		xParent = n.parent
+		t.transplant(n, n.left)
+	default:
+		y = n.right
+		for y.left != nil {
+			y = y.left
+		}
+		yColor = y.color
+		x = y.right
+		if y.parent == n {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = n.right
+			y.right.parent = y
+		}
+		t.transplant(n, y)
+		y.left = n.left
+		y.left.parent = y
+		y.color = n.color
+	}
+
+	if yColor == black {
+		t.deleteFixup(x, xParent)
+	}
+	n.left, n.right, n.parent = nil, nil, nil
+}
+
+func (t *Tree[V]) transplant(u, v *Node[V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree[V]) deleteFixup(x, parent *Node[V]) {
+	for x != t.root && (x == nil || x.color == black) {
+		if x == parent.left {
+			w := parent.right
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if (w.left == nil || w.left.color == black) &&
+				(w.right == nil || w.right.color == black) {
+				w.color = red
+				x = parent
+				parent = x.parent
+			} else {
+				if w.right == nil || w.right.color == black {
+					if w.left != nil {
+						w.left.color = black
+					}
+					w.color = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.color = parent.color
+				parent.color = black
+				if w.right != nil {
+					w.right.color = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if (w.left == nil || w.left.color == black) &&
+				(w.right == nil || w.right.color == black) {
+				w.color = red
+				x = parent
+				parent = x.parent
+			} else {
+				if w.left == nil || w.left.color == black {
+					if w.right != nil {
+						w.right.color = black
+					}
+					w.color = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.color = parent.color
+				parent.color = black
+				if w.left != nil {
+					w.left.color = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.color = black
+	}
+}
+
+// Walk calls fn for every node in key order.
+func (t *Tree[V]) Walk(fn func(*Node[V])) {
+	for n := t.leftmost; n != nil; n = n.Next() {
+		fn(n)
+	}
+}

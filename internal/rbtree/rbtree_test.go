@@ -1,0 +1,236 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// validate checks the red-black invariants and returns the black height.
+// It fails the test on any violation.
+func validate(t *testing.T, tr *Tree[int]) {
+	t.Helper()
+	if tr.root == nil {
+		if tr.leftmost != nil {
+			t.Fatal("empty tree has non-nil leftmost")
+		}
+		return
+	}
+	if tr.root.color != black {
+		t.Fatal("root is not black")
+	}
+	var check func(n *Node[int], min, max *uint64) int
+	check = func(n *Node[int], min, max *uint64) int {
+		if n == nil {
+			return 1
+		}
+		if min != nil && n.key < *min {
+			t.Fatal("BST order violated (left)")
+		}
+		if max != nil && n.key > *max {
+			t.Fatal("BST order violated (right)")
+		}
+		if n.color == red {
+			if (n.left != nil && n.left.color == red) ||
+				(n.right != nil && n.right.color == red) {
+				t.Fatal("red node has red child")
+			}
+		}
+		if n.left != nil && n.left.parent != n {
+			t.Fatal("left child parent pointer broken")
+		}
+		if n.right != nil && n.right.parent != n {
+			t.Fatal("right child parent pointer broken")
+		}
+		lh := check(n.left, min, &n.key)
+		rh := check(n.right, &n.key, max)
+		if lh != rh {
+			t.Fatalf("black height mismatch: %d vs %d", lh, rh)
+		}
+		if n.color == black {
+			return lh + 1
+		}
+		return lh
+	}
+	check(tr.root, nil, nil)
+
+	// leftmost cache agrees with a full walk.
+	m := tr.root
+	for m.left != nil {
+		m = m.left
+	}
+	if tr.leftmost != m {
+		t.Fatal("cached leftmost is stale")
+	}
+}
+
+func TestInsertRemoveSmall(t *testing.T) {
+	var tr Tree[int]
+	nodes := make([]*Node[int], 0)
+	for i, k := range []uint64{5, 2, 8, 1, 9, 3, 7, 4, 6, 0} {
+		nodes = append(nodes, tr.Insert(k, i))
+		validate(t, &tr)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Min().Key() != 0 {
+		t.Fatalf("Min key = %d", tr.Min().Key())
+	}
+	for _, n := range nodes {
+		tr.Remove(n)
+		validate(t, &tr)
+	}
+	if tr.Len() != 0 || tr.Min() != nil {
+		t.Fatal("tree not empty after removing all")
+	}
+}
+
+func TestMinIsSmallest(t *testing.T) {
+	var tr Tree[int]
+	r := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = uint64(r.Intn(1000))
+		tr.Insert(keys[i], i)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if tr.Min().Key() != keys[0] {
+		t.Fatalf("Min = %d, want %d", tr.Min().Key(), keys[0])
+	}
+}
+
+func TestFIFOAmongEqualKeys(t *testing.T) {
+	// CFS relies on FIFO order among entities with equal vruntime.
+	var tr Tree[int]
+	for i := 0; i < 5; i++ {
+		tr.Insert(42, i)
+	}
+	for want := 0; want < 5; want++ {
+		m := tr.Min()
+		if m.Value != want {
+			t.Fatalf("tie-broken Min value = %d, want %d", m.Value, want)
+		}
+		tr.Remove(m)
+	}
+}
+
+func TestWalkSorted(t *testing.T) {
+	var tr Tree[int]
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		tr.Insert(uint64(r.Intn(100)), i)
+	}
+	var prev uint64
+	first := true
+	count := 0
+	tr.Walk(func(n *Node[int]) {
+		if !first && n.Key() < prev {
+			t.Fatal("Walk not sorted")
+		}
+		prev, first = n.Key(), false
+		count++
+	})
+	if count != 500 {
+		t.Fatalf("Walk visited %d nodes, want 500", count)
+	}
+}
+
+func TestRandomChurn(t *testing.T) {
+	// Interleaved inserts and removals, validating the invariants after
+	// every mutation. This is the scheduler's actual access pattern:
+	// the leftmost node is removed most often.
+	var tr Tree[int]
+	r := rand.New(rand.NewSource(3))
+	live := make([]*Node[int], 0, 1024)
+	for step := 0; step < 4000; step++ {
+		switch {
+		case len(live) == 0 || r.Intn(3) > 0:
+			live = append(live, tr.Insert(uint64(r.Intn(50)), step))
+		case r.Intn(2) == 0:
+			// Remove leftmost (pick-next pattern).
+			m := tr.Min()
+			for i, n := range live {
+				if n == m {
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					break
+				}
+			}
+			tr.Remove(m)
+		default:
+			// Remove a random node (dequeue on sleep pattern).
+			i := r.Intn(len(live))
+			tr.Remove(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%97 == 0 {
+			validate(t, &tr)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("Len = %d, tracked %d", tr.Len(), len(live))
+		}
+	}
+	validate(t, &tr)
+}
+
+func TestPropertySortedExtraction(t *testing.T) {
+	// Property: inserting any multiset of keys and repeatedly extracting
+	// Min yields the keys in sorted order.
+	check := func(keys []uint16) bool {
+		var tr Tree[int]
+		for i, k := range keys {
+			tr.Insert(uint64(k), i)
+		}
+		want := make([]uint64, len(keys))
+		for i, k := range keys {
+			want[i] = uint64(k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := 0; i < len(want); i++ {
+			m := tr.Min()
+			if m == nil || m.Key() != want[i] {
+				return false
+			}
+			tr.Remove(m)
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextTraversal(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 64; i++ {
+		tr.Insert(uint64(i*2), i)
+	}
+	n := tr.Min()
+	for i := 0; i < 64; i++ {
+		if n == nil || n.Key() != uint64(i*2) {
+			t.Fatalf("Next traversal broke at %d", i)
+		}
+		n = n.Next()
+	}
+	if n != nil {
+		t.Fatal("Next past last is not nil")
+	}
+}
+
+func BenchmarkInsertRemoveLeftmost(b *testing.B) {
+	var tr Tree[int]
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 64; i++ {
+		tr.Insert(uint64(r.Intn(1000)), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := tr.Min()
+		k := m.Key()
+		tr.Remove(m)
+		tr.Insert(k+uint64(r.Intn(16)), i)
+	}
+}

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// Stats are the scheduler's /proc/schedstat-style counters: how often the
+// balancer looked, how often it moved something, and why. They complement
+// the kernel's perf counters with decision-level visibility.
+type Stats struct {
+	// BalanceCalls counts periodic-balance passes (per CPU per domain).
+	BalanceCalls uint64
+	// BalancePulls counts tasks moved by periodic balancing.
+	BalancePulls uint64
+	// IdlePulls counts tasks pulled by a CPU entering idle.
+	IdlePulls uint64
+	// IdlePushes counts tasks pushed to an idle CPU by a busy one.
+	IdlePushes uint64
+	// SmallImbalanceSkips counts one-task imbalances left alone.
+	SmallImbalanceSkips uint64
+	// CooldownSkips counts steals refused because the candidate had
+	// migrated too recently.
+	CooldownSkips uint64
+	// WakePreempts counts wakeups that preempted a running task.
+	WakePreempts uint64
+}
+
+// Stats returns a snapshot of the scheduler's decision counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// MigrationCooldown is how long a freshly migrated task is considered
+// cache-hot and exempt from further balancing, preventing a starved queued
+// task from ping-ponging between equally loaded CPUs.
+const MigrationCooldown = 60 * sim.Millisecond
+
+// CanMigrate reports whether the balancer may move t now. A task that has
+// never been migrated is always movable.
+func (s *Scheduler) CanMigrate(t *task.Task) bool {
+	ok := t.LastMigrated == 0 || s.now().Sub(t.LastMigrated) >= MigrationCooldown
+	if !ok {
+		s.stats.CooldownSkips++
+	}
+	return ok
+}
+
+// Balance intervals per domain level. Inner domains are balanced more often
+// than outer ones, as in the kernel (where the interval roughly doubles per
+// level).
+func balanceInterval(level topo.DomainLevel) sim.Duration {
+	switch level {
+	case topo.SMTLevel:
+		return 16 * sim.Millisecond
+	case topo.CoreLevel:
+		return 32 * sim.Millisecond
+	default:
+		return 64 * sim.Millisecond
+	}
+}
+
+// PeriodicBalance runs the per-CPU periodic load balancer. The kernel calls
+// it from the tick path. For each domain whose interval has expired, the CPU
+// looks for the busiest CPU in the span and pulls one queued task if the
+// imbalance is at least two runnable tasks (moving one then strictly reduces
+// the imbalance). This reproduces the behaviour the paper criticises: the
+// balancer counts *runnable tasks* and "does not distinguish between the
+// parallel application and the rest of the user and kernel daemons".
+func (s *Scheduler) PeriodicBalance(cpu int) {
+	if !s.balancingEnabled() {
+		return
+	}
+	now := s.now()
+	for i, dom := range s.domains[cpu] {
+		if now < s.nextBalance[cpu][i] {
+			continue
+		}
+		// Re-arm with a small deterministic stagger so CPUs don't
+		// balance in lockstep; failed attempts back off exponentially
+		// (up to 8x) as the kernel's balance_interval doubling does.
+		s.stats.BalanceCalls++
+		moved := s.balanceDomain(cpu, dom, false)
+		if moved {
+			s.stats.BalancePulls++
+		} else if s.pushToIdle(cpu, dom) {
+			moved = true
+			s.stats.IdlePushes++
+		}
+		if moved {
+			s.backoff[cpu][i] = 1
+		} else if s.backoff[cpu][i] < 8 {
+			s.backoff[cpu][i] *= 2
+		}
+		interval := balanceInterval(dom.Level) * sim.Duration(s.backoff[cpu][i])
+		jitter := sim.Duration(s.rng.Int63n(int64(sim.Millisecond)))
+		s.nextBalance[cpu][i] = now.Add(interval + jitter)
+	}
+}
+
+// pushToIdle moves one of cpu's queued tasks to an idle CPU in the domain.
+// Idle CPUs are tickless in this model, so the busy side must initiate the
+// move (the analogue of the kernel balancing on behalf of idle CPUs).
+func (s *Scheduler) pushToIdle(cpu int, dom topo.Domain) bool {
+	if s.NrQueued(cpu) == 0 {
+		return false
+	}
+	target := -1
+	dom.Span.ForEach(func(other int) {
+		if target < 0 && other != cpu && s.NrRunnable(other) == 0 {
+			target = other
+		}
+	})
+	if target < 0 {
+		return false
+	}
+	return s.pullOne(cpu, target)
+}
+
+// IdleBalance runs when cpu is about to go idle: it immediately tries to
+// pull work from the busiest CPU of each domain, innermost first. It
+// reports whether a task was pulled.
+func (s *Scheduler) IdleBalance(cpu int) bool {
+	if !s.balancingEnabled() {
+		return false
+	}
+	for _, dom := range s.domains[cpu] {
+		if s.balanceDomain(cpu, dom, true) {
+			s.stats.IdlePulls++
+			return true
+		}
+	}
+	return false
+}
+
+// balanceDomain finds the busiest CPU in the domain and pulls one task to
+// cpu if the imbalance warrants it. Reports whether a task moved.
+func (s *Scheduler) balanceDomain(cpu int, dom topo.Domain, idle bool) bool {
+	myLoad := s.NrRunnable(cpu)
+	busiest, busiestLoad := -1, myLoad
+	dom.Span.ForEach(func(other int) {
+		if other == cpu {
+			return
+		}
+		load := s.NrRunnable(other)
+		if load > busiestLoad {
+			busiest, busiestLoad = other, load
+		}
+	})
+	if busiest < 0 {
+		return false
+	}
+	// An idle CPU pulls as soon as anyone has a waiting task; a busy CPU
+	// only corrects an imbalance of two or more.
+	if idle {
+		if busiestLoad < 1 || s.NrQueued(busiest) == 0 {
+			return false
+		}
+	} else if diff := busiestLoad - myLoad; diff < 2 {
+		// A one-task imbalance is corrected only sometimes, mirroring
+		// fix_small_imbalance: the kernel rounds the load average and
+		// occasionally decides a single waiting task is worth moving.
+		// This is the mechanism that makes the paper's ranks wander
+		// when a daemon briefly shares their CPU.
+		if diff < 1 || s.NrQueued(busiest) == 0 || s.rng.Float64() > 0.5 {
+			s.stats.SmallImbalanceSkips++
+			return false
+		}
+	}
+	return s.pullOne(busiest, cpu)
+}
+
+// pullOne steals one queued task from `from` to `to`, walking the class
+// chain in priority order. Reports whether a task moved.
+func (s *Scheduler) pullOne(from, to int) bool {
+	for _, c := range s.classes {
+		if t := c.StealFrom(s, from, to); t != nil {
+			s.completeMove(c, t, from, to)
+			return true
+		}
+	}
+	return false
+}
+
+// completeMove finishes a migration of a queued task: the class has already
+// removed it from the source queue; re-enqueue at the destination and tell
+// the kernel.
+func (s *Scheduler) completeMove(c Class, t *task.Task, from, to int) {
+	t.OnRq = false
+	t.CPU = to
+	t.LastMigrated = s.now()
+	s.hooks.Migrated(t, from, to)
+	c.Enqueue(s, to, t, EnqueueMove)
+	t.OnRq = true
+	s.checkPreemptWakeup(to, t)
+}
+
+// MoveQueued migrates a specific queued task to a destination CPU (used by
+// RT push/pull and by explicit affinity changes).
+func (s *Scheduler) MoveQueued(t *task.Task, to int) {
+	if !t.OnRq {
+		panic("sched: MoveQueued on unqueued task")
+	}
+	from := t.CPU
+	if from == to {
+		return
+	}
+	c := s.ClassOf(t)
+	c.Dequeue(s, from, t)
+	s.completeMove(c, t, from, to)
+}

@@ -1,0 +1,307 @@
+// Package cfs implements the Completely Fair Scheduler class, the baseline
+// the paper measures against. It follows the Linux 2.6.3x design: tasks are
+// ordered by weighted virtual runtime on a red-black tree, sleepers receive
+// a bounded credit when they wake, the woken task preempts the running one
+// when it is sufficiently far behind, and tick-driven preemption enforces a
+// fair timeslice.
+//
+// The behaviours the paper blames for OS noise all live here: a daemon that
+// wakes after a long sleep is placed ahead of the running HPC task and
+// preempts it, and the load balancer treats daemons and HPC ranks alike.
+package cfs
+
+import (
+	"hplsim/internal/rbtree"
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// nice -20 .. +19 mapped to load weights; nice 0 = 1024. This is the
+// kernel's prio_to_weight table: each nice step is a ~1.25x weight change.
+var niceToWeight = [40]int64{
+	88761, 71755, 56483, 46273, 36291,
+	29154, 23254, 18705, 14949, 11916,
+	9548, 7620, 6100, 4904, 3906,
+	3121, 2501, 1991, 1586, 1277,
+	1024, 820, 655, 526, 423,
+	335, 272, 215, 172, 137,
+	110, 87, 70, 56, 45,
+	36, 29, 23, 18, 15,
+}
+
+const nice0Weight = 1024
+
+// WeightOf returns the CFS load weight for a nice value (clamped).
+func WeightOf(nice int) int64 {
+	if nice < -20 {
+		nice = -20
+	}
+	if nice > 19 {
+		nice = 19
+	}
+	return niceToWeight[nice+20]
+}
+
+// Tunables are the CFS knobs, mirroring the sched_* sysctls.
+type Tunables struct {
+	// Latency is the scheduling period: every runnable task should get
+	// a slice within this span.
+	Latency sim.Duration
+	// MinGranularity is the smallest slice a task is given.
+	MinGranularity sim.Duration
+	// WakeupGranularity limits wakeup preemption: the wakee must be at
+	// least this far behind the running task in virtual time.
+	WakeupGranularity sim.Duration
+	// SleeperCredit is the maximum vruntime bonus granted to a waking
+	// sleeper (GENTLE_FAIR_SLEEPERS uses latency/2).
+	SleeperCredit sim.Duration
+}
+
+// DefaultTunables mirrors a 2.6.3x kernel on an 8-CPU machine.
+func DefaultTunables() Tunables {
+	return Tunables{
+		Latency:           18 * sim.Millisecond,
+		MinGranularity:    2250 * sim.Microsecond,
+		WakeupGranularity: 3 * sim.Millisecond,
+		SleeperCredit:     9 * sim.Millisecond,
+	}
+}
+
+// runqueue is the per-CPU CFS state.
+type runqueue struct {
+	tree        rbtree.Tree[*task.Task]
+	minVruntime uint64
+	// weight is the total load weight of queued tasks (used for slice
+	// computation together with the running task's weight).
+	weight int64
+}
+
+// Class is the CFS scheduling class. One instance serves all CPUs.
+type Class struct {
+	tun Tunables
+	rqs []runqueue
+}
+
+// New returns a CFS class for nCPUs.
+func New(nCPUs int, tun Tunables) *Class {
+	return &Class{tun: tun, rqs: make([]runqueue, nCPUs)}
+}
+
+// Name implements sched.Class.
+func (c *Class) Name() string { return "cfs" }
+
+// Handles implements sched.Class.
+func (c *Class) Handles(p task.Policy) bool { return p == task.Normal }
+
+// calcDelta converts an execution time to vruntime for the given weight.
+func calcDelta(d sim.Duration, weight int64) uint64 {
+	return uint64(d) * nice0Weight / uint64(weight)
+}
+
+func (rq *runqueue) updateMin(vr uint64) {
+	if vr > rq.minVruntime {
+		rq.minVruntime = vr
+	}
+}
+
+// Enqueue implements sched.Class.
+func (c *Class) Enqueue(s *sched.Scheduler, cpu int, t *task.Task, kind sched.WakeKind) {
+	rq := &c.rqs[cpu]
+	if t.CFS.Weight == 0 {
+		t.CFS.Weight = WeightOf(t.Nice)
+	}
+	switch kind {
+	case sched.EnqueueWake:
+		// Sleeper fairness: a waking task is placed at most
+		// SleeperCredit behind the queue minimum. Without the clamp a
+		// long sleeper would monopolise the CPU; with it, it still
+		// preempts and runs ahead for up to the credit, which is
+		// exactly the noise mechanism in Section IV.
+		credit := calcDelta(c.tun.SleeperCredit, nice0Weight)
+		floor := uint64(0)
+		if rq.minVruntime > credit {
+			floor = rq.minVruntime - credit
+		}
+		if t.CFS.VRuntime < floor {
+			t.CFS.VRuntime = floor
+		}
+	case sched.EnqueueFork:
+		// A child starts at the queue minimum: no credit, no penalty.
+		if t.CFS.VRuntime < rq.minVruntime {
+			t.CFS.VRuntime = rq.minVruntime
+		}
+	case sched.EnqueueMove:
+		// Migration: the stealer normalised vruntime to be relative;
+		// rebase onto this queue.
+		t.CFS.VRuntime += rq.minVruntime
+	case sched.EnqueuePutPrev:
+		// Keep vruntime as accrued.
+	}
+	t.CFS.Node = rq.tree.Insert(t.CFS.VRuntime, t)
+	rq.weight += t.CFS.Weight
+}
+
+// Dequeue implements sched.Class.
+func (c *Class) Dequeue(s *sched.Scheduler, cpu int, t *task.Task) {
+	rq := &c.rqs[cpu]
+	rq.tree.Remove(t.CFS.Node)
+	t.CFS.Node = nil
+	rq.weight -= t.CFS.Weight
+}
+
+// PickNext implements sched.Class: leftmost task on the timeline.
+func (c *Class) PickNext(s *sched.Scheduler, cpu int) *task.Task {
+	rq := &c.rqs[cpu]
+	n := rq.tree.Min()
+	if n == nil {
+		return nil
+	}
+	t := n.Value
+	c.Dequeue(s, cpu, t)
+	rq.updateMin(t.CFS.VRuntime)
+	t.CFS.SliceStart = t.CFS.VRuntime
+	return t
+}
+
+// ExecCharge implements sched.Class: advance vruntime by the weighted delta
+// and ratchet the queue minimum.
+func (c *Class) ExecCharge(s *sched.Scheduler, cpu int, t *task.Task, delta sim.Duration) {
+	rq := &c.rqs[cpu]
+	t.CFS.VRuntime += calcDelta(delta, t.CFS.Weight)
+	// min_vruntime tracks the smaller of the running task and the
+	// leftmost queued task, and never decreases.
+	minvr := t.CFS.VRuntime
+	if n := rq.tree.Min(); n != nil && n.Key() < minvr {
+		minvr = n.Key()
+	}
+	rq.updateMin(minvr)
+}
+
+// slice returns the running task's fair slice in vruntime units, given the
+// queue state: latency shared by weight, floored at the minimum granularity.
+func (c *Class) slice(rq *runqueue, t *task.Task) uint64 {
+	total := rq.weight + t.CFS.Weight
+	wall := sim.Duration(int64(c.tun.Latency) * t.CFS.Weight / total)
+	if wall < c.tun.MinGranularity {
+		wall = c.tun.MinGranularity
+	}
+	return calcDelta(wall, t.CFS.Weight)
+}
+
+// Tick implements sched.Class: preempt the running task once it has used
+// its slice and someone is waiting.
+func (c *Class) Tick(s *sched.Scheduler, cpu int, t *task.Task) {
+	rq := &c.rqs[cpu]
+	if rq.tree.Len() == 0 {
+		return
+	}
+	ran := t.CFS.VRuntime - t.CFS.SliceStart
+	if ran >= c.slice(rq, t) {
+		s.Resched(cpu)
+		return
+	}
+	// Also preempt if the leftmost waiter has fallen far behind the
+	// running task (it may have been placed there by sleeper credit
+	// after the last wakeup check).
+	if n := rq.tree.Min(); n != nil {
+		gran := calcDelta(c.tun.WakeupGranularity, nice0Weight)
+		if n.Key()+gran < t.CFS.VRuntime {
+			s.Resched(cpu)
+		}
+	}
+}
+
+// CheckPreempt implements sched.Class: the wakee preempts when its vruntime
+// is more than the wakeup granularity behind the running task's.
+func (c *Class) CheckPreempt(s *sched.Scheduler, cpu int, curr, w *task.Task) bool {
+	gran := calcDelta(c.tun.WakeupGranularity, nice0Weight)
+	return w.CFS.VRuntime+gran < curr.CFS.VRuntime
+}
+
+// Queued implements sched.Class.
+func (c *Class) Queued(s *sched.Scheduler, cpu int) int {
+	return c.rqs[cpu].tree.Len()
+}
+
+// StealFrom implements sched.Class: take one queued task allowed to run on
+// `to`, preferring the one that has waited longest (leftmost). Its vruntime
+// is normalised relative to the source queue; Enqueue(EnqueueMove) rebases
+// it at the destination.
+func (c *Class) StealFrom(s *sched.Scheduler, from, to int) *task.Task {
+	rq := &c.rqs[from]
+	for n := rq.tree.Min(); n != nil; n = n.Next() {
+		t := n.Value
+		if !t.Affinity.Has(to) || !s.CanMigrate(t) {
+			continue
+		}
+		c.Dequeue(s, from, t)
+		if t.CFS.VRuntime > rq.minVruntime {
+			t.CFS.VRuntime -= rq.minVruntime
+		} else {
+			t.CFS.VRuntime = 0
+		}
+		return t
+	}
+	return nil
+}
+
+// SelectCPU implements sched.Class.
+func (c *Class) SelectCPU(s *sched.Scheduler, t *task.Task, origin int, kind sched.WakeKind) int {
+	if kind == sched.EnqueueFork {
+		return c.selectFork(s, t)
+	}
+	return c.selectWake(s, t, origin)
+}
+
+// selectFork spreads new tasks onto the least-loaded allowed CPU, breaking
+// ties randomly: this reflects the arrival-order dependence of real fork
+// balancing and is a deliberate source of run-to-run placement variance in
+// the standard-Linux configuration.
+func (c *Class) selectFork(s *sched.Scheduler, t *task.Task) int {
+	best, bestLoad, nties := -1, int(^uint(0)>>1), 0
+	t.Affinity.ForEach(func(cpu int) {
+		load := s.NrRunnable(cpu)
+		switch {
+		case load < bestLoad:
+			best, bestLoad, nties = cpu, load, 1
+		case load == bestLoad:
+			nties++
+			if s.RNG().Intn(nties) == 0 {
+				best = cpu
+			}
+		}
+	})
+	if best < 0 {
+		return t.Affinity.First()
+	}
+	return best
+}
+
+// selectWake prefers the previous CPU (cache affinity) unless it is busy
+// and an idle CPU exists nearby: first the SMT siblings, then the chip.
+func (c *Class) selectWake(s *sched.Scheduler, t *task.Task, prev int) int {
+	if !t.Affinity.Has(prev) {
+		prev = t.Affinity.First()
+	}
+	if s.NrRunnable(prev) == 0 {
+		return prev
+	}
+	spans := []topo.CPUMask{
+		s.Topo.SiblingsOf(prev),
+		s.Topo.ChipMask(s.Topo.ChipOf(prev)),
+	}
+	for _, span := range spans {
+		found := -1
+		span.ForEach(func(cpu int) {
+			if found < 0 && cpu != prev && t.Affinity.Has(cpu) && s.NrRunnable(cpu) == 0 {
+				found = cpu
+			}
+		})
+		if found >= 0 {
+			return found
+		}
+	}
+	return prev
+}

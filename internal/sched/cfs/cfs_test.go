@@ -1,0 +1,281 @@
+package cfs_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sched/cfs"
+	"hplsim/internal/sched/hpc"
+	"hplsim/internal/sched/idleclass"
+	"hplsim/internal/sched/rt"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+type harness struct {
+	now     sim.Time
+	resched []int
+}
+
+func (h *harness) Resched(cpu int)                     { h.resched = append(h.resched, cpu) }
+func (h *harness) Migrated(t *task.Task, from, to int) {}
+func (h *harness) timer(d sim.Duration, fn func())     {}
+func setup(tun cfs.Tunables) (*sched.Scheduler, *cfs.Class, *harness) {
+	h := &harness{}
+	tp := topo.POWER6()
+	n := tp.NumCPUs()
+	c := cfs.New(n, tun)
+	idle := idleclass.New(n)
+	s := sched.New(sched.Config{
+		Topo:    tp,
+		Classes: []sched.Class{rt.New(n), hpc.New(n), c, idle},
+		Hooks:   h,
+		Policy:  sched.BalanceStandard,
+		RNG:     sim.NewRNG(2),
+		Now:     func() sim.Time { return h.now },
+		Timer:   h.timer,
+	})
+	for cpu := 0; cpu < n; cpu++ {
+		t := &task.Task{ID: 1000 + cpu, Policy: task.Idle, State: task.Running,
+			CPU: cpu, Affinity: topo.MaskOf(cpu)}
+		idle.SetIdleTask(cpu, t)
+		s.SetCurr(cpu, t)
+	}
+	return s, c, h
+}
+
+func mkTask(id, nice int) *task.Task {
+	return &task.Task{ID: id, Policy: task.Normal, Nice: nice,
+		State: task.Runnable, Affinity: topo.MaskAll(8)}
+}
+
+func TestWeightTable(t *testing.T) {
+	if cfs.WeightOf(0) != 1024 {
+		t.Fatalf("nice 0 weight = %d, want 1024", cfs.WeightOf(0))
+	}
+	if cfs.WeightOf(-20) != 88761 || cfs.WeightOf(19) != 15 {
+		t.Fatal("weight table extremes wrong")
+	}
+	// Clamping.
+	if cfs.WeightOf(-100) != 88761 || cfs.WeightOf(100) != 15 {
+		t.Fatal("weight clamping broken")
+	}
+	// Each nice step is ~1.25x.
+	for n := -20; n < 19; n++ {
+		ratio := float64(cfs.WeightOf(n)) / float64(cfs.WeightOf(n+1))
+		if ratio < 1.15 || ratio > 1.35 {
+			t.Fatalf("weight ratio at nice %d = %.3f, want ~1.25", n, ratio)
+		}
+	}
+}
+
+func TestPickLowestVruntime(t *testing.T) {
+	s, c, _ := setup(cfs.DefaultTunables())
+	a, b := mkTask(1, 0), mkTask(2, 0)
+	a.CFS.VRuntime = 500
+	b.CFS.VRuntime = 100
+	c.Enqueue(s, 0, a, sched.EnqueuePutPrev)
+	c.Enqueue(s, 0, b, sched.EnqueuePutPrev)
+	if got := c.PickNext(s, 0); got != b {
+		t.Fatalf("PickNext = %v, want lowest-vruntime task", got)
+	}
+}
+
+func TestSleeperCreditBounded(t *testing.T) {
+	tun := cfs.DefaultTunables()
+	s, c, _ := setup(tun)
+	// Establish a high min_vruntime by charging a runner.
+	runner := mkTask(1, 0)
+	c.Enqueue(s, 0, runner, sched.EnqueueWake)
+	r := c.PickNext(s, 0)
+	s.SetCurr(0, r)
+	c.ExecCharge(s, 0, r, 10*sim.Second)
+
+	// A task that slept "forever" (vruntime 0) is clamped to
+	// min_vruntime - SleeperCredit, not to its stale vruntime.
+	sleeper := mkTask(2, 0)
+	sleeper.CFS.VRuntime = 0
+	c.Enqueue(s, 0, sleeper, sched.EnqueueWake)
+	min := r.CFS.VRuntime - uint64(tun.SleeperCredit)
+	if sleeper.CFS.VRuntime < min-1000 || sleeper.CFS.VRuntime > r.CFS.VRuntime {
+		t.Fatalf("sleeper vruntime %d not within credit of runner %d",
+			sleeper.CFS.VRuntime, r.CFS.VRuntime)
+	}
+}
+
+func TestVruntimeWeighting(t *testing.T) {
+	s, c, _ := setup(cfs.DefaultTunables())
+	heavy, light := mkTask(1, -20), mkTask(2, 19)
+	c.Enqueue(s, 0, heavy, sched.EnqueueWake)
+	c.Enqueue(s, 1, light, sched.EnqueueWake)
+	h1 := c.PickNext(s, 0)
+	l1 := c.PickNext(s, 1)
+	c.ExecCharge(s, 0, h1, 100*sim.Millisecond)
+	c.ExecCharge(s, 1, l1, 100*sim.Millisecond)
+	// Same wall time: the heavy task's vruntime advances ~87x slower
+	// than nice 0; the light task ~68x faster.
+	if h1.CFS.VRuntime >= l1.CFS.VRuntime/1000 {
+		t.Fatalf("weighting wrong: heavy=%d light=%d",
+			h1.CFS.VRuntime, l1.CFS.VRuntime)
+	}
+}
+
+func TestWakeupPreemptionGranularity(t *testing.T) {
+	tun := cfs.DefaultTunables()
+	s, c, _ := setup(tun)
+	curr := mkTask(1, 0)
+	curr.CFS.Weight = cfs.WeightOf(0)
+	curr.CFS.VRuntime = uint64(100 * sim.Millisecond)
+
+	// A wakee just barely behind: no preemption.
+	near := mkTask(2, 0)
+	near.CFS.Weight = cfs.WeightOf(0)
+	near.CFS.VRuntime = curr.CFS.VRuntime - uint64(tun.WakeupGranularity)/2
+	if c.CheckPreempt(s, 0, curr, near) {
+		t.Fatal("wakee within granularity preempted")
+	}
+	// A wakee far behind: preempt.
+	far := mkTask(3, 0)
+	far.CFS.Weight = cfs.WeightOf(0)
+	far.CFS.VRuntime = curr.CFS.VRuntime - uint64(2*tun.WakeupGranularity)
+	if !c.CheckPreempt(s, 0, curr, far) {
+		t.Fatal("wakee beyond granularity did not preempt")
+	}
+}
+
+func TestTickSliceExpiry(t *testing.T) {
+	s, c, h := setup(cfs.DefaultTunables())
+	a, b := mkTask(1, 0), mkTask(2, 0)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	c.Enqueue(s, 0, b, sched.EnqueueWake)
+	curr := c.PickNext(s, 0)
+	s.SetCurr(0, curr)
+
+	h.resched = nil
+	// Before the slice is up: no resched.
+	c.ExecCharge(s, 0, curr, sim.Millisecond)
+	c.Tick(s, 0, curr)
+	if len(h.resched) != 0 {
+		t.Fatal("tick preempted before slice expiry")
+	}
+	// Burn well past the fair slice.
+	c.ExecCharge(s, 0, curr, 50*sim.Millisecond)
+	c.Tick(s, 0, curr)
+	if len(h.resched) == 0 {
+		t.Fatal("tick did not preempt after slice expiry")
+	}
+}
+
+func TestTickAloneNeverPreempts(t *testing.T) {
+	s, c, h := setup(cfs.DefaultTunables())
+	a := mkTask(1, 0)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	curr := c.PickNext(s, 0)
+	s.SetCurr(0, curr)
+	c.ExecCharge(s, 0, curr, 10*sim.Second)
+	h.resched = nil
+	c.Tick(s, 0, curr)
+	if len(h.resched) != 0 {
+		t.Fatal("lone task preempted by tick")
+	}
+}
+
+func TestStealNormalizesVruntime(t *testing.T) {
+	s, c, _ := setup(cfs.DefaultTunables())
+	// CPU 0 has a high min_vruntime; CPU 1 is fresh.
+	runner := mkTask(1, 0)
+	c.Enqueue(s, 0, runner, sched.EnqueueWake)
+	r := c.PickNext(s, 0)
+	s.SetCurr(0, r)
+	c.ExecCharge(s, 0, r, 5*sim.Second)
+
+	victim := mkTask(2, 0)
+	c.Enqueue(s, 0, victim, sched.EnqueueWake)
+	vr0 := victim.CFS.VRuntime
+
+	stolen := c.StealFrom(s, 0, 1)
+	if stolen != victim {
+		t.Fatalf("StealFrom = %v, want victim", stolen)
+	}
+	c.Enqueue(s, 1, stolen, sched.EnqueueMove)
+	// On the fresh queue the task must not carry five seconds of
+	// vruntime debt or credit.
+	if stolen.CFS.VRuntime > vr0 {
+		t.Fatalf("vruntime grew across migration: %d -> %d", vr0, stolen.CFS.VRuntime)
+	}
+}
+
+func TestStealRespectsAffinity(t *testing.T) {
+	s, c, _ := setup(cfs.DefaultTunables())
+	a := mkTask(1, 0)
+	a.Affinity = topo.MaskOf(0)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	if got := c.StealFrom(s, 0, 1); got != nil {
+		t.Fatalf("stole affinity-pinned task %v", got)
+	}
+}
+
+func TestSelectForkSpreads(t *testing.T) {
+	s, c, _ := setup(cfs.DefaultTunables())
+	used := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		tk := mkTask(10+i, 0)
+		cpu := c.SelectCPU(s, tk, 0, sched.EnqueueFork)
+		c.Enqueue(s, cpu, tk, sched.EnqueueFork)
+		used[cpu] = true
+	}
+	if len(used) != 8 {
+		t.Fatalf("8 forks used %d CPUs, want 8", len(used))
+	}
+}
+
+func TestSelectWakePrefersIdlePrev(t *testing.T) {
+	s, c, _ := setup(cfs.DefaultTunables())
+	tk := mkTask(1, 0)
+	if got := c.SelectCPU(s, tk, 4, sched.EnqueueWake); got != 4 {
+		t.Fatalf("wake to idle prev = %d, want 4", got)
+	}
+	// Busy prev with an idle SMT sibling: go to the sibling.
+	busy := mkTask(2, 0)
+	c.Enqueue(s, 4, busy, sched.EnqueueWake)
+	if got := c.SelectCPU(s, tk, 4, sched.EnqueueWake); got != 5 {
+		t.Fatalf("wake with busy prev = %d, want sibling 5", got)
+	}
+}
+
+func TestQueuedCount(t *testing.T) {
+	s, c, _ := setup(cfs.DefaultTunables())
+	check := func(n uint8) bool {
+		cnt := int(n % 16)
+		tasks := make([]*task.Task, cnt)
+		for i := range tasks {
+			tasks[i] = mkTask(100+i, 0)
+			c.Enqueue(s, 2, tasks[i], sched.EnqueueWake)
+		}
+		ok := c.Queued(s, 2) == cnt
+		for _, tk := range tasks {
+			c.Dequeue(s, 2, tk)
+		}
+		return ok && c.Queued(s, 2) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlesOnlyNormal(t *testing.T) {
+	_, c, _ := setup(cfs.DefaultTunables())
+	if !c.Handles(task.Normal) {
+		t.Fatal("cfs does not handle Normal")
+	}
+	for _, p := range []task.Policy{task.FIFO, task.RR, task.HPC, task.Idle} {
+		if c.Handles(p) {
+			t.Fatalf("cfs handles %v", p)
+		}
+	}
+	if c.Name() != "cfs" {
+		t.Fatal("name wrong")
+	}
+}

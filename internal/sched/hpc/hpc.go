@@ -1,0 +1,221 @@
+// Package hpc implements the paper's contribution: the HPL scheduling
+// class for HPC tasks, inserted between the Real-Time and CFS classes
+// (Section IV).
+//
+// Design, following the paper:
+//
+//   - Strict class priority: while a runnable HPC task exists on a CPU, no
+//     CFS task (user or kernel daemon) is ever selected there, which
+//     removes daemon-induced preemption of HPC ranks.
+//   - A simple round-robin runqueue: HPC systems run at most one task per
+//     hardware thread, so "a complex algorithm to select the next task to
+//     run is not warranted".
+//   - Topology-aware placement performed only at fork time: tasks are
+//     spread first across chips, then across the cores of a chip, then
+//     across the SMT threads of a core — one task per core as long as
+//     tasks <= cores. After placement the scheduler "stays out of the
+//     way": the class never participates in dynamic load balancing (the
+//     scheduler core additionally suppresses balancing of the other
+//     classes while HPC tasks are alive, unless the ablation policy
+//     re-enables it).
+//   - Wakeups always return the task to the CPU it last used, preserving
+//     cache affinity.
+package hpc
+
+import (
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// Timeslice is the HPC round-robin quantum. It only matters in the "special
+// cases such as initialization and finalization" when a CPU briefly holds
+// more than one HPC task.
+const Timeslice = 100 * sim.Millisecond
+
+// Class is the HPL scheduling class.
+type Class struct {
+	// Naive disables the topology-aware placement (ablation A2): forks
+	// go to the allowed CPU with the fewest HPC tasks, lowest id first,
+	// ignoring chips, cores, and SMT sharing.
+	Naive bool
+
+	rqs [][]*task.Task // per-CPU FIFO ring
+}
+
+// New returns an HPC class for nCPUs.
+func New(nCPUs int) *Class {
+	return &Class{rqs: make([][]*task.Task, nCPUs)}
+}
+
+// Name implements sched.Class.
+func (c *Class) Name() string { return "hpc" }
+
+// Handles implements sched.Class.
+func (c *Class) Handles(p task.Policy) bool { return p == task.HPC }
+
+// Enqueue implements sched.Class: plain FIFO tail insert; a preempted task
+// also goes to the tail (round robin).
+func (c *Class) Enqueue(s *sched.Scheduler, cpu int, t *task.Task, kind sched.WakeKind) {
+	c.rqs[cpu] = append(c.rqs[cpu], t)
+}
+
+// Dequeue implements sched.Class.
+func (c *Class) Dequeue(s *sched.Scheduler, cpu int, t *task.Task) {
+	q := c.rqs[cpu]
+	for i, qt := range q {
+		if qt == t {
+			c.rqs[cpu] = append(q[:i:i], q[i+1:]...)
+			return
+		}
+	}
+	panic("hpc: dequeue of task not queued")
+}
+
+// PickNext implements sched.Class.
+func (c *Class) PickNext(s *sched.Scheduler, cpu int) *task.Task {
+	q := c.rqs[cpu]
+	if len(q) == 0 {
+		return nil
+	}
+	t := q[0]
+	c.rqs[cpu] = q[1:]
+	if t.HPC.Slice <= 0 {
+		t.HPC.Slice = Timeslice
+	}
+	return t
+}
+
+// ExecCharge implements sched.Class.
+func (c *Class) ExecCharge(s *sched.Scheduler, cpu int, t *task.Task, delta sim.Duration) {
+	t.HPC.Slice -= delta
+}
+
+// Tick implements sched.Class: rotate only when a peer is waiting.
+func (c *Class) Tick(s *sched.Scheduler, cpu int, t *task.Task) {
+	if t.HPC.Slice > 0 {
+		return
+	}
+	t.HPC.Slice = Timeslice
+	if len(c.rqs[cpu]) > 0 {
+		s.Resched(cpu)
+	}
+}
+
+// CheckPreempt implements sched.Class: an HPC wakee never preempts a
+// running HPC task; it waits for its round-robin turn.
+func (c *Class) CheckPreempt(s *sched.Scheduler, cpu int, curr, w *task.Task) bool {
+	return false
+}
+
+// Queued implements sched.Class.
+func (c *Class) Queued(s *sched.Scheduler, cpu int) int { return len(c.rqs[cpu]) }
+
+// StealFrom implements sched.Class. The HPC class never balances itself
+// under the HPL policy; under the dynamic-balancing ablation
+// (BalanceHPLDynamic) or plain standard policy it behaves like a FIFO
+// steal, so the cost of re-enabling balancing can be measured.
+func (c *Class) StealFrom(s *sched.Scheduler, from, to int) *task.Task {
+	if s.Policy() == sched.BalanceHPL {
+		return nil
+	}
+	for _, t := range c.rqs[from] {
+		if t.Affinity.Has(to) && s.CanMigrate(t) {
+			c.Dequeue(s, from, t)
+			return t
+		}
+	}
+	return nil
+}
+
+// SelectCPU implements sched.Class: topology-aware spread at fork,
+// stay-put at wakeup.
+func (c *Class) SelectCPU(s *sched.Scheduler, t *task.Task, origin int, kind sched.WakeKind) int {
+	if kind != sched.EnqueueFork {
+		if t.Affinity.Has(origin) {
+			return origin
+		}
+		return t.Affinity.First()
+	}
+	if c.Naive {
+		return c.placeNaive(s, t)
+	}
+	return c.place(s, t)
+}
+
+// placeNaive is the ablation placement: least-loaded allowed CPU by HPC
+// count, lowest id wins ties. On the POWER6 it packs ranks onto the first
+// chip's SMT threads before touching the second chip.
+func (c *Class) placeNaive(s *sched.Scheduler, t *task.Task) int {
+	best, bestLoad := -1, int(^uint(0)>>1)
+	t.Affinity.ForEach(func(cpu int) {
+		n := c.loadAt(s, cpu, t)
+		if n < bestLoad {
+			best, bestLoad = cpu, n
+		}
+	})
+	return best
+}
+
+// loadAt counts the HPC tasks on cpu for placement purposes. The forking
+// parent (mpiexec) is excluded: it is momentarily running while it forks
+// but is about to block in wait(), and counting it would squeeze the ranks
+// onto one CPU fewer — with dynamic balancing disabled, permanently.
+func (c *Class) loadAt(s *sched.Scheduler, cpu int, t *task.Task) int {
+	n := len(c.rqs[cpu])
+	if curr := s.Curr(cpu); curr != nil && curr.Policy == task.HPC && curr != t.Parent {
+		n++
+	}
+	return n
+}
+
+// place implements the fork-time balancer: count HPC tasks per chip, per
+// core and per thread, and put the child on the least-loaded chip, then the
+// least-loaded core of that chip, then the least-loaded hardware thread of
+// that core. With eight ranks on the paper's 2x2x2 machine this yields one
+// rank per hardware thread; with four ranks, one per core.
+func (c *Class) place(s *sched.Scheduler, t *task.Task) int {
+	tp := s.Topo
+	perCPU := make([]int, tp.NumCPUs())
+	for cpu := 0; cpu < tp.NumCPUs(); cpu++ {
+		perCPU[cpu] = c.loadAt(s, cpu, t)
+	}
+	sum := func(mask interface{ ForEach(func(int)) }) int {
+		total := 0
+		mask.ForEach(func(cpu int) { total += perCPU[cpu] })
+		return total
+	}
+
+	// Least-loaded chip with an allowed CPU.
+	bestChip, bestChipLoad := -1, int(^uint(0)>>1)
+	for chip := 0; chip < tp.Chips; chip++ {
+		if tp.ChipMask(chip).And(t.Affinity).Empty() {
+			continue
+		}
+		if load := sum(tp.ChipMask(chip)); load < bestChipLoad {
+			bestChip, bestChipLoad = chip, load
+		}
+	}
+	if bestChip < 0 {
+		return t.Affinity.First()
+	}
+	// Least-loaded core of that chip.
+	bestCore, bestCoreLoad := -1, int(^uint(0)>>1)
+	for i := 0; i < tp.CoresPerChip; i++ {
+		core := bestChip*tp.CoresPerChip + i
+		if tp.CoreMask(core).And(t.Affinity).Empty() {
+			continue
+		}
+		if load := sum(tp.CoreMask(core)); load < bestCoreLoad {
+			bestCore, bestCoreLoad = core, load
+		}
+	}
+	// Least-loaded allowed hardware thread of that core.
+	bestCPU, bestCPULoad := -1, int(^uint(0)>>1)
+	tp.CoreMask(bestCore).And(t.Affinity).ForEach(func(cpu int) {
+		if perCPU[cpu] < bestCPULoad {
+			bestCPU, bestCPULoad = cpu, perCPU[cpu]
+		}
+	})
+	return bestCPU
+}

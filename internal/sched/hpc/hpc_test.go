@@ -1,0 +1,232 @@
+package hpc_test
+
+import (
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sched/cfs"
+	"hplsim/internal/sched/hpc"
+	"hplsim/internal/sched/idleclass"
+	"hplsim/internal/sched/rt"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+type harness struct {
+	now     sim.Time
+	resched []int
+}
+
+func (h *harness) Resched(cpu int)                     { h.resched = append(h.resched, cpu) }
+func (h *harness) Migrated(t *task.Task, from, to int) {}
+
+func setup(tp topo.Topology, policy sched.BalancePolicy, naive bool) (*sched.Scheduler, *hpc.Class, *harness) {
+	h := &harness{}
+	n := tp.NumCPUs()
+	c := hpc.New(n)
+	c.Naive = naive
+	idle := idleclass.New(n)
+	s := sched.New(sched.Config{
+		Topo:    tp,
+		Classes: []sched.Class{rt.New(n), c, cfs.New(n, cfs.DefaultTunables()), idle},
+		Hooks:   h,
+		Policy:  policy,
+		RNG:     sim.NewRNG(4),
+		Now:     func() sim.Time { return h.now },
+		Timer:   func(d sim.Duration, fn func()) {},
+	})
+	for cpu := 0; cpu < n; cpu++ {
+		t := &task.Task{ID: 1000 + cpu, Policy: task.Idle, State: task.Running,
+			CPU: cpu, Affinity: topo.MaskOf(cpu)}
+		idle.SetIdleTask(cpu, t)
+		s.SetCurr(cpu, t)
+	}
+	return s, c, h
+}
+
+func mkHPC(id int) *task.Task {
+	return &task.Task{ID: id, Policy: task.HPC,
+		State: task.Runnable, Affinity: topo.MaskAll(8)}
+}
+
+func TestRoundRobinFIFO(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, false)
+	a, b := mkHPC(1), mkHPC(2)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	c.Enqueue(s, 0, b, sched.EnqueueWake)
+	if c.PickNext(s, 0) != a {
+		t.Fatal("not FIFO")
+	}
+	// Preempted task goes to the tail (round robin).
+	c.Enqueue(s, 0, a, sched.EnqueuePutPrev)
+	if c.PickNext(s, 0) != b {
+		t.Fatal("preempted task cut the line")
+	}
+}
+
+func TestSliceRotationOnlyWithPeers(t *testing.T) {
+	s, c, h := setup(topo.POWER6(), sched.BalanceHPL, false)
+	a, b := mkHPC(1), mkHPC(2)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	c.Enqueue(s, 0, b, sched.EnqueueWake)
+	curr := c.PickNext(s, 0)
+	s.SetCurr(0, curr)
+	h.resched = nil
+	c.ExecCharge(s, 0, curr, hpc.Timeslice+sim.Millisecond)
+	c.Tick(s, 0, curr)
+	if len(h.resched) == 0 {
+		t.Fatal("no rotation with a waiting peer")
+	}
+	// Alone: expiry refills quietly.
+	c.PickNext(s, 0) // drain b
+	h.resched = nil
+	c.ExecCharge(s, 0, curr, hpc.Timeslice+sim.Millisecond)
+	c.Tick(s, 0, curr)
+	if len(h.resched) != 0 {
+		t.Fatal("lone HPC task rotated")
+	}
+}
+
+func TestNoWakePreemption(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, false)
+	curr, w := mkHPC(1), mkHPC(2)
+	if c.CheckPreempt(s, 0, curr, w) {
+		t.Fatal("HPC wakee preempted a running HPC task")
+	}
+}
+
+func TestPlacementSpreadsChipsFirst(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, false)
+	tp := topo.POWER6()
+	// Place 8 tasks one at a time, simulating running placement by
+	// enqueueing each at its chosen CPU.
+	perChipAfter2 := map[int]int{}
+	var placed []int
+	for i := 0; i < 8; i++ {
+		tk := mkHPC(10 + i)
+		cpu := c.SelectCPU(s, tk, 0, sched.EnqueueFork)
+		c.Enqueue(s, cpu, tk, sched.EnqueueFork)
+		placed = append(placed, cpu)
+		if i == 1 {
+			for _, p := range placed {
+				perChipAfter2[tp.ChipOf(p)]++
+			}
+		}
+	}
+	// After two placements, one per chip.
+	if perChipAfter2[0] != 1 || perChipAfter2[1] != 1 {
+		t.Fatalf("first two tasks not spread across chips: %v", placed)
+	}
+	// After four, one per core; after eight, one per hardware thread.
+	perCore := map[int]int{}
+	for _, p := range placed[:4] {
+		perCore[tp.CoreOf(p)]++
+	}
+	for core, n := range perCore {
+		if n != 1 {
+			t.Fatalf("core %d has %d of the first four tasks: %v", core, n, placed)
+		}
+	}
+	perCPU := map[int]int{}
+	for _, p := range placed {
+		perCPU[p]++
+	}
+	if len(perCPU) != 8 {
+		t.Fatalf("8 tasks on %d CPUs: %v", len(perCPU), placed)
+	}
+}
+
+func TestNaivePlacementPacks(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, true)
+	tp := topo.POWER6()
+	var placed []int
+	for i := 0; i < 4; i++ {
+		tk := mkHPC(10 + i)
+		cpu := c.SelectCPU(s, tk, 0, sched.EnqueueFork)
+		c.Enqueue(s, cpu, tk, sched.EnqueueFork)
+		placed = append(placed, cpu)
+	}
+	// First-fit packs the first chip's four hardware threads.
+	for _, p := range placed {
+		if tp.ChipOf(p) != 0 {
+			t.Fatalf("naive placement used chip 1: %v", placed)
+		}
+	}
+}
+
+func TestPlacementExcludesParent(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, false)
+	// mpiexec (HPC) runs on CPU 0 while forking.
+	parent := mkHPC(1)
+	parent.State = task.Running
+	parent.CPU = 0
+	s.SetCurr(0, parent)
+
+	used := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		tk := mkHPC(10 + i)
+		tk.Parent = parent
+		cpu := c.SelectCPU(s, tk, 0, sched.EnqueueFork)
+		c.Enqueue(s, cpu, tk, sched.EnqueueFork)
+		used[cpu] = true
+	}
+	// All eight CPUs must be used: the parent's transient occupancy of
+	// CPU 0 does not push ranks off it.
+	if len(used) != 8 {
+		t.Fatalf("ranks used %d CPUs, want 8 (parent squeezed them)", len(used))
+	}
+}
+
+func TestWakeStaysPut(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, false)
+	tk := mkHPC(1)
+	if got := c.SelectCPU(s, tk, 5, sched.EnqueueWake); got != 5 {
+		t.Fatalf("HPC wake moved to %d, want 5", got)
+	}
+}
+
+func TestStealBlockedUnderHPLPolicy(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, false)
+	a, b := mkHPC(1), mkHPC(2)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	c.Enqueue(s, 0, b, sched.EnqueueWake)
+	if got := c.StealFrom(s, 0, 1); got != nil {
+		t.Fatalf("HPL policy allowed stealing %v", got)
+	}
+}
+
+func TestStealAllowedUnderDynamicPolicy(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPLDynamic, false)
+	a, b := mkHPC(1), mkHPC(2)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	c.Enqueue(s, 0, b, sched.EnqueueWake)
+	if got := c.StealFrom(s, 0, 1); got == nil {
+		t.Fatal("dynamic policy refused to steal")
+	}
+}
+
+func TestHandles(t *testing.T) {
+	_, c, _ := setup(topo.POWER6(), sched.BalanceHPL, false)
+	if !c.Handles(task.HPC) {
+		t.Fatal("hpc must handle HPC")
+	}
+	for _, p := range []task.Policy{task.Normal, task.FIFO, task.RR, task.Idle} {
+		if c.Handles(p) {
+			t.Fatalf("hpc handles %v", p)
+		}
+	}
+	if c.Name() != "hpc" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestPlacementRespectsAffinity(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, false)
+	tk := mkHPC(1)
+	tk.Affinity = topo.MaskOf(6, 7)
+	cpu := c.SelectCPU(s, tk, 0, sched.EnqueueFork)
+	if cpu != 6 && cpu != 7 {
+		t.Fatalf("placement ignored affinity: %d", cpu)
+	}
+}

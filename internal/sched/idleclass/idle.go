@@ -1,0 +1,78 @@
+// Package idleclass implements the lowest scheduling class: it always has
+// exactly the per-CPU idle task (swapper) available, so the scheduler
+// core's search for a runnable task can never fail — "the idle class always
+// contains at least the idle process" (Section IV).
+package idleclass
+
+import (
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// Class is the idle scheduling class.
+type Class struct {
+	idle []*task.Task
+}
+
+// New returns an idle class for nCPUs. The kernel must register each CPU's
+// idle task with SetIdleTask before the scheduler runs.
+func New(nCPUs int) *Class {
+	return &Class{idle: make([]*task.Task, nCPUs)}
+}
+
+// SetIdleTask registers the swapper task of cpu.
+func (c *Class) SetIdleTask(cpu int, t *task.Task) { c.idle[cpu] = t }
+
+// IdleTask returns the swapper task of cpu.
+func (c *Class) IdleTask(cpu int) *task.Task { return c.idle[cpu] }
+
+// Name implements sched.Class.
+func (c *Class) Name() string { return "idle" }
+
+// Handles implements sched.Class.
+func (c *Class) Handles(p task.Policy) bool { return p == task.Idle }
+
+// Enqueue implements sched.Class. The idle task is never enqueued: it is
+// conjured by PickNext. Reaching here is a kernel bug.
+func (c *Class) Enqueue(s *sched.Scheduler, cpu int, t *task.Task, kind sched.WakeKind) {
+	panic("idleclass: idle task enqueued")
+}
+
+// Dequeue implements sched.Class.
+func (c *Class) Dequeue(s *sched.Scheduler, cpu int, t *task.Task) {
+	panic("idleclass: idle task dequeued")
+}
+
+// PickNext implements sched.Class: always the CPU's swapper.
+func (c *Class) PickNext(s *sched.Scheduler, cpu int) *task.Task {
+	if c.idle[cpu] == nil {
+		panic("idleclass: no idle task registered")
+	}
+	return c.idle[cpu]
+}
+
+// ExecCharge implements sched.Class: idle time is not charged anywhere.
+func (c *Class) ExecCharge(s *sched.Scheduler, cpu int, t *task.Task, delta sim.Duration) {}
+
+// Tick implements sched.Class. Idle CPUs are tickless in this model, so
+// this is never called; it is a no-op for safety.
+func (c *Class) Tick(s *sched.Scheduler, cpu int, t *task.Task) {}
+
+// CheckPreempt implements sched.Class: anything preempts idle. (The
+// scheduler core handles cross-class preemption; two idle tasks never
+// contend.)
+func (c *Class) CheckPreempt(s *sched.Scheduler, cpu int, curr, w *task.Task) bool {
+	return true
+}
+
+// Queued implements sched.Class.
+func (c *Class) Queued(s *sched.Scheduler, cpu int) int { return 0 }
+
+// StealFrom implements sched.Class: idle tasks never migrate.
+func (c *Class) StealFrom(s *sched.Scheduler, from, to int) *task.Task { return nil }
+
+// SelectCPU implements sched.Class: idle tasks are pinned to their CPU.
+func (c *Class) SelectCPU(s *sched.Scheduler, t *task.Task, origin int, kind sched.WakeKind) int {
+	return origin
+}

@@ -1,0 +1,104 @@
+package idleclass_test
+
+import (
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sched/cfs"
+	"hplsim/internal/sched/hpc"
+	"hplsim/internal/sched/idleclass"
+	"hplsim/internal/sched/rt"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+type hooks struct{}
+
+func (hooks) Resched(int)                   {}
+func (hooks) Migrated(*task.Task, int, int) {}
+
+func setup() (*sched.Scheduler, *idleclass.Class) {
+	tp := topo.POWER6()
+	n := tp.NumCPUs()
+	idle := idleclass.New(n)
+	s := sched.New(sched.Config{
+		Topo:    tp,
+		Classes: []sched.Class{rt.New(n), hpc.New(n), cfs.New(n, cfs.DefaultTunables()), idle},
+		Hooks:   hooks{},
+		RNG:     sim.NewRNG(5),
+		Now:     func() sim.Time { return 0 },
+		Timer:   func(sim.Duration, func()) {},
+	})
+	for cpu := 0; cpu < n; cpu++ {
+		t := &task.Task{ID: 1000 + cpu, Policy: task.Idle, State: task.Running, CPU: cpu}
+		idle.SetIdleTask(cpu, t)
+		s.SetCurr(cpu, t)
+	}
+	return s, idle
+}
+
+func TestAlwaysPicksSwapper(t *testing.T) {
+	s, c := setup()
+	for cpu := 0; cpu < 8; cpu++ {
+		got := c.PickNext(s, cpu)
+		if got == nil || got.Policy != task.Idle || got != c.IdleTask(cpu) {
+			t.Fatalf("PickNext(%d) = %v", cpu, got)
+		}
+	}
+}
+
+func TestSchedulerNeverFails(t *testing.T) {
+	// "The idle class always contains at least the idle process, thus
+	// the scheduler's search cannot fail" (Section IV).
+	s, c := setup()
+	got := s.PickNext(3)
+	if got != c.IdleTask(3) {
+		t.Fatalf("empty system picked %v", got)
+	}
+}
+
+func TestEnqueuePanics(t *testing.T) {
+	s, c := setup()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("enqueue of idle task did not panic")
+		}
+	}()
+	c.Enqueue(s, 0, c.IdleTask(0), sched.EnqueueWake)
+}
+
+func TestQueuedZeroAndNoSteal(t *testing.T) {
+	s, c := setup()
+	if c.Queued(s, 0) != 0 {
+		t.Fatal("idle class reports queued tasks")
+	}
+	if c.StealFrom(s, 0, 1) != nil {
+		t.Fatal("idle class allowed a steal")
+	}
+}
+
+func TestSelectCPUPinned(t *testing.T) {
+	s, c := setup()
+	if got := c.SelectCPU(s, c.IdleTask(2), 2, sched.EnqueueWake); got != 2 {
+		t.Fatalf("idle task moved to %d", got)
+	}
+}
+
+func TestEverythingPreemptsIdle(t *testing.T) {
+	s, c := setup()
+	w := &task.Task{ID: 1, Policy: task.Normal}
+	if !c.CheckPreempt(s, 0, c.IdleTask(0), w) {
+		t.Fatal("idle task not preempted")
+	}
+}
+
+func TestHandles(t *testing.T) {
+	_, c := setup()
+	if !c.Handles(task.Idle) || c.Handles(task.Normal) {
+		t.Fatal("Handles wrong")
+	}
+	if c.Name() != "idle" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,274 @@
+// Package rt implements the real-time scheduling class (SCHED_FIFO and
+// SCHED_RR): 99 strict priority levels with per-level FIFO queues, a
+// round-robin timeslice for RR tasks, and the wake placement that prefers
+// CPUs running lower-priority work.
+//
+// This is the paper's Figure 4 baseline. Running the NAS ranks under
+// SCHED_RR shields them from CFS daemons but, as Section IV explains, does
+// not eliminate noise: with more RT tasks than CPUs (mpiexec plus eight
+// ranks), every balancing pass leaves the system imbalanced and keeps
+// migrating tasks.
+package rt
+
+import (
+	"math/bits"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// RRTimeslice is the SCHED_RR quantum (Linux: 100 ms).
+const RRTimeslice = 100 * sim.Millisecond
+
+// RT group throttling, as in stock 2.6.3x kernels
+// (sched_rt_period_us = 1s, sched_rt_runtime_us = 950ms): real-time tasks
+// may consume at most ThrottleRuntime of CPU per ThrottlePeriod on each
+// CPU; in the remaining slack, lower classes run. This is the safety valve
+// that keeps a runaway RT task from locking up a machine — and the reason
+// the paper's Figure 4 baseline (NAS under SCHED_RR) is *not* noise-free:
+// once a spinning rank exhausts the RT budget, CFS daemons get the CPU for
+// up to 5% of every second.
+const (
+	ThrottlePeriod  = sim.Second
+	ThrottleRuntime = 950 * sim.Millisecond
+)
+
+// maxPrio is the number of real-time priority levels (1..99 used).
+const maxPrio = 100
+
+// runqueue is the per-CPU RT state: an active array of FIFO queues with a
+// bitmap for O(1) highest-priority lookup, plus the throttling budget.
+type runqueue struct {
+	queues [maxPrio][]*task.Task
+	bitmap [2]uint64
+	count  int
+
+	// rtTime is the RT CPU time consumed in the current period.
+	rtTime sim.Duration
+	// periodStart anchors the current throttle period.
+	periodStart sim.Time
+	// throttled blocks PickNext until the period rolls over.
+	throttled bool
+	// unthrottleArmed guards against arming multiple unthrottle timers.
+	unthrottleArmed bool
+}
+
+// rollPeriod resets the budget if the throttle period has elapsed.
+func (rq *runqueue) rollPeriod(now sim.Time) {
+	if now.Sub(rq.periodStart) >= ThrottlePeriod {
+		rq.periodStart = now
+		rq.rtTime = 0
+		rq.throttled = false
+	}
+}
+
+func (rq *runqueue) setBit(p int)   { rq.bitmap[p/64] |= 1 << uint(p%64) }
+func (rq *runqueue) clearBit(p int) { rq.bitmap[p/64] &^= 1 << uint(p%64) }
+
+// highest returns the highest set priority, or -1.
+func (rq *runqueue) highest() int {
+	if rq.bitmap[1] != 0 {
+		return 127 - bits.LeadingZeros64(rq.bitmap[1])
+	}
+	if rq.bitmap[0] != 0 {
+		return 63 - bits.LeadingZeros64(rq.bitmap[0])
+	}
+	return -1
+}
+
+// Class is the real-time scheduling class.
+type Class struct {
+	rqs []runqueue
+}
+
+// New returns an RT class for nCPUs.
+func New(nCPUs int) *Class {
+	return &Class{rqs: make([]runqueue, nCPUs)}
+}
+
+// Name implements sched.Class.
+func (c *Class) Name() string { return "rt" }
+
+// Handles implements sched.Class.
+func (c *Class) Handles(p task.Policy) bool { return p.RealTime() }
+
+// Enqueue implements sched.Class. A preempted FIFO task returns to the head
+// of its priority queue (it was not done with its turn); everything else
+// goes to the tail.
+func (c *Class) Enqueue(s *sched.Scheduler, cpu int, t *task.Task, kind sched.WakeKind) {
+	rq := &c.rqs[cpu]
+	p := t.RTPrio
+	if kind == sched.EnqueuePutPrev && t.Policy == task.FIFO {
+		rq.queues[p] = append([]*task.Task{t}, rq.queues[p]...)
+	} else {
+		rq.queues[p] = append(rq.queues[p], t)
+	}
+	rq.setBit(p)
+	rq.count++
+}
+
+// Dequeue implements sched.Class.
+func (c *Class) Dequeue(s *sched.Scheduler, cpu int, t *task.Task) {
+	rq := &c.rqs[cpu]
+	q := rq.queues[t.RTPrio]
+	for i, qt := range q {
+		if qt == t {
+			rq.queues[t.RTPrio] = append(q[:i:i], q[i+1:]...)
+			if len(rq.queues[t.RTPrio]) == 0 {
+				rq.clearBit(t.RTPrio)
+			}
+			rq.count--
+			return
+		}
+	}
+	panic("rt: dequeue of task not queued")
+}
+
+// PickNext implements sched.Class.
+func (c *Class) PickNext(s *sched.Scheduler, cpu int) *task.Task {
+	rq := &c.rqs[cpu]
+	rq.rollPeriod(s.Now())
+	if rq.throttled {
+		return nil // budget exhausted: let lower classes run
+	}
+	p := rq.highest()
+	if p < 0 {
+		return nil
+	}
+	t := rq.queues[p][0]
+	c.Dequeue(s, cpu, t)
+	if t.Policy == task.RR && t.RT.Slice <= 0 {
+		t.RT.Slice = RRTimeslice
+	}
+	return t
+}
+
+// ExecCharge implements sched.Class: burn the RR timeslice and the per-CPU
+// RT throttling budget.
+func (c *Class) ExecCharge(s *sched.Scheduler, cpu int, t *task.Task, delta sim.Duration) {
+	if t.Policy == task.RR {
+		t.RT.Slice -= delta
+	}
+	rq := &c.rqs[cpu]
+	now := s.Now()
+	rq.rollPeriod(now)
+	rq.rtTime += delta
+	if rq.rtTime >= ThrottleRuntime && !rq.throttled {
+		rq.throttled = true
+		s.Resched(cpu)
+		if !rq.unthrottleArmed {
+			rq.unthrottleArmed = true
+			wait := rq.periodStart.Add(sim.Duration(ThrottlePeriod)).Sub(now)
+			if wait < 0 {
+				wait = 0
+			}
+			cpu := cpu
+			s.Timer(wait, func() {
+				rq.unthrottleArmed = false
+				rq.rollPeriod(s.Now())
+				if rq.count > 0 {
+					s.Resched(cpu)
+				}
+			})
+		}
+	}
+}
+
+// Tick implements sched.Class: rotate RR tasks whose quantum expired, but
+// only if a same-priority peer is waiting (otherwise just refill).
+func (c *Class) Tick(s *sched.Scheduler, cpu int, t *task.Task) {
+	if t.Policy != task.RR || t.RT.Slice > 0 {
+		return
+	}
+	t.RT.Slice = RRTimeslice
+	rq := &c.rqs[cpu]
+	if len(rq.queues[t.RTPrio]) > 0 {
+		s.Resched(cpu)
+	}
+}
+
+// CheckPreempt implements sched.Class: strictly higher priority preempts.
+func (c *Class) CheckPreempt(s *sched.Scheduler, cpu int, curr, w *task.Task) bool {
+	return w.RTPrio > curr.RTPrio
+}
+
+// Queued implements sched.Class.
+func (c *Class) Queued(s *sched.Scheduler, cpu int) int { return c.rqs[cpu].count }
+
+// StealFrom implements sched.Class: pull the highest-priority queued RT
+// task that may run on `to`. Following the kernel's pull_rt_task, only
+// *overloaded* runqueues (two or more queued RT tasks) are eligible
+// sources: a throttled CPU with its single rank briefly queued is not
+// raided, otherwise every throttle window would shuffle the whole job.
+// The paper notes that because there are few RT tasks, the probability of
+// triggering such an operation is higher than for CFS.
+func (c *Class) StealFrom(s *sched.Scheduler, from, to int) *task.Task {
+	rq := &c.rqs[from]
+	if rq.count < 2 {
+		return nil
+	}
+	for p := rq.highest(); p > 0; p-- {
+		for _, t := range rq.queues[p] {
+			if t.Affinity.Has(to) && s.CanMigrate(t) {
+				c.Dequeue(s, from, t)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// SelectCPU implements sched.Class. Both fork and wake placement look for
+// the CPU running the lowest-priority work (idle beats CFS beats lower RT),
+// falling back to the origin, like find_lowest_rq.
+func (c *Class) SelectCPU(s *sched.Scheduler, t *task.Task, origin int, kind sched.WakeKind) int {
+	if t.Affinity.Has(origin) {
+		if curr := s.Curr(origin); curr == nil || rtBeats(t, curr) {
+			return origin
+		}
+	}
+	best, bestRank := -1, 0
+	t.Affinity.ForEach(func(cpu int) {
+		curr := s.Curr(cpu)
+		rank := currRank(curr)
+		if rank > bestRank {
+			best, bestRank = cpu, rank
+		}
+	})
+	if best >= 0 && bestRank > 1 {
+		// Found a CPU running something we can displace.
+		return best
+	}
+	if t.Affinity.Has(origin) {
+		return origin
+	}
+	return t.Affinity.First()
+}
+
+// rtBeats reports whether RT task t would immediately run on a CPU whose
+// current task is curr.
+func rtBeats(t *task.Task, curr *task.Task) bool {
+	if curr.Policy == task.Idle || curr.Policy == task.Normal || curr.Policy == task.HPC {
+		return true
+	}
+	return curr.Policy.RealTime() && t.RTPrio > curr.RTPrio
+}
+
+// currRank scores how displaceable a CPU's current task is: idle is best,
+// then CFS, then HPC, then RT (not displaceable by an equal-priority wakee).
+func currRank(curr *task.Task) int {
+	if curr == nil {
+		return 4
+	}
+	switch curr.Policy {
+	case task.Idle:
+		return 4
+	case task.Normal:
+		return 3
+	case task.HPC:
+		return 2
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,243 @@
+package rt_test
+
+import (
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sched/cfs"
+	"hplsim/internal/sched/hpc"
+	"hplsim/internal/sched/idleclass"
+	"hplsim/internal/sched/rt"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+type harness struct {
+	now     sim.Time
+	resched []int
+	timers  []struct {
+		at sim.Time
+		fn func()
+	}
+}
+
+func (h *harness) Resched(cpu int)                     { h.resched = append(h.resched, cpu) }
+func (h *harness) Migrated(t *task.Task, from, to int) {}
+
+func (h *harness) advance(d sim.Duration) {
+	h.now = h.now.Add(d)
+	rest := h.timers[:0]
+	for _, tm := range h.timers {
+		if tm.at <= h.now {
+			tm.fn()
+		} else {
+			rest = append(rest, tm)
+		}
+	}
+	h.timers = rest
+}
+
+func setup() (*sched.Scheduler, *rt.Class, *harness) {
+	h := &harness{}
+	tp := topo.POWER6()
+	n := tp.NumCPUs()
+	c := rt.New(n)
+	idle := idleclass.New(n)
+	s := sched.New(sched.Config{
+		Topo:    tp,
+		Classes: []sched.Class{c, hpc.New(n), cfs.New(n, cfs.DefaultTunables()), idle},
+		Hooks:   h,
+		Policy:  sched.BalanceStandard,
+		RNG:     sim.NewRNG(3),
+		Now:     func() sim.Time { return h.now },
+		Timer: func(d sim.Duration, fn func()) {
+			h.timers = append(h.timers, struct {
+				at sim.Time
+				fn func()
+			}{h.now.Add(d), fn})
+		},
+	})
+	for cpu := 0; cpu < n; cpu++ {
+		t := &task.Task{ID: 1000 + cpu, Policy: task.Idle, State: task.Running,
+			CPU: cpu, Affinity: topo.MaskOf(cpu)}
+		idle.SetIdleTask(cpu, t)
+		s.SetCurr(cpu, t)
+	}
+	return s, c, h
+}
+
+func mkRT(id int, p task.Policy, prio int) *task.Task {
+	return &task.Task{ID: id, Policy: p, RTPrio: prio,
+		State: task.Runnable, Affinity: topo.MaskAll(8)}
+}
+
+func TestPickHighestPriority(t *testing.T) {
+	s, c, _ := setup()
+	lo := mkRT(1, task.FIFO, 10)
+	hi := mkRT(2, task.FIFO, 80)
+	mid := mkRT(3, task.FIFO, 40)
+	for _, tk := range []*task.Task{lo, hi, mid} {
+		c.Enqueue(s, 0, tk, sched.EnqueueWake)
+	}
+	for _, want := range []*task.Task{hi, mid, lo} {
+		if got := c.PickNext(s, 0); got != want {
+			t.Fatalf("PickNext = %v, want %v", got, want)
+		}
+	}
+	if c.PickNext(s, 0) != nil {
+		t.Fatal("empty queue returned a task")
+	}
+}
+
+func TestFIFOOrderWithinPriority(t *testing.T) {
+	s, c, _ := setup()
+	a, b := mkRT(1, task.FIFO, 50), mkRT(2, task.FIFO, 50)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	c.Enqueue(s, 0, b, sched.EnqueueWake)
+	if c.PickNext(s, 0) != a {
+		t.Fatal("FIFO order violated")
+	}
+	// A preempted FIFO task returns to the HEAD of its priority list.
+	c.Enqueue(s, 0, a, sched.EnqueuePutPrev)
+	if c.PickNext(s, 0) != a {
+		t.Fatal("preempted FIFO task did not return to head")
+	}
+}
+
+func TestRRSliceRefillAndRotation(t *testing.T) {
+	s, c, h := setup()
+	a, b := mkRT(1, task.RR, 50), mkRT(2, task.RR, 50)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	c.Enqueue(s, 0, b, sched.EnqueueWake)
+	curr := c.PickNext(s, 0)
+	s.SetCurr(0, curr)
+	if curr.RT.Slice != rt.RRTimeslice {
+		t.Fatalf("slice not refilled: %v", curr.RT.Slice)
+	}
+	h.resched = nil
+	c.ExecCharge(s, 0, curr, rt.RRTimeslice/2)
+	c.Tick(s, 0, curr)
+	if len(h.resched) != 0 {
+		t.Fatal("RR rotated before quantum expiry")
+	}
+	c.ExecCharge(s, 0, curr, rt.RRTimeslice)
+	c.Tick(s, 0, curr)
+	if len(h.resched) == 0 {
+		t.Fatal("RR did not rotate after quantum expiry")
+	}
+}
+
+func TestRRAloneNoRotation(t *testing.T) {
+	s, c, h := setup()
+	a := mkRT(1, task.RR, 50)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	curr := c.PickNext(s, 0)
+	s.SetCurr(0, curr)
+	c.ExecCharge(s, 0, curr, 2*rt.RRTimeslice)
+	h.resched = nil
+	c.Tick(s, 0, curr)
+	if len(h.resched) != 0 {
+		t.Fatal("lone RR task rotated")
+	}
+}
+
+func TestThrottling(t *testing.T) {
+	s, c, h := setup()
+	a := mkRT(1, task.RR, 50)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	curr := c.PickNext(s, 0)
+	s.SetCurr(0, curr)
+
+	// Burn the full RT budget: the class must request a reschedule and
+	// refuse to serve RT tasks until the period rolls.
+	h.resched = nil
+	c.ExecCharge(s, 0, curr, rt.ThrottleRuntime)
+	if len(h.resched) == 0 {
+		t.Fatal("throttle did not trigger a reschedule")
+	}
+	c.Enqueue(s, 0, curr, sched.EnqueuePutPrev)
+	if got := c.PickNext(s, 0); got != nil {
+		t.Fatalf("throttled queue served %v", got)
+	}
+	// After the period rolls (driven by the unthrottle timer), service
+	// resumes.
+	h.advance(rt.ThrottlePeriod + sim.Millisecond)
+	if got := c.PickNext(s, 0); got != curr {
+		t.Fatalf("unthrottled queue returned %v", got)
+	}
+}
+
+func TestThrottleBudgetIsPerCPU(t *testing.T) {
+	s, c, _ := setup()
+	a, b := mkRT(1, task.RR, 50), mkRT(2, task.RR, 50)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	c.Enqueue(s, 1, b, sched.EnqueueWake)
+	ca := c.PickNext(s, 0)
+	s.SetCurr(0, ca)
+	c.ExecCharge(s, 0, ca, rt.ThrottleRuntime)
+	// CPU 1 still has budget.
+	if got := c.PickNext(s, 1); got != b {
+		t.Fatalf("CPU 1 throttled by CPU 0's usage: got %v", got)
+	}
+}
+
+func TestStealRequiresOverload(t *testing.T) {
+	s, c, _ := setup()
+	a := mkRT(1, task.RR, 50)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	if got := c.StealFrom(s, 0, 1); got != nil {
+		t.Fatalf("stole from non-overloaded queue: %v", got)
+	}
+	b := mkRT(2, task.RR, 60)
+	c.Enqueue(s, 0, b, sched.EnqueueWake)
+	if got := c.StealFrom(s, 0, 1); got != b {
+		t.Fatalf("StealFrom = %v, want highest-priority queued %v", got, b)
+	}
+}
+
+func TestSelectCPUFindsDisplaceable(t *testing.T) {
+	s, c, _ := setup()
+	// Occupy CPU 0 with an equal-priority RT task; the wakee should go
+	// to an idle CPU instead.
+	a := mkRT(1, task.RR, 50)
+	c.Enqueue(s, 0, a, sched.EnqueueWake)
+	s.SetCurr(0, c.PickNext(s, 0))
+
+	w := mkRT(2, task.RR, 50)
+	got := c.SelectCPU(s, w, 0, sched.EnqueueWake)
+	if got == 0 {
+		t.Fatal("wakee placed behind equal-priority RT task despite idle CPUs")
+	}
+}
+
+func TestSelectCPUPrefersIdleOriginOverSearch(t *testing.T) {
+	s, c, _ := setup()
+	w := mkRT(1, task.RR, 50)
+	if got := c.SelectCPU(s, w, 6, sched.EnqueueWake); got != 6 {
+		t.Fatalf("wake = %d, want idle origin 6", got)
+	}
+}
+
+func TestHandles(t *testing.T) {
+	_, c, _ := setup()
+	if !c.Handles(task.FIFO) || !c.Handles(task.RR) {
+		t.Fatal("rt must handle FIFO and RR")
+	}
+	if c.Handles(task.Normal) || c.Handles(task.HPC) || c.Handles(task.Idle) {
+		t.Fatal("rt handles foreign policy")
+	}
+	if c.Name() != "rt" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestQueuedCount(t *testing.T) {
+	s, c, _ := setup()
+	for i := 0; i < 5; i++ {
+		c.Enqueue(s, 2, mkRT(10+i, task.FIFO, 10+i), sched.EnqueueWake)
+	}
+	if c.Queued(s, 2) != 5 {
+		t.Fatalf("Queued = %d, want 5", c.Queued(s, 2))
+	}
+}

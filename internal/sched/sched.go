@@ -1,0 +1,371 @@
+// Package sched implements the scheduler framework the paper builds on:
+// an ordered chain of scheduling classes consulted by a scheduler core, with
+// per-CPU runqueues, wakeup preemption across and within classes, and
+// domain-based load balancing (periodic and idle-triggered).
+//
+// The class chain mirrors Section IV of the paper: Real-Time first, then the
+// new HPC class, then CFS, then Idle. No task from a lower-priority class is
+// ever picked while a higher-priority class has a runnable task on that CPU.
+package sched
+
+import (
+	"fmt"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// WakeKind tells Enqueue why a task is being added to a runqueue; classes
+// use it to decide placement credit (e.g. CFS sleeper fairness).
+type WakeKind int
+
+const (
+	// EnqueueWake: the task just woke from sleep.
+	EnqueueWake WakeKind = iota
+	// EnqueuePutPrev: the task was preempted and stays runnable.
+	EnqueuePutPrev
+	// EnqueueFork: the task was just created.
+	EnqueueFork
+	// EnqueueMove: the task is being migrated between CPUs.
+	EnqueueMove
+)
+
+// Class is one scheduling class. All methods are called with the CPU's
+// runqueue implicitly identified by the cpu argument; classes keep their
+// own per-CPU state.
+type Class interface {
+	// Name is a short identifier for traces ("rt", "hpc", "cfs", "idle").
+	Name() string
+	// Handles reports whether the class schedules tasks of policy p.
+	Handles(p task.Policy) bool
+	// Enqueue adds t to the class runqueue of cpu.
+	Enqueue(s *Scheduler, cpu int, t *task.Task, kind WakeKind)
+	// Dequeue removes a queued task from the class runqueue of cpu.
+	Dequeue(s *Scheduler, cpu int, t *task.Task)
+	// PickNext removes and returns the next task to run on cpu, or nil
+	// if the class has no runnable task there.
+	PickNext(s *Scheduler, cpu int) *task.Task
+	// ExecCharge accounts delta of CPU time consumed by the running task
+	// t on cpu (vruntime for CFS, timeslice burn for RR-style classes).
+	// The kernel calls it whenever it settles a run span.
+	ExecCharge(s *Scheduler, cpu int, t *task.Task, delta sim.Duration)
+	// Tick charges one scheduler tick to the running task t on cpu; the
+	// class calls s.Resched(cpu) if t should yield.
+	Tick(s *Scheduler, cpu int, t *task.Task)
+	// CheckPreempt decides whether the newly woken task w should preempt
+	// the running task curr, both of this class, on cpu.
+	CheckPreempt(s *Scheduler, cpu int, curr, w *task.Task) bool
+	// Queued reports the number of tasks queued (not running) on cpu.
+	Queued(s *Scheduler, cpu int) int
+	// StealFrom removes and returns one migratable queued task from
+	// `from` destined for CPU `to`, or nil. Affinity must be respected.
+	StealFrom(s *Scheduler, from, to int) *task.Task
+	// SelectCPU chooses a CPU for a fork or wakeup. origin is the
+	// parent's CPU (fork) or the task's previous CPU (wake).
+	SelectCPU(s *Scheduler, t *task.Task, origin int, kind WakeKind) int
+}
+
+// Hooks are the kernel services the scheduler core needs. The kernel owns
+// context-switch mechanics and time accounting; the scheduler only decides.
+type Hooks interface {
+	// Resched requests a reschedule of cpu at the current instant.
+	Resched(cpu int)
+	// Migrated notifies that a queued task moved between CPUs, so the
+	// kernel can account the migration and adjust cache state.
+	Migrated(t *task.Task, from, to int)
+}
+
+// BalancePolicy selects the load-balancing behaviour of the whole node.
+type BalancePolicy int
+
+const (
+	// BalanceStandard is vanilla Linux: every class balances, CPUs pull
+	// on idle, periodic balancing corrects imbalance.
+	BalanceStandard BalancePolicy = iota
+	// BalanceHPL is the paper's policy: topology-aware placement at fork
+	// time only; while any HPC task is alive, no dynamic balancing runs
+	// for any class (Section V: "HPL performs no load balancing for any
+	// scheduling class").
+	BalanceHPL
+	// BalanceHPLDynamic is ablation A1: the HPC class exists but dynamic
+	// balancing stays enabled for all classes.
+	BalanceHPLDynamic
+	// BalanceNone disables all dynamic balancing unconditionally
+	// (used by tests and the pinning ablation).
+	BalanceNone
+)
+
+func (p BalancePolicy) String() string {
+	switch p {
+	case BalanceStandard:
+		return "standard"
+	case BalanceHPL:
+		return "hpl"
+	case BalanceHPLDynamic:
+		return "hpl-dynamic"
+	case BalanceNone:
+		return "none"
+	default:
+		return fmt.Sprintf("BalancePolicy(%d)", int(p))
+	}
+}
+
+// Scheduler is the scheduler core: the class chain plus per-CPU bookkeeping.
+type Scheduler struct {
+	Topo    topo.Topology
+	classes []Class
+	hooks   Hooks
+	policy  BalancePolicy
+
+	curr []*task.Task // running task per CPU (nil only before boot)
+
+	// nrHPC counts live HPC-policy tasks system-wide; BalanceHPL
+	// suppresses dynamic balancing while it is non-zero.
+	nrHPC int
+
+	// domains caches the per-CPU scheduling-domain chains.
+	domains [][]topo.Domain
+
+	// nextBalance is the per-CPU, per-domain-level next balance time.
+	nextBalance [][]sim.Time
+	// backoff is the per-CPU, per-domain balance interval multiplier.
+	backoff [][]sim.Duration
+
+	rng   *sim.RNG
+	now   func() sim.Time
+	timer func(sim.Duration, func())
+
+	stats Stats
+}
+
+// Config assembles a Scheduler.
+type Config struct {
+	Topo    topo.Topology
+	Classes []Class // priority order, highest first; must end with idle
+	Hooks   Hooks
+	Policy  BalancePolicy
+	RNG     *sim.RNG
+	Now     func() sim.Time
+	// Timer schedules fn to run after d (engine-backed); classes use it
+	// for time-based state changes such as RT unthrottling.
+	Timer func(d sim.Duration, fn func())
+}
+
+// New builds a scheduler core from the class chain.
+func New(cfg Config) *Scheduler {
+	n := cfg.Topo.NumCPUs()
+	s := &Scheduler{
+		Topo:    cfg.Topo,
+		classes: cfg.Classes,
+		hooks:   cfg.Hooks,
+		policy:  cfg.Policy,
+		curr:    make([]*task.Task, n),
+		domains: make([][]topo.Domain, n),
+		rng:     cfg.RNG,
+		now:     cfg.Now,
+		timer:   cfg.Timer,
+	}
+	s.nextBalance = make([][]sim.Time, n)
+	s.backoff = make([][]sim.Duration, n)
+	for cpu := 0; cpu < n; cpu++ {
+		s.domains[cpu] = cfg.Topo.Domains(cpu)
+		s.nextBalance[cpu] = make([]sim.Time, len(s.domains[cpu]))
+		s.backoff[cpu] = make([]sim.Duration, len(s.domains[cpu]))
+		for i := range s.backoff[cpu] {
+			s.backoff[cpu][i] = 1
+		}
+	}
+	return s
+}
+
+// Now reports the current virtual time (for classes).
+func (s *Scheduler) Now() sim.Time { return s.now() }
+
+// RNG exposes the scheduler's random stream (for tie-breaking in classes).
+func (s *Scheduler) RNG() *sim.RNG { return s.rng }
+
+// Timer schedules fn after d on the simulation engine. It panics if the
+// scheduler was built without a timer (class code that needs one must only
+// run under a full kernel).
+func (s *Scheduler) Timer(d sim.Duration, fn func()) {
+	if s.timer == nil {
+		panic("sched: no timer configured")
+	}
+	s.timer(d, fn)
+}
+
+// Policy reports the balance policy in force.
+func (s *Scheduler) Policy() BalancePolicy { return s.policy }
+
+// Curr reports the task running on cpu (possibly the idle task).
+func (s *Scheduler) Curr(cpu int) *task.Task { return s.curr[cpu] }
+
+// SetCurr records that t is now running on cpu. The kernel calls this from
+// its context-switch path.
+func (s *Scheduler) SetCurr(cpu int, t *task.Task) { s.curr[cpu] = t }
+
+// ClassOf returns the class handling the task's policy.
+func (s *Scheduler) ClassOf(t *task.Task) Class {
+	for _, c := range s.classes {
+		if c.Handles(t.Policy) {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("sched: no class handles policy %v", t.Policy))
+}
+
+// classIndex returns the priority rank of the class handling p (0 = highest).
+func (s *Scheduler) classIndex(p task.Policy) int {
+	for i, c := range s.classes {
+		if c.Handles(p) {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sched: no class handles policy %v", p))
+}
+
+// TaskAlive accounts a new task of the given policy (fork or policy change).
+func (s *Scheduler) TaskAlive(p task.Policy) {
+	if p == task.HPC {
+		s.nrHPC++
+	}
+}
+
+// TaskGone accounts a task leaving the given policy (exit or policy change).
+func (s *Scheduler) TaskGone(p task.Policy) {
+	if p == task.HPC {
+		s.nrHPC--
+		if s.nrHPC < 0 {
+			panic("sched: HPC task count underflow")
+		}
+	}
+}
+
+// NrHPC reports the number of live HPC tasks.
+func (s *Scheduler) NrHPC() int { return s.nrHPC }
+
+// balancingEnabled reports whether dynamic balancing may run now.
+func (s *Scheduler) balancingEnabled() bool {
+	switch s.policy {
+	case BalanceStandard, BalanceHPLDynamic:
+		return true
+	case BalanceHPL:
+		return s.nrHPC == 0
+	default:
+		return false
+	}
+}
+
+// Enqueue places a runnable task on cpu's runqueue and performs the wakeup
+// preemption check against the running task.
+func (s *Scheduler) Enqueue(cpu int, t *task.Task, kind WakeKind) {
+	if t.OnRq {
+		panic(fmt.Sprintf("sched: enqueue of already queued task %v", t))
+	}
+	c := s.ClassOf(t)
+	c.Enqueue(s, cpu, t, kind)
+	t.OnRq = true
+	t.CPU = cpu
+	if kind == EnqueuePutPrev {
+		return // the core is already rescheduling this CPU
+	}
+	s.checkPreemptWakeup(cpu, t)
+}
+
+// Dequeue removes a queued task from its runqueue (sleep, exit, migration).
+func (s *Scheduler) Dequeue(t *task.Task) {
+	if !t.OnRq {
+		panic(fmt.Sprintf("sched: dequeue of unqueued task %v", t))
+	}
+	s.ClassOf(t).Dequeue(s, t.CPU, t)
+	t.OnRq = false
+}
+
+// checkPreemptWakeup decides whether the wakeup of t on cpu should preempt
+// the task currently running there.
+func (s *Scheduler) checkPreemptWakeup(cpu int, t *task.Task) {
+	curr := s.curr[cpu]
+	if curr == nil {
+		s.hooks.Resched(cpu)
+		return
+	}
+	ci, ti := s.classIndex(curr.Policy), s.classIndex(t.Policy)
+	switch {
+	case ti < ci:
+		// Higher-priority class always preempts: the ordering of the
+		// scheduling classes is an implicit prioritisation.
+		if curr.Policy != task.Idle {
+			s.stats.WakePreempts++
+		}
+		s.hooks.Resched(cpu)
+	case ti == ci:
+		if s.classes[ti].CheckPreempt(s, cpu, curr, t) {
+			s.stats.WakePreempts++
+			s.hooks.Resched(cpu)
+		}
+	}
+}
+
+// PickNext selects, removes from its queue, and returns the highest priority
+// runnable task on cpu. The idle class guarantees a non-nil result.
+func (s *Scheduler) PickNext(cpu int) *task.Task {
+	for _, c := range s.classes {
+		if t := c.PickNext(s, cpu); t != nil {
+			t.OnRq = false
+			return t
+		}
+	}
+	panic("sched: idle class returned no task")
+}
+
+// PutPrev re-queues a still-runnable task that is being switched out.
+func (s *Scheduler) PutPrev(cpu int, t *task.Task) {
+	s.Enqueue(cpu, t, EnqueuePutPrev)
+}
+
+// Tick charges a scheduler tick to the running task.
+func (s *Scheduler) Tick(cpu int, t *task.Task) {
+	s.ClassOf(t).Tick(s, cpu, t)
+}
+
+// ExecCharge accounts CPU time consumed by the running task on cpu.
+func (s *Scheduler) ExecCharge(cpu int, t *task.Task, delta sim.Duration) {
+	s.ClassOf(t).ExecCharge(s, cpu, t, delta)
+}
+
+// Resched forwards a class's reschedule request to the kernel.
+func (s *Scheduler) Resched(cpu int) { s.hooks.Resched(cpu) }
+
+// NrQueued reports the number of queued (runnable, not running) tasks on
+// cpu across all classes.
+func (s *Scheduler) NrQueued(cpu int) int {
+	n := 0
+	for _, c := range s.classes {
+		n += c.Queued(s, cpu)
+	}
+	return n
+}
+
+// NrRunnable reports queued tasks plus the running task (0 for idle).
+func (s *Scheduler) NrRunnable(cpu int) int {
+	n := s.NrQueued(cpu)
+	if c := s.curr[cpu]; c != nil && c.Policy != task.Idle {
+		n++
+	}
+	return n
+}
+
+// SelectCPU chooses the CPU for a fork or wakeup of t.
+func (s *Scheduler) SelectCPU(t *task.Task, origin int, kind WakeKind) int {
+	cpu := s.ClassOf(t).SelectCPU(s, t, origin, kind)
+	if !t.Affinity.Has(cpu) {
+		// Class returned a CPU outside the affinity mask; fall back to
+		// the first allowed CPU.
+		cpu = t.Affinity.First()
+		if cpu < 0 {
+			panic(fmt.Sprintf("sched: task %v has empty affinity", t))
+		}
+	}
+	return cpu
+}

@@ -1,0 +1,343 @@
+package sched_test
+
+import (
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sched/cfs"
+	"hplsim/internal/sched/hpc"
+	"hplsim/internal/sched/idleclass"
+	"hplsim/internal/sched/rt"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// harness is a minimal stand-in for the kernel: it records reschedule
+// requests and migrations, and owns the virtual clock.
+type harness struct {
+	now      sim.Time
+	resched  []int
+	migrated []*task.Task
+	timers   []timer
+}
+
+type timer struct {
+	at sim.Time
+	fn func()
+}
+
+func (h *harness) Resched(cpu int) { h.resched = append(h.resched, cpu) }
+func (h *harness) Migrated(t *task.Task, from, to int) {
+	h.migrated = append(h.migrated, t)
+}
+
+// advance moves the clock and fires due timers.
+func (h *harness) advance(d sim.Duration) {
+	h.now = h.now.Add(d)
+	var rest []timer
+	for _, t := range h.timers {
+		if t.at <= h.now {
+			t.fn()
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	h.timers = rest
+}
+
+// newScheduler builds the standard class chain over a POWER6 topology.
+func newScheduler(h *harness, policy sched.BalancePolicy) (*sched.Scheduler, *idleclass.Class) {
+	tp := topo.POWER6()
+	n := tp.NumCPUs()
+	idle := idleclass.New(n)
+	s := sched.New(sched.Config{
+		Topo:    tp,
+		Classes: []sched.Class{rt.New(n), hpc.New(n), cfs.New(n, cfs.DefaultTunables()), idle},
+		Hooks:   h,
+		Policy:  policy,
+		RNG:     sim.NewRNG(1),
+		Now:     func() sim.Time { return h.now },
+		Timer: func(d sim.Duration, fn func()) {
+			h.timers = append(h.timers, timer{at: h.now.Add(d), fn: fn})
+		},
+	})
+	for cpu := 0; cpu < n; cpu++ {
+		t := &task.Task{ID: 1000 + cpu, Name: "swapper", Policy: task.Idle,
+			State: task.Running, CPU: cpu, Affinity: topo.MaskOf(cpu)}
+		idle.SetIdleTask(cpu, t)
+		s.SetCurr(cpu, t)
+	}
+	return s, idle
+}
+
+func newTask(id int, p task.Policy, prio int) *task.Task {
+	return &task.Task{ID: id, Name: "t", Policy: p, RTPrio: prio,
+		State: task.Runnable, Affinity: topo.MaskAll(8)}
+}
+
+func TestClassChainPriority(t *testing.T) {
+	h := &harness{}
+	s, idle := newScheduler(h, sched.BalanceStandard)
+
+	normal := newTask(1, task.Normal, 0)
+	hpcT := newTask(2, task.HPC, 0)
+	rtT := newTask(3, task.RR, 50)
+
+	s.Enqueue(0, normal, sched.EnqueueWake)
+	s.Enqueue(0, hpcT, sched.EnqueueWake)
+	s.Enqueue(0, rtT, sched.EnqueueWake)
+
+	// Pick order must follow the class chain: RT, then HPC, then CFS,
+	// then idle.
+	for _, want := range []*task.Task{rtT, hpcT, normal, idle.IdleTask(0)} {
+		got := s.PickNext(0)
+		if got != want {
+			t.Fatalf("PickNext = %v, want %v", got, want)
+		}
+		s.SetCurr(0, got)
+	}
+}
+
+func TestWakePreemptionAcrossClasses(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+
+	normal := newTask(1, task.Normal, 0)
+	s.Enqueue(0, normal, sched.EnqueueWake)
+	curr := s.PickNext(0)
+	s.SetCurr(0, curr)
+	h.resched = nil
+
+	// An HPC wakee preempts a CFS task.
+	hpcT := newTask(2, task.HPC, 0)
+	s.Enqueue(0, hpcT, sched.EnqueueWake)
+	if len(h.resched) != 1 || h.resched[0] != 0 {
+		t.Fatalf("HPC wake did not preempt CFS curr: resched=%v", h.resched)
+	}
+
+	// A CFS wakee does NOT preempt an HPC task.
+	s.SetCurr(0, hpcT)
+	h.resched = nil
+	other := newTask(3, task.Normal, 0)
+	s.Enqueue(0, other, sched.EnqueueWake)
+	if len(h.resched) != 0 {
+		t.Fatalf("CFS wake preempted HPC curr")
+	}
+}
+
+func TestRTPriorityPreemption(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+
+	lo := newTask(1, task.FIFO, 10)
+	s.Enqueue(0, lo, sched.EnqueueWake)
+	s.SetCurr(0, s.PickNext(0))
+	h.resched = nil
+
+	hi := newTask(2, task.FIFO, 90)
+	s.Enqueue(0, hi, sched.EnqueueWake)
+	if len(h.resched) != 1 {
+		t.Fatal("higher RT priority did not preempt")
+	}
+	// Equal priority must not preempt.
+	s.SetCurr(0, hi)
+	h.resched = nil
+	eq := newTask(3, task.FIFO, 90)
+	s.Enqueue(0, eq, sched.EnqueueWake)
+	if len(h.resched) != 0 {
+		t.Fatal("equal RT priority preempted")
+	}
+}
+
+func TestNrQueuedAndRunnable(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+	if s.NrRunnable(0) != 0 {
+		t.Fatal("idle CPU reports runnable tasks")
+	}
+	a, b := newTask(1, task.Normal, 0), newTask(2, task.HPC, 0)
+	s.Enqueue(0, a, sched.EnqueueWake)
+	s.Enqueue(0, b, sched.EnqueueWake)
+	if s.NrQueued(0) != 2 || s.NrRunnable(0) != 2 {
+		t.Fatalf("queued=%d runnable=%d, want 2/2", s.NrQueued(0), s.NrRunnable(0))
+	}
+	curr := s.PickNext(0)
+	s.SetCurr(0, curr)
+	if s.NrQueued(0) != 1 || s.NrRunnable(0) != 2 {
+		t.Fatalf("after pick: queued=%d runnable=%d, want 1/2", s.NrQueued(0), s.NrRunnable(0))
+	}
+	s.Dequeue(a)
+	if s.NrQueued(0) != 0 {
+		t.Fatal("dequeue did not remove")
+	}
+}
+
+func TestHPLBalanceSuppression(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceHPL)
+
+	// Two CFS tasks stuck on CPU 0 while CPU 1 idles.
+	a, b := newTask(1, task.Normal, 0), newTask(2, task.Normal, 0)
+	s.Enqueue(0, a, sched.EnqueueWake)
+	s.Enqueue(0, b, sched.EnqueueWake)
+	s.SetCurr(0, s.PickNext(0))
+
+	// With a live HPC task, idle balance must do nothing.
+	s.TaskAlive(task.HPC)
+	if s.IdleBalance(1) {
+		t.Fatal("idle balance ran while HPC tasks alive under BalanceHPL")
+	}
+	// Once the HPC task is gone, balancing resumes.
+	s.TaskGone(task.HPC)
+	if !s.IdleBalance(1) {
+		t.Fatal("idle balance did not run after HPC tasks exited")
+	}
+	if len(h.migrated) != 1 {
+		t.Fatalf("migrations = %d, want 1", len(h.migrated))
+	}
+}
+
+func TestIdleBalancePullsQueued(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+	a, b := newTask(1, task.Normal, 0), newTask(2, task.Normal, 0)
+	s.Enqueue(3, a, sched.EnqueueWake)
+	s.Enqueue(3, b, sched.EnqueueWake)
+	s.SetCurr(3, s.PickNext(3))
+
+	if !s.IdleBalance(5) {
+		t.Fatal("idle balance found nothing to pull")
+	}
+	if s.NrQueued(5) != 1 {
+		t.Fatalf("target queue = %d, want 1", s.NrQueued(5))
+	}
+	if b.CPU != 5 && a.CPU != 5 {
+		t.Fatal("no task actually moved to CPU 5")
+	}
+}
+
+func TestMigrationCooldown(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+	// Start away from t=0: LastMigrated==0 means "never migrated".
+	h.advance(sim.Second)
+	a, b := newTask(1, task.Normal, 0), newTask(2, task.Normal, 0)
+	s.Enqueue(0, a, sched.EnqueueWake)
+	s.Enqueue(0, b, sched.EnqueueWake)
+	s.SetCurr(0, s.PickNext(0))
+
+	if !s.IdleBalance(1) {
+		t.Fatal("first pull failed")
+	}
+	moved := h.migrated[0]
+	// Move it back onto CPU 0's queue and try to steal it again
+	// immediately: the cooldown must refuse.
+	s.Dequeue(moved)
+	s.Enqueue(0, moved, sched.EnqueueWake)
+	if s.IdleBalance(2) {
+		t.Fatal("cooldown did not prevent immediate re-migration")
+	}
+	h.advance(sched.MigrationCooldown + sim.Millisecond)
+	if !s.IdleBalance(2) {
+		t.Fatal("pull failed after cooldown expired")
+	}
+}
+
+func TestMoveQueuedRespectsIdentity(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+	a := newTask(1, task.Normal, 0)
+	s.Enqueue(0, a, sched.EnqueueWake)
+	s.MoveQueued(a, 6)
+	if a.CPU != 6 || !a.OnRq {
+		t.Fatalf("MoveQueued left task at %d (onrq=%v)", a.CPU, a.OnRq)
+	}
+	// Moving to the same CPU is a no-op.
+	before := len(h.migrated)
+	s.MoveQueued(a, 6)
+	if len(h.migrated) != before {
+		t.Fatal("same-CPU move counted as migration")
+	}
+}
+
+func TestSelectCPURespectsAffinity(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+	a := newTask(1, task.Normal, 0)
+	a.Affinity = topo.MaskOf(3)
+	cpu := s.SelectCPU(a, 0, sched.EnqueueWake)
+	if cpu != 3 {
+		t.Fatalf("SelectCPU = %d, want 3 (affinity)", cpu)
+	}
+	b := newTask(2, task.HPC, 0)
+	b.Affinity = topo.MaskOf(5)
+	if got := s.SelectCPU(b, 0, sched.EnqueueFork); got != 5 {
+		t.Fatalf("HPC fork SelectCPU = %d, want 5", got)
+	}
+}
+
+func TestEnqueueDequeuePanics(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+	a := newTask(1, task.Normal, 0)
+	s.Enqueue(0, a, sched.EnqueueWake)
+	assertPanics(t, "double enqueue", func() { s.Enqueue(1, a, sched.EnqueueWake) })
+	s.Dequeue(a)
+	assertPanics(t, "double dequeue", func() { s.Dequeue(a) })
+}
+
+func assertPanics(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestBalancePolicyStrings(t *testing.T) {
+	cases := map[sched.BalancePolicy]string{
+		sched.BalanceStandard:   "standard",
+		sched.BalanceHPL:        "hpl",
+		sched.BalanceHPLDynamic: "hpl-dynamic",
+		sched.BalanceNone:       "none",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	h := &harness{}
+	s, _ := newScheduler(h, sched.BalanceStandard)
+	h.advance(sim.Second)
+
+	// A wake preemption: CFS wakee far behind the running task.
+	curr := newTask(1, task.Normal, 0)
+	curr.CFS.VRuntime = uint64(100 * sim.Millisecond)
+	s.Enqueue(0, curr, sched.EnqueuePutPrev)
+	s.SetCurr(0, s.PickNext(0))
+	w := newTask(2, task.Normal, 0)
+	s.Enqueue(0, w, sched.EnqueueWake)
+	if s.Stats().WakePreempts != 1 {
+		t.Fatalf("WakePreempts = %d, want 1", s.Stats().WakePreempts)
+	}
+
+	// An idle pull.
+	if !s.IdleBalance(5) {
+		t.Fatal("idle balance failed")
+	}
+	if s.Stats().IdlePulls != 1 {
+		t.Fatalf("IdlePulls = %d, want 1", s.Stats().IdlePulls)
+	}
+
+	// Periodic balance accounting.
+	s.PeriodicBalance(3)
+	if s.Stats().BalanceCalls == 0 {
+		t.Fatal("periodic balance not counted")
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created by Engine.At and
+// Engine.After and may be cancelled until they fire.
+type Event struct {
+	when   Time
+	seq    uint64 // tie-break: FIFO among events at the same instant
+	index  int    // heap index, -1 when not queued
+	fn     func()
+	callAt Time // diagnostic: time the event was scheduled
+}
+
+// When reports the virtual time at which the event will fire (or fired).
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// eventQueue is a binary heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; the simulation model is single-threaded by design so that
+// runs are exactly reproducible.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Dispatched counts events that have fired, for diagnostics and tests.
+	Dispatched uint64
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at time t. Scheduling in the past panics: that is
+// always a model bug, and silently reordering events would destroy
+// determinism.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn, callAt: e.now}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes ev from the queue. Cancelling an event that already fired
+// or was already cancelled is a no-op, so callers need not track firing.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving FIFO
+// order relative to newly created events (it receives a fresh sequence
+// number). If ev has fired or been cancelled, Reschedule panics.
+func (e *Engine) Reschedule(ev *Event, t Time) {
+	if ev.index < 0 {
+		panic("sim: rescheduling a fired or cancelled event")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, e.now))
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// Stop makes the current Run call return after the in-flight event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step dispatches the single earliest event. It reports false if the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.when < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = ev.when
+	e.Dispatched++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events in order until the queue drains, Stop is called, or
+// the next event lies beyond limit. It returns the virtual time at exit.
+// Pass Infinity to run to completion.
+func (e *Engine) Run(limit Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		if e.queue[0].when > limit {
+			// Advance the clock to the limit so callers observe a
+			// consistent "simulated until" time.
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleDispatch(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Millisecond, fn)
+		e.Step()
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// 1024 pending events, steady insert/dispatch churn: the scheduler
+	// kernel's hot pattern.
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.After(Duration(i)*Microsecond, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1100*Microsecond, fn)
+		e.Step()
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(Millisecond, fn)
+		e.Cancel(ev)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkRNGExpDuration(b *testing.B) {
+	r := NewRNG(2)
+	for i := 0; i < b.N; i++ {
+		r.ExpDuration(Millisecond)
+	}
+}

@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.After(30*Millisecond, func() { got = append(got, 3) })
+	e.After(10*Millisecond, func() { got = append(got, 1) })
+	e.After(20*Millisecond, func() { got = append(got, 2) })
+	e.Run(Infinity)
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(30*Millisecond) {
+		t.Fatalf("final time = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	at := Time(5 * Millisecond)
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(at, func() { got = append(got, i) })
+	}
+	e.Run(Infinity)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events dispatched out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(Millisecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Run(Infinity)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event does not report cancelled")
+	}
+	// Double-cancel is a no-op.
+	e.Cancel(ev)
+}
+
+func TestEngineCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var later *Event
+	later = e.After(2*Millisecond, func() { fired = true })
+	e.After(Millisecond, func() { e.Cancel(later) })
+	e.Run(Infinity)
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestEngineReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.After(Millisecond, func() { at = e.Now() })
+	e.Reschedule(ev, Time(7*Millisecond))
+	e.Run(Infinity)
+	if at != Time(7*Millisecond) {
+		t.Fatalf("rescheduled event fired at %v, want 7ms", at)
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.After(Millisecond, func() { count++ })
+	e.After(10*Millisecond, func() { count++ })
+	e.Run(Time(5 * Millisecond))
+	if count != 1 {
+		t.Fatalf("events before limit = %d, want 1", count)
+	}
+	if e.Now() != Time(5*Millisecond) {
+		t.Fatalf("clock after limited run = %v, want 5ms", e.Now())
+	}
+	e.Run(Infinity)
+	if count != 2 {
+		t.Fatalf("events after resume = %d, want 2", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.After(Millisecond, func() { count++; e.Stop() })
+	e.After(2*Millisecond, func() { count++ })
+	e.Run(Infinity)
+	if count != 1 {
+		t.Fatalf("events after Stop = %d, want 1", count)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run(Infinity)
+}
+
+func TestEngineChainedEvents(t *testing.T) {
+	// An event that schedules another at the same instant must run it in
+	// the same pass (events never fire before their time, never skip).
+	e := NewEngine()
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 100 {
+			e.At(e.Now(), chain)
+		}
+	}
+	e.After(Millisecond, chain)
+	e.Run(Infinity)
+	if depth != 100 {
+		t.Fatalf("chain depth = %d, want 100", depth)
+	}
+	if e.Now() != Time(Millisecond) {
+		t.Fatalf("clock advanced during same-time chain: %v", e.Now())
+	}
+}
+
+func TestEngineMonotonicClock(t *testing.T) {
+	// Property: for any batch of event delays, dispatch times are
+	// non-decreasing.
+	check := func(delays []uint32) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.After(Duration(d%1e6)*Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run(Infinity)
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	// Child streams depend only on (seed, label), not on parent draws.
+	a := NewRNG(7)
+	b := NewRNG(7)
+	b.Uint64()
+	b.Uint64()
+	ca, cb := a.Split(3), b.Split(3)
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("Split stream depends on parent draw count")
+		}
+	}
+	// Different labels give different streams.
+	if a.Split(1).Uint64() == a.Split(2).Uint64() {
+		t.Fatal("Split streams with different labels collide")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.98 || mean > 1.02 {
+		t.Fatalf("exponential mean = %v, want ~1.0", mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(8)
+	p := r.Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(4)
+	base := 10 * Millisecond
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(base, 0.1)
+		if j < 9*Millisecond || j > 11*Millisecond {
+			t.Fatalf("Jitter out of band: %v", j)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tt := Time(0).Add(3 * Second)
+	if tt.Seconds() != 3 {
+		t.Fatalf("Seconds = %v", tt.Seconds())
+	}
+	if tt.Sub(Time(Second)) != 2*Second {
+		t.Fatalf("Sub = %v", tt.Sub(Time(Second)))
+	}
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+}

@@ -1,0 +1,201 @@
+// Package task defines the task control block shared by the scheduler
+// classes and the simulated kernel: identity, scheduling policy and
+// priority, run state, CPU affinity, per-class scheduling-entity fields,
+// cache state, the task's pending work, and accounting counters.
+package task
+
+import (
+	"fmt"
+	"math"
+
+	"hplsim/internal/cache"
+	"hplsim/internal/rbtree"
+	"hplsim/internal/sim"
+	"hplsim/internal/topo"
+)
+
+// Policy selects the scheduling class and intra-class discipline of a task,
+// mirroring Linux's SCHED_* policies plus the paper's new HPC policy.
+type Policy int
+
+const (
+	// Normal is SCHED_NORMAL, handled by CFS. It is deliberately the
+	// zero value: an unspecified policy means an ordinary task.
+	Normal Policy = iota
+	// FIFO is SCHED_FIFO: real-time, runs until it blocks or a higher
+	// priority task preempts it.
+	FIFO
+	// RR is SCHED_RR: real-time round-robin with a timeslice.
+	RR
+	// HPC is the paper's new policy: a class strictly between the
+	// real-time and normal classes, with a round-robin runqueue and
+	// topology-aware fork-time placement.
+	HPC
+	// Idle marks the per-CPU idle task (swapper).
+	Idle
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "FIFO"
+	case RR:
+		return "RR"
+	case HPC:
+		return "HPC"
+	case Normal:
+		return "NORMAL"
+	case Idle:
+		return "IDLE"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// RealTime reports whether the policy belongs to the real-time class.
+func (p Policy) RealTime() bool { return p == FIFO || p == RR }
+
+// State is the lifecycle state of a task.
+type State int
+
+const (
+	// New: created, never enqueued.
+	New State = iota
+	// Runnable: on a runqueue, waiting for a CPU.
+	Runnable
+	// Running: currently on a CPU.
+	Running
+	// Sleeping: off the runqueues, waiting for a timer or an event.
+	Sleeping
+	// Dead: exited.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case New:
+		return "new"
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Sleeping:
+		return "sleeping"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// SpinWork is the Work value of a task that is busy-waiting: it consumes its
+// CPU but never completes; the waited-for event replaces the work.
+const SpinWork = math.MaxFloat64
+
+// CFSEntity holds the per-task state of the CFS class.
+type CFSEntity struct {
+	// VRuntime is the task's weighted virtual runtime in nanoseconds.
+	VRuntime uint64
+	// Weight is the load weight derived from the nice value.
+	Weight int64
+	// SliceStart is the vruntime at which the current timeslice began,
+	// used for tick-driven preemption.
+	SliceStart uint64
+	// Node is the task's node in the CFS timeline while queued.
+	Node *rbtree.Node[*Task]
+}
+
+// RTEntity holds the per-task state of the real-time class.
+type RTEntity struct {
+	// Slice is the remaining SCHED_RR timeslice.
+	Slice sim.Duration
+}
+
+// HPCEntity holds the per-task state of the HPC class.
+type HPCEntity struct {
+	// Slice is the remaining round-robin timeslice.
+	Slice sim.Duration
+}
+
+// Counters are the perf-visible software events of one task.
+type Counters struct {
+	// NVCSw counts voluntary context switches (the task blocked).
+	NVCSw uint64
+	// NIVCSw counts involuntary context switches (the task was
+	// preempted while still runnable).
+	NIVCSw uint64
+	// Migrations counts CPU migrations, including fork placement to a
+	// CPU other than the parent's, as perf does.
+	Migrations uint64
+	// WakeUps counts transitions from sleeping to runnable.
+	WakeUps uint64
+}
+
+// Task is a simulated thread of execution.
+type Task struct {
+	ID   int
+	Name string
+
+	Policy Policy
+	// RTPrio is the real-time priority, 1 (low) to 99 (high); valid for
+	// FIFO and RR tasks.
+	RTPrio int
+	// Nice is the CFS nice value, -20 (heavy) to +19 (light).
+	Nice int
+
+	State State
+	// CPU is the CPU the task is running on, or last ran on.
+	CPU int
+	// Affinity restricts the CPUs the task may use.
+	Affinity topo.CPUMask
+	// OnRq reports whether the task is currently queued in its class
+	// runqueue (the running task itself is not queued).
+	OnRq bool
+
+	CFS CFSEntity
+	RT  RTEntity
+	HPC HPCEntity
+
+	// Work is the remaining full-speed nanoseconds of the current
+	// compute step, or SpinWork for a busy-wait.
+	Work float64
+	// OnDone is invoked by the kernel when Work reaches zero.
+	OnDone func()
+	// Sensitivity is the workload's cache sensitivity in [0,1].
+	Sensitivity float64
+
+	Cache cache.State
+
+	// SumExec is the accumulated CPU time.
+	SumExec sim.Duration
+	// LastRan is when the task last ran (for debugging and traces).
+	LastRan sim.Time
+	// LastMigrated is when the load balancer last moved the task; the
+	// balancer refuses to move it again within the cooldown (the
+	// cache-hot test of can_migrate_task).
+	LastMigrated sim.Time
+	// Spawned is when the task was created.
+	Spawned sim.Time
+	// Exited is when the task died.
+	Exited sim.Time
+
+	Counters Counters
+
+	// Parent is the forking task (nil for boot-time tasks).
+	Parent *Task
+	// LiveChildren counts children that have not yet exited, for wait().
+	LiveChildren int
+	// WaitingChildren marks a task sleeping in wait() until
+	// LiveChildren drops to zero.
+	WaitingChildren bool
+}
+
+// Spinning reports whether the task is busy-waiting.
+func (t *Task) Spinning() bool { return t.Work == SpinWork }
+
+// HasWork reports whether the task has a finite compute step pending.
+func (t *Task) HasWork() bool { return t.Work > 0 && t.Work != SpinWork }
+
+func (t *Task) String() string {
+	return fmt.Sprintf("%s[%d] %s %s cpu%d", t.Name, t.ID, t.Policy, t.State, t.CPU)
+}

@@ -1,0 +1,75 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPolicyZeroValueIsNormal(t *testing.T) {
+	// An unspecified policy must mean an ordinary CFS task: kernel.Attr
+	// relies on this.
+	var p Policy
+	if p != Normal {
+		t.Fatalf("zero Policy = %v, want Normal", p)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	cases := map[Policy]string{
+		Normal: "NORMAL", FIFO: "FIFO", RR: "RR", HPC: "HPC", Idle: "IDLE",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	if !strings.Contains(Policy(99).String(), "99") {
+		t.Fatal("unknown policy string")
+	}
+}
+
+func TestRealTime(t *testing.T) {
+	if !FIFO.RealTime() || !RR.RealTime() {
+		t.Fatal("FIFO/RR must be real-time")
+	}
+	if Normal.RealTime() || HPC.RealTime() || Idle.RealTime() {
+		t.Fatal("non-RT policy reports real-time")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{
+		New: "new", Runnable: "runnable", Running: "running",
+		Sleeping: "sleeping", Dead: "dead",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestSpinningAndHasWork(t *testing.T) {
+	tk := &Task{}
+	if tk.Spinning() || tk.HasWork() {
+		t.Fatal("zero task spinning or has work")
+	}
+	tk.Work = SpinWork
+	if !tk.Spinning() || tk.HasWork() {
+		t.Fatal("spin marker wrong")
+	}
+	tk.Work = 100
+	if tk.Spinning() || !tk.HasWork() {
+		t.Fatal("finite work wrong")
+	}
+}
+
+func TestStringIncludesIdentity(t *testing.T) {
+	tk := &Task{ID: 7, Name: "rank3", Policy: HPC, State: Running, CPU: 5}
+	s := tk.String()
+	for _, frag := range []string{"rank3", "7", "HPC", "running", "cpu5"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String missing %q: %s", frag, s)
+		}
+	}
+}

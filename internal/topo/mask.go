@@ -1,0 +1,86 @@
+package topo
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// CPUMask is a set of logical CPUs, limited to 64 — plenty for a node-level
+// scheduler study (the paper's machine has 8 hardware threads).
+type CPUMask uint64
+
+// MaskAll returns a mask with CPUs 0..n-1 set.
+func MaskAll(n int) CPUMask {
+	if n >= 64 {
+		return ^CPUMask(0)
+	}
+	return CPUMask(1)<<uint(n) - 1
+}
+
+// MaskOf returns a mask containing exactly the given CPUs.
+func MaskOf(cpus ...int) CPUMask {
+	var m CPUMask
+	for _, c := range cpus {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// Has reports whether cpu is in the mask.
+func (m CPUMask) Has(cpu int) bool { return m&(1<<uint(cpu)) != 0 }
+
+// Add returns the mask with cpu added.
+func (m CPUMask) Add(cpu int) CPUMask { return m | 1<<uint(cpu) }
+
+// Remove returns the mask with cpu removed.
+func (m CPUMask) Remove(cpu int) CPUMask { return m &^ (1 << uint(cpu)) }
+
+// And returns the intersection of the two masks.
+func (m CPUMask) And(o CPUMask) CPUMask { return m & o }
+
+// Count reports the number of CPUs in the mask.
+func (m CPUMask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Empty reports whether the mask has no CPUs.
+func (m CPUMask) Empty() bool { return m == 0 }
+
+// First returns the lowest-numbered CPU in the mask, or -1 if empty.
+func (m CPUMask) First() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(m))
+}
+
+// ForEach calls fn for every CPU in the mask, in ascending order.
+func (m CPUMask) ForEach(fn func(cpu int)) {
+	for v := uint64(m); v != 0; {
+		c := bits.TrailingZeros64(v)
+		fn(c)
+		v &^= 1 << uint(c)
+	}
+}
+
+// CPUs returns the members of the mask in ascending order.
+func (m CPUMask) CPUs() []int {
+	out := make([]int, 0, m.Count())
+	m.ForEach(func(c int) { out = append(out, c) })
+	return out
+}
+
+// String renders the mask as a compact CPU list, e.g. "{0,1,4}".
+func (m CPUMask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	m.ForEach(func(c int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+		first = false
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,163 @@
+// Package topo models the processor topology of a compute node: chips
+// (sockets), cores per chip, and SMT hardware threads per core, plus the
+// scheduling-domain hierarchy the load balancer walks.
+//
+// The reference machine is the paper's IBM js22 blade: two POWER6 chips,
+// two cores per chip, two SMT threads per core, eight logical CPUs, and no
+// cache shared between cores (L1 and L2 are per core; the dual-socket blade
+// has no L3).
+package topo
+
+import "fmt"
+
+// DomainLevel identifies one level of the scheduling-domain hierarchy,
+// from the innermost (SMT siblings) to the outermost (whole system).
+type DomainLevel int
+
+const (
+	// SMTLevel groups the hardware threads of one core. Migrations inside
+	// this domain keep cache contents (threads share L1/L2).
+	SMTLevel DomainLevel = iota
+	// CoreLevel groups the cores of one chip. Migrations here lose
+	// per-core cache warmth on POWER6 (no shared chip cache).
+	CoreLevel
+	// SystemLevel groups all chips of the node.
+	SystemLevel
+)
+
+func (l DomainLevel) String() string {
+	switch l {
+	case SMTLevel:
+		return "SMT"
+	case CoreLevel:
+		return "CORE"
+	case SystemLevel:
+		return "SYSTEM"
+	default:
+		return fmt.Sprintf("DomainLevel(%d)", int(l))
+	}
+}
+
+// Domain is one scheduling domain: a span of CPUs at a given level. Each CPU
+// has a chain of domains, innermost first, exactly like the kernel's
+// per-CPU sched_domain lists.
+type Domain struct {
+	Level DomainLevel
+	Span  CPUMask
+}
+
+// Topology describes a node: Chips sockets, each with CoresPerChip cores,
+// each with ThreadsPerCore SMT hardware threads. Logical CPU numbering is
+// thread-major within core, core-major within chip:
+//
+//	cpu = chip*CoresPerChip*ThreadsPerCore + core*ThreadsPerCore + thread
+type Topology struct {
+	Chips          int
+	CoresPerChip   int
+	ThreadsPerCore int
+}
+
+// POWER6 is the paper's evaluation machine: a dual-socket IBM js22 blade
+// (2 chips x 2 cores x 2 SMT threads = 8 logical CPUs).
+func POWER6() Topology {
+	return Topology{Chips: 2, CoresPerChip: 2, ThreadsPerCore: 2}
+}
+
+// NumCPUs reports the number of logical CPUs.
+func (t Topology) NumCPUs() int { return t.Chips * t.CoresPerChip * t.ThreadsPerCore }
+
+// NumCores reports the number of physical cores.
+func (t Topology) NumCores() int { return t.Chips * t.CoresPerChip }
+
+// Validate reports an error if any dimension is non-positive or the CPU
+// count exceeds the 64-CPU mask limit.
+func (t Topology) Validate() error {
+	if t.Chips <= 0 || t.CoresPerChip <= 0 || t.ThreadsPerCore <= 0 {
+		return fmt.Errorf("topo: non-positive dimension in %+v", t)
+	}
+	if t.NumCPUs() > 64 {
+		return fmt.Errorf("topo: %d CPUs exceeds the 64-CPU limit", t.NumCPUs())
+	}
+	return nil
+}
+
+// ChipOf reports the chip (socket) index of a logical CPU.
+func (t Topology) ChipOf(cpu int) int {
+	return cpu / (t.CoresPerChip * t.ThreadsPerCore)
+}
+
+// CoreOf reports the global core index of a logical CPU.
+func (t Topology) CoreOf(cpu int) int { return cpu / t.ThreadsPerCore }
+
+// ThreadOf reports the SMT thread index of a logical CPU within its core.
+func (t Topology) ThreadOf(cpu int) int { return cpu % t.ThreadsPerCore }
+
+// CPUOf reports the logical CPU for (chip, core-within-chip, thread).
+func (t Topology) CPUOf(chip, core, thread int) int {
+	return chip*t.CoresPerChip*t.ThreadsPerCore + core*t.ThreadsPerCore + thread
+}
+
+// SiblingsOf returns the mask of SMT siblings of cpu (including cpu).
+func (t Topology) SiblingsOf(cpu int) CPUMask {
+	base := t.CoreOf(cpu) * t.ThreadsPerCore
+	var m CPUMask
+	for i := 0; i < t.ThreadsPerCore; i++ {
+		m = m.Add(base + i)
+	}
+	return m
+}
+
+// ChipMask returns the mask of all CPUs on the given chip.
+func (t Topology) ChipMask(chip int) CPUMask {
+	per := t.CoresPerChip * t.ThreadsPerCore
+	var m CPUMask
+	for i := 0; i < per; i++ {
+		m = m.Add(chip*per + i)
+	}
+	return m
+}
+
+// CoreMask returns the mask of all CPUs on the given global core.
+func (t Topology) CoreMask(core int) CPUMask {
+	var m CPUMask
+	for i := 0; i < t.ThreadsPerCore; i++ {
+		m = m.Add(core*t.ThreadsPerCore + i)
+	}
+	return m
+}
+
+// AllMask returns the mask of every CPU in the node.
+func (t Topology) AllMask() CPUMask { return MaskAll(t.NumCPUs()) }
+
+// SharesCore reports whether two CPUs are SMT siblings (same physical
+// core). Cache warmth survives migrations between such CPUs.
+func (t Topology) SharesCore(a, b int) bool { return t.CoreOf(a) == t.CoreOf(b) }
+
+// SharesChip reports whether two CPUs sit on the same chip.
+func (t Topology) SharesChip(a, b int) bool { return t.ChipOf(a) == t.ChipOf(b) }
+
+// Domains returns the scheduling-domain chain for cpu, innermost first.
+// Degenerate levels (span of one CPU, or identical to the level below) are
+// skipped, as the kernel does when building domains.
+func (t Topology) Domains(cpu int) []Domain {
+	var out []Domain
+	add := func(level DomainLevel, span CPUMask) {
+		if span.Count() <= 1 {
+			return
+		}
+		if len(out) > 0 && out[len(out)-1].Span == span {
+			return
+		}
+		out = append(out, Domain{Level: level, Span: span})
+	}
+	add(SMTLevel, t.SiblingsOf(cpu))
+	add(CoreLevel, t.ChipMask(t.ChipOf(cpu)))
+	add(SystemLevel, t.AllMask())
+	return out
+}
+
+// String describes the topology, e.g. "2 chips x 2 cores x 2 threads (8 CPUs)".
+func (t Topology) String() string {
+	return fmt.Sprintf("%d chips x %d cores x %d threads (%d CPUs)",
+		t.Chips, t.CoresPerChip, t.ThreadsPerCore, t.NumCPUs())
+}

@@ -1,0 +1,205 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := MaskOf(0, 3, 5)
+	if !m.Has(0) || !m.Has(3) || !m.Has(5) || m.Has(1) {
+		t.Fatalf("membership wrong: %v", m)
+	}
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if m.First() != 0 {
+		t.Fatalf("First = %d", m.First())
+	}
+	m = m.Remove(0)
+	if m.First() != 3 {
+		t.Fatalf("First after Remove = %d", m.First())
+	}
+	if got := m.Add(7).CPUs(); len(got) != 3 || got[2] != 7 {
+		t.Fatalf("CPUs = %v", got)
+	}
+	if CPUMask(0).First() != -1 {
+		t.Fatal("empty First != -1")
+	}
+	if !CPUMask(0).Empty() {
+		t.Fatal("zero mask not empty")
+	}
+	if MaskAll(8) != CPUMask(0xff) {
+		t.Fatalf("MaskAll(8) = %x", uint64(MaskAll(8)))
+	}
+	if MaskAll(64) != ^CPUMask(0) {
+		t.Fatal("MaskAll(64) wrong")
+	}
+}
+
+func TestMaskAnd(t *testing.T) {
+	a, b := MaskOf(1, 2, 3), MaskOf(2, 3, 4)
+	if got := a.And(b); got != MaskOf(2, 3) {
+		t.Fatalf("And = %v", got)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if s := MaskOf(0, 2).String(); s != "{0,2}" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := CPUMask(0).String(); s != "{}" {
+		t.Fatalf("empty String = %q", s)
+	}
+}
+
+func TestPOWER6Layout(t *testing.T) {
+	p6 := POWER6()
+	if err := p6.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p6.NumCPUs() != 8 || p6.NumCores() != 4 {
+		t.Fatalf("POWER6 dims wrong: %v", p6)
+	}
+	// CPU numbering: chip0 = {0,1,2,3}, chip1 = {4,5,6,7};
+	// core0 = {0,1}, core1 = {2,3}, ...
+	cases := []struct{ cpu, chip, core, thread int }{
+		{0, 0, 0, 0}, {1, 0, 0, 1}, {2, 0, 1, 0}, {3, 0, 1, 1},
+		{4, 1, 2, 0}, {5, 1, 2, 1}, {6, 1, 3, 0}, {7, 1, 3, 1},
+	}
+	for _, c := range cases {
+		if p6.ChipOf(c.cpu) != c.chip {
+			t.Errorf("ChipOf(%d) = %d, want %d", c.cpu, p6.ChipOf(c.cpu), c.chip)
+		}
+		if p6.CoreOf(c.cpu) != c.core {
+			t.Errorf("CoreOf(%d) = %d, want %d", c.cpu, p6.CoreOf(c.cpu), c.core)
+		}
+		if p6.ThreadOf(c.cpu) != c.thread {
+			t.Errorf("ThreadOf(%d) = %d, want %d", c.cpu, p6.ThreadOf(c.cpu), c.thread)
+		}
+	}
+}
+
+func TestCPUOfRoundTrip(t *testing.T) {
+	check := func(chips, cores, threads uint8) bool {
+		tp := Topology{
+			Chips:          int(chips%4) + 1,
+			CoresPerChip:   int(cores%4) + 1,
+			ThreadsPerCore: int(threads%4) + 1,
+		}
+		if tp.NumCPUs() > 64 {
+			return true
+		}
+		for cpu := 0; cpu < tp.NumCPUs(); cpu++ {
+			chip := tp.ChipOf(cpu)
+			core := tp.CoreOf(cpu) % tp.CoresPerChip
+			thr := tp.ThreadOf(cpu)
+			if tp.CPUOf(chip, core, thr) != cpu {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiblings(t *testing.T) {
+	p6 := POWER6()
+	if p6.SiblingsOf(0) != MaskOf(0, 1) {
+		t.Fatalf("SiblingsOf(0) = %v", p6.SiblingsOf(0))
+	}
+	if p6.SiblingsOf(5) != MaskOf(4, 5) {
+		t.Fatalf("SiblingsOf(5) = %v", p6.SiblingsOf(5))
+	}
+	if !p6.SharesCore(6, 7) || p6.SharesCore(1, 2) {
+		t.Fatal("SharesCore wrong")
+	}
+	if !p6.SharesChip(0, 3) || p6.SharesChip(3, 4) {
+		t.Fatal("SharesChip wrong")
+	}
+}
+
+func TestChipAndCoreMasks(t *testing.T) {
+	p6 := POWER6()
+	if p6.ChipMask(0) != MaskOf(0, 1, 2, 3) {
+		t.Fatalf("ChipMask(0) = %v", p6.ChipMask(0))
+	}
+	if p6.ChipMask(1) != MaskOf(4, 5, 6, 7) {
+		t.Fatalf("ChipMask(1) = %v", p6.ChipMask(1))
+	}
+	if p6.CoreMask(2) != MaskOf(4, 5) {
+		t.Fatalf("CoreMask(2) = %v", p6.CoreMask(2))
+	}
+	if p6.AllMask() != MaskAll(8) {
+		t.Fatal("AllMask wrong")
+	}
+}
+
+func TestDomainsPOWER6(t *testing.T) {
+	p6 := POWER6()
+	d := p6.Domains(0)
+	if len(d) != 3 {
+		t.Fatalf("domains = %v, want 3 levels", d)
+	}
+	if d[0].Level != SMTLevel || d[0].Span != MaskOf(0, 1) {
+		t.Fatalf("SMT domain = %+v", d[0])
+	}
+	if d[1].Level != CoreLevel || d[1].Span != MaskOf(0, 1, 2, 3) {
+		t.Fatalf("core domain = %+v", d[1])
+	}
+	if d[2].Level != SystemLevel || d[2].Span != MaskAll(8) {
+		t.Fatalf("system domain = %+v", d[2])
+	}
+}
+
+func TestDomainsDegenerate(t *testing.T) {
+	// Single chip, no SMT: only one meaningful domain level remains.
+	tp := Topology{Chips: 1, CoresPerChip: 4, ThreadsPerCore: 1}
+	d := tp.Domains(0)
+	if len(d) != 1 {
+		t.Fatalf("domains = %+v, want 1 level", d)
+	}
+	if d[0].Span != MaskAll(4) {
+		t.Fatalf("span = %v", d[0].Span)
+	}
+
+	// Uniprocessor: no domains at all.
+	uni := Topology{Chips: 1, CoresPerChip: 1, ThreadsPerCore: 1}
+	if len(uni.Domains(0)) != 0 {
+		t.Fatal("uniprocessor should have no domains")
+	}
+}
+
+func TestDomainsNested(t *testing.T) {
+	// Property: domain spans are nested and all contain the owning CPU.
+	p6 := POWER6()
+	for cpu := 0; cpu < p6.NumCPUs(); cpu++ {
+		prev := CPUMask(0)
+		for _, d := range p6.Domains(cpu) {
+			if !d.Span.Has(cpu) {
+				t.Fatalf("domain %v does not contain cpu %d", d, cpu)
+			}
+			if prev != 0 && d.Span.And(prev) != prev {
+				t.Fatalf("domain %v not a superset of inner %v", d.Span, prev)
+			}
+			prev = d.Span
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Topology{Chips: 0, CoresPerChip: 1, ThreadsPerCore: 1}).Validate(); err == nil {
+		t.Fatal("zero chips validated")
+	}
+	if err := (Topology{Chips: 80, CoresPerChip: 1, ThreadsPerCore: 1}).Validate(); err == nil {
+		t.Fatal(">64 CPUs validated")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if SMTLevel.String() != "SMT" || CoreLevel.String() != "CORE" || SystemLevel.String() != "SYSTEM" {
+		t.Fatal("level strings wrong")
+	}
+}

@@ -1,0 +1,196 @@
+// Package trace records scheduling timelines and renders them as text
+// Gantt charts. It reproduces the paper's Figure 1: the effect of a single
+// process preemption on a parallel application that synchronises at
+// barriers — one delayed rank holds every other rank at the barrier.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// Span is a contiguous interval during which a task occupied a CPU.
+type Span struct {
+	CPU   int
+	Task  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Event is a point event (wakeup, migration, barrier mark).
+type Event struct {
+	At    sim.Time
+	Task  string
+	Kind  string
+	Label string
+}
+
+// Recorder implements kernel.Tracer, collecting spans and events.
+type Recorder struct {
+	// open tracks the running task per CPU and when it started.
+	open  map[int]openSpan
+	Spans []Span
+	Evs   []Event
+}
+
+type openSpan struct {
+	name  string
+	start sim.Time
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: make(map[int]openSpan)}
+}
+
+// Switch implements kernel.Tracer.
+func (r *Recorder) Switch(now sim.Time, cpu int, prev, next *task.Task) {
+	if o, ok := r.open[cpu]; ok {
+		r.Spans = append(r.Spans, Span{CPU: cpu, Task: o.name, Start: o.start, End: now})
+	}
+	r.open[cpu] = openSpan{name: next.Name, start: now}
+}
+
+// Migrate implements kernel.Tracer.
+func (r *Recorder) Migrate(now sim.Time, t *task.Task, from, to int) {
+	r.Evs = append(r.Evs, Event{At: now, Task: t.Name, Kind: "migrate",
+		Label: fmt.Sprintf("cpu%d->cpu%d", from, to)})
+}
+
+// Wake implements kernel.Tracer.
+func (r *Recorder) Wake(now sim.Time, t *task.Task, cpu int) {
+	r.Evs = append(r.Evs, Event{At: now, Task: t.Name, Kind: "wake",
+		Label: fmt.Sprintf("cpu%d", cpu)})
+}
+
+// Mark implements kernel.Tracer.
+func (r *Recorder) Mark(now sim.Time, t *task.Task, label string) {
+	r.Evs = append(r.Evs, Event{At: now, Task: t.Name, Kind: "mark", Label: label})
+}
+
+// Close flushes still-open spans at the given end time.
+func (r *Recorder) Close(now sim.Time) {
+	cpus := make([]int, 0, len(r.open))
+	for cpu := range r.open {
+		cpus = append(cpus, cpu)
+	}
+	sort.Ints(cpus)
+	for _, cpu := range cpus {
+		o := r.open[cpu]
+		r.Spans = append(r.Spans, Span{CPU: cpu, Task: o.name, Start: o.start, End: now})
+	}
+	r.open = make(map[int]openSpan)
+}
+
+// Gantt renders the recorded spans between lo and hi as one text row per
+// CPU, with `cols` character cells. Each cell shows the first letter of the
+// task that occupied most of the cell ('.' for idle).
+func (r *Recorder) Gantt(lo, hi sim.Time, cols int) string {
+	if hi <= lo || cols <= 0 {
+		return ""
+	}
+	// Collect CPUs.
+	cpuSet := map[int]bool{}
+	for _, s := range r.Spans {
+		cpuSet[s.CPU] = true
+	}
+	cpus := make([]int, 0, len(cpuSet))
+	for cpu := range cpuSet {
+		cpus = append(cpus, cpu)
+	}
+	sort.Ints(cpus)
+
+	cell := float64(hi-lo) / float64(cols)
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (1 cell = %v)\n", lo, hi,
+		sim.Duration(cell))
+	for _, cpu := range cpus {
+		row := make([]byte, cols)
+		occupancy := make([]float64, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range r.Spans {
+			if s.CPU != cpu || s.End <= lo || s.Start >= hi {
+				continue
+			}
+			if strings.HasPrefix(s.Task, "swapper") {
+				continue
+			}
+			start, end := s.Start, s.End
+			if start < lo {
+				start = lo
+			}
+			if end > hi {
+				end = hi
+			}
+			c0 := int(float64(start-lo) / cell)
+			c1 := int(float64(end-lo) / cell)
+			for c := c0; c <= c1 && c < cols; c++ {
+				cellLo := lo.Add(sim.Duration(float64(c) * cell))
+				cellHi := lo.Add(sim.Duration(float64(c+1) * cell))
+				ov := overlap(start, end, cellLo, cellHi)
+				if ov > occupancy[c] {
+					occupancy[c] = ov
+					row[c] = glyph(s.Task)
+				}
+			}
+		}
+		fmt.Fprintf(&b, "cpu%-2d |%s|\n", cpu, string(row))
+	}
+	return b.String()
+}
+
+func overlap(a0, a1, b0, b1 sim.Time) float64 {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return float64(hi - lo)
+}
+
+// glyph picks a display character for a task name: the trailing digit of
+// rank names ("rank3" -> '3'), otherwise the first letter.
+func glyph(name string) byte {
+	if name == "" {
+		return '?'
+	}
+	last := name[len(name)-1]
+	if last >= '0' && last <= '9' {
+		return last
+	}
+	return name[0]
+}
+
+// TaskSpans returns the spans of one task, sorted by start time.
+func (r *Recorder) TaskSpans(name string) []Span {
+	var out []Span
+	for _, s := range r.Spans {
+		if s.Task == name {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Marks returns all mark events with the given label prefix.
+func (r *Recorder) Marks(prefix string) []Event {
+	var out []Event
+	for _, e := range r.Evs {
+		if e.Kind == "mark" && strings.HasPrefix(e.Label, prefix) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+func mk(name string) *task.Task { return &task.Task{Name: name} }
+
+func TestSpansRecorded(t *testing.T) {
+	r := NewRecorder()
+	a, b := mk("a"), mk("b")
+	r.Switch(0, 0, mk("swapper/0"), a)
+	r.Switch(sim.Time(10*sim.Millisecond), 0, a, b)
+	r.Switch(sim.Time(15*sim.Millisecond), 0, b, a)
+	r.Close(sim.Time(20 * sim.Millisecond))
+
+	spans := r.TaskSpans("a")
+	if len(spans) != 2 {
+		t.Fatalf("a spans = %d, want 2", len(spans))
+	}
+	if spans[0].Start != 0 || spans[0].End != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("first span = %+v", spans[0])
+	}
+	if spans[1].End != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("Close did not flush: %+v", spans[1])
+	}
+	bs := r.TaskSpans("b")
+	if len(bs) != 1 || bs[0].Start != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("b spans = %+v", bs)
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	r := NewRecorder()
+	a := mk("rank0")
+	r.Wake(sim.Time(sim.Millisecond), a, 3)
+	r.Migrate(sim.Time(2*sim.Millisecond), a, 3, 5)
+	r.Mark(sim.Time(3*sim.Millisecond), a, "arrive:0")
+	r.Mark(sim.Time(4*sim.Millisecond), a, "release:0")
+	if len(r.Evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(r.Evs))
+	}
+	marks := r.Marks("arrive")
+	if len(marks) != 1 || marks[0].Label != "arrive:0" {
+		t.Fatalf("Marks = %+v", marks)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	r := NewRecorder()
+	a := mk("rank1")
+	r.Switch(0, 2, mk("swapper/2"), a)
+	r.Switch(sim.Time(50*sim.Millisecond), 2, a, mk("swapper/2"))
+	r.Close(sim.Time(100 * sim.Millisecond))
+
+	out := r.Gantt(0, sim.Time(100*sim.Millisecond), 10)
+	if !strings.Contains(out, "cpu2") {
+		t.Fatalf("missing cpu row:\n%s", out)
+	}
+	// First half busy with rank1 ('1'), second half idle ('.').
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "cpu2") {
+			line = l
+		}
+	}
+	if !strings.Contains(line, "11111") || !strings.Contains(line, ".....") {
+		t.Fatalf("cpu2 row wrong: %q", line)
+	}
+}
+
+func TestGanttEmptyWindow(t *testing.T) {
+	r := NewRecorder()
+	if r.Gantt(10, 10, 5) != "" || r.Gantt(0, 10, 0) != "" {
+		t.Fatal("degenerate windows should render empty")
+	}
+}
+
+func TestGlyph(t *testing.T) {
+	cases := map[string]byte{
+		"rank3":     '3',
+		"daemon":    'd',
+		"kswapd":    'k',
+		"storm-12":  '2',
+		"swapper/0": '0', // filtered before rendering, but glyph is defined
+	}
+	for name, want := range cases {
+		if got := glyph(name); got != want {
+			t.Fatalf("glyph(%q) = %c, want %c", name, got, want)
+		}
+	}
+	if glyph("") != '?' {
+		t.Fatal("empty glyph")
+	}
+}
+
+func TestSwitchOpensNewSpanPerCPU(t *testing.T) {
+	r := NewRecorder()
+	a, b := mk("a"), mk("b")
+	r.Switch(0, 0, mk("swapper/0"), a)
+	r.Switch(0, 1, mk("swapper/1"), b)
+	r.Close(sim.Time(sim.Millisecond))
+	if len(r.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (one per CPU)", len(r.Spans))
+	}
+	cpus := map[int]bool{}
+	for _, s := range r.Spans {
+		cpus[s.CPU] = true
+	}
+	if !cpus[0] || !cpus[1] {
+		t.Fatal("per-CPU spans wrong")
+	}
+}
