@@ -12,6 +12,7 @@ package main_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"hplsim/internal/cluster"
@@ -20,8 +21,33 @@ import (
 )
 
 // benchReps is the per-configuration repetition count used by the bench
-// harness (the paper uses 1000; see cmd/nastables -reps).
-const benchReps = 60
+// harness (the paper uses 1000; see cmd/nastables -reps). Replications run
+// on the parallel harness (GOMAXPROCS workers), so the count is set by
+// statistical appetite, not wall-clock patience.
+const benchReps = 200
+
+// BenchmarkRunManyParallel measures the replication harness itself: the
+// same 16-rep ep.A.8 batch at 1, 2, 4, and GOMAXPROCS workers. Results are
+// bitwise identical at every width (TestRunManyWorkerCountInvariance); the
+// per-width ns/op readings give the wall-clock speedup directly. On the
+// paper's scale (1000 reps) the sequential harness is the difference
+// between minutes and hours.
+func BenchmarkRunManyParallel(b *testing.B) {
+	opt := experiments.Options{Profile: nas.MustGet("ep", 'A'), Scheme: experiments.Std, Seed: 21}
+	const reps = 16
+	widths := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		widths = append(widths, g)
+	}
+	for _, w := range widths {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunManyOpt(opt, reps, w)
+			}
+		})
+	}
+}
 
 // BenchmarkFigure1 regenerates Figure 1: the preemption/barrier timeline.
 func BenchmarkFigure1(b *testing.B) {
@@ -38,7 +64,7 @@ func BenchmarkFigure1(b *testing.B) {
 func BenchmarkFigure2(b *testing.B) {
 	var d experiments.DistributionResult
 	for i := 0; i < b.N; i++ {
-		d = experiments.Figure2(benchReps, 2)
+		d = experiments.Figure2(benchReps, 2, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatDistribution(
@@ -50,7 +76,7 @@ func BenchmarkFigure2(b *testing.B) {
 func BenchmarkFigure3(b *testing.B) {
 	var migr, ctx experiments.CorrelationResult
 	for i := 0; i < b.N; i++ {
-		migr, ctx = experiments.Figure3(benchReps, 3)
+		migr, ctx = experiments.Figure3(benchReps, 3, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatCorrelation("Figure 3a", migr))
@@ -62,7 +88,7 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkFigure4(b *testing.B) {
 	var d experiments.DistributionResult
 	for i := 0; i < b.N; i++ {
-		d = experiments.Figure4(benchReps, 4)
+		d = experiments.Figure4(benchReps, 4, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatDistribution(
@@ -74,7 +100,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkTableIa(b *testing.B) {
 	var rows []experiments.TableIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableI(experiments.Std, benchReps, 5)
+		rows = experiments.TableI(experiments.Std, benchReps, 5, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableI("Table Ia: scheduler OS noise (standard Linux)", rows))
@@ -84,7 +110,7 @@ func BenchmarkTableIa(b *testing.B) {
 func BenchmarkTableIb(b *testing.B) {
 	var rows []experiments.TableIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableI(experiments.HPL, benchReps, 6)
+		rows = experiments.TableI(experiments.HPL, benchReps, 6, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableI("Table Ib: scheduler OS noise (HPL)", rows))
@@ -94,7 +120,7 @@ func BenchmarkTableIb(b *testing.B) {
 func BenchmarkTableII(b *testing.B) {
 	var rows []experiments.TableIIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableII(benchReps, 7)
+		rows = experiments.TableII(benchReps, 7, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableII(rows))
@@ -106,7 +132,7 @@ func BenchmarkResonance(b *testing.B) {
 	nodes := []int{1, 16, 128, 1024}
 	var std, hpl []cluster.Point
 	for i := 0; i < b.N; i++ {
-		std, hpl = experiments.ResonanceStudy(nodes, 10, 75, 200, 8)
+		std, hpl = experiments.ResonanceStudy(nodes, 10, 75, 200, 8, 0)
 	}
 	b.StopTimer()
 	fmt.Println("--- standard Linux node ---")
@@ -120,7 +146,7 @@ func BenchmarkResonance(b *testing.B) {
 func BenchmarkAblationDynamicBalance(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.AblationDynamicBalance(nas.MustGet("is", 'A'), benchReps, 9)
+		rows = experiments.AblationDynamicBalance(nas.MustGet("is", 'A'), benchReps, 9, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatAblation("A1: dynamic balancing", rows))
@@ -130,7 +156,7 @@ func BenchmarkAblationDynamicBalance(b *testing.B) {
 func BenchmarkAblationPlacement(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.AblationPlacement(10, 10)
+		rows = experiments.AblationPlacement(10, 10, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatAblation("A2: fork placement (4 ranks)", rows))
@@ -141,7 +167,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 func BenchmarkAblationAlternatives(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.AblationAlternatives(nas.MustGet("is", 'A'), benchReps, 11)
+		rows = experiments.AblationAlternatives(nas.MustGet("is", 'A'), benchReps, 11, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatAblation("A3-A5: Section IV alternatives", rows))
@@ -151,7 +177,7 @@ func BenchmarkAblationAlternatives(b *testing.B) {
 func BenchmarkAblationTick(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.AblationTick(nas.MustGet("lu", 'A'), 10, 12)
+		rows = experiments.AblationTick(nas.MustGet("lu", 'A'), 10, 12, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatAblation("A6: tick frequency", rows))
@@ -161,7 +187,7 @@ func BenchmarkAblationTick(b *testing.B) {
 func BenchmarkAblationNettick(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.AblationNettick(nas.MustGet("is", 'A'), 10, 13)
+		rows = experiments.AblationNettick(nas.MustGet("is", 'A'), 10, 13, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatAblation("A7: NETTICK adaptive tick", rows))
@@ -181,7 +207,7 @@ func BenchmarkEnergyStudy(b *testing.B) {
 func BenchmarkSyncStudy(b *testing.B) {
 	var rows []experiments.SyncRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.SyncStudy(10, 15)
+		rows = experiments.SyncStudy(10, 15, 0)
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatSyncStudy(rows))

@@ -23,6 +23,7 @@ func main() {
 	class := flag.String("class", "A", "NAS class: A or B")
 	reps := flag.Int("reps", 40, "repetitions per configuration")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "replication worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	prof, err := nas.Get(*bench, (*class)[0])
@@ -36,27 +37,27 @@ func main() {
 		case "dynamic":
 			fmt.Print(experiments.FormatAblation(
 				fmt.Sprintf("A1: dynamic balancing (%s)", prof.Name()),
-				experiments.AblationDynamicBalance(prof, *reps, *seed)))
+				experiments.AblationDynamicBalance(prof, *reps, *seed, *workers)))
 		case "placement":
 			fmt.Print(experiments.FormatAblation(
 				"A2: fork placement, 4 ranks of ep.A on 2x2x2 (SMT matters)",
-				experiments.AblationPlacement(*reps, *seed)))
+				experiments.AblationPlacement(*reps, *seed, *workers)))
 		case "alternatives":
 			fmt.Print(experiments.FormatAblation(
 				fmt.Sprintf("A3-A5: Section IV alternatives (%s)", prof.Name()),
-				experiments.AblationAlternatives(prof, *reps, *seed)))
+				experiments.AblationAlternatives(prof, *reps, *seed, *workers)))
 		case "tick":
 			fmt.Print(experiments.FormatAblation(
 				fmt.Sprintf("A6: tick frequency sweep (%s, HPL)", prof.Name()),
-				experiments.AblationTick(prof, *reps, *seed)))
+				experiments.AblationTick(prof, *reps, *seed, *workers)))
 		case "nettick":
 			fmt.Print(experiments.FormatAblation(
 				fmt.Sprintf("A7: NETTICK adaptive tick (%s)", prof.Name()),
-				experiments.AblationNettick(prof, *reps, *seed)))
+				experiments.AblationNettick(prof, *reps, *seed, *workers)))
 		case "energy":
 			fmt.Print(experiments.FormatEnergy(experiments.EnergyStudy(*seed)))
 		case "sync":
-			fmt.Print(experiments.FormatSyncStudy(experiments.SyncStudy(*reps, *seed)))
+			fmt.Print(experiments.FormatSyncStudy(experiments.SyncStudy(*reps, *seed, *workers)))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
 			os.Exit(2)

@@ -1,0 +1,154 @@
+// Command benchjson runs the engine and replication-harness benchmarks and
+// emits a machine-readable trajectory file, so successive commits can be
+// compared without scraping `go test -bench` text:
+//
+//	benchjson [-o BENCH_parallel.json] [-reps 32] [-bench ep -class A]
+//
+// The report carries the engine hot-path microbenchmarks (ns/op, allocs/op
+// — the free-list contract is allocs/op == 0) and the RunMany wall-clock at
+// 1, 2, 4, and GOMAXPROCS workers with the speedup over sequential.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hplsim/internal/experiments"
+	"hplsim/internal/nas"
+	"hplsim/internal/sim"
+)
+
+// EngineBench is one microbenchmark reading.
+type EngineBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// RunManyBench is the replication harness at one worker count.
+type RunManyBench struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// Report is the whole trajectory record.
+type Report struct {
+	GoMaxProcs int            `json:"gomaxprocs"`
+	GoVersion  string         `json:"go_version"`
+	Engine     []EngineBench  `json:"engine"`
+	Profile    string         `json:"profile"`
+	Scheme     string         `json:"scheme"`
+	Reps       int            `json:"reps"`
+	RunMany    []RunManyBench `json:"run_many"`
+}
+
+func engineBench(name string, fn func(b *testing.B)) EngineBench {
+	r := testing.Benchmark(fn)
+	return EngineBench{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_parallel.json", "output file ('-' for stdout)")
+	reps := flag.Int("reps", 32, "replications per worker-count measurement")
+	bench := flag.String("bench", "ep", "NAS benchmark for the RunMany measurement")
+	class := flag.String("class", "A", "NAS class: A or B")
+	flag.Parse()
+
+	if *class == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -class must be A or B")
+		os.Exit(2)
+	}
+	prof, err := nas.Get(*bench, (*class)[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rep := Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Profile:    prof.Name(),
+		Scheme:     experiments.Std.String(),
+		Reps:       *reps,
+	}
+
+	// Engine hot paths, with allocation accounting: the steady-state
+	// After/Step cycle and the deep-queue churn pattern.
+	rep.Engine = append(rep.Engine,
+		engineBench("ScheduleDispatch", func(b *testing.B) {
+			e := sim.NewEngine()
+			fn := func() {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.After(sim.Millisecond, fn)
+				e.Step()
+			}
+		}),
+		engineBench("HeapChurn1024", func(b *testing.B) {
+			e := sim.NewEngine()
+			fn := func() {}
+			for i := 0; i < 1024; i++ {
+				e.After(sim.Duration(i)*sim.Microsecond, fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.After(1100*sim.Microsecond, fn)
+				e.Step()
+			}
+		}),
+	)
+
+	// The replication harness at growing widths. Identical seeds at every
+	// width, so the work is identical and the ratio is pure scheduling.
+	opt := experiments.Options{Profile: prof, Scheme: experiments.Std, Seed: 1}
+	widths := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		widths = append(widths, g)
+	}
+	var seqSec float64
+	for _, w := range widths {
+		start := time.Now()
+		experiments.RunManyOpt(opt, *reps, w)
+		sec := time.Since(start).Seconds()
+		if w == 1 {
+			seqSec = sec
+		}
+		speedup := seqSec / sec
+		if math.IsNaN(speedup) || math.IsInf(speedup, 0) {
+			speedup = 0
+		}
+		rep.RunMany = append(rep.RunMany, RunManyBench{Workers: w, Seconds: sec, Speedup: speedup})
+		fmt.Fprintf(os.Stderr, "run_many workers=%-2d %7.3fs  speedup=%.2fx\n", w, sec, speedup)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

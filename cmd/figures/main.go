@@ -64,6 +64,7 @@ func main() {
 	reps := flag.Int("reps", 300, "repetitions for the distribution figures (paper: 1000)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	csvDir := flag.String("csv", "", "also write raw per-run data as CSV files into this directory")
+	workers := flag.Int("workers", 0, "replication worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	run := func(name string) {
@@ -71,12 +72,12 @@ func main() {
 		case "1":
 			fmt.Println(experiments.Figure1(*seed))
 		case "2":
-			d := experiments.Figure2(*reps, *seed)
+			d := experiments.Figure2(*reps, *seed, *workers)
 			fmt.Println(experiments.FormatDistribution(
 				"Figure 2: execution time distribution for NAS ep.A.8 (standard Linux)", d))
 			distCSV(*csvDir, "figure2_std.csv", d)
 		case "3":
-			migr, ctx := experiments.Figure3(*reps, *seed)
+			migr, ctx := experiments.Figure3(*reps, *seed, *workers)
 			fmt.Println(experiments.FormatCorrelation("Figure 3a", migr))
 			fmt.Println(experiments.FormatCorrelation("Figure 3b", ctx))
 			if *csvDir != "" {
@@ -90,13 +91,13 @@ func main() {
 					[]string{"migrations", "ctx_switches", "elapsed_s"}, rows)
 			}
 		case "4":
-			d := experiments.Figure4(*reps, *seed)
+			d := experiments.Figure4(*reps, *seed, *workers)
 			fmt.Println(experiments.FormatDistribution(
 				"Figure 4: execution time distribution for NAS ep.A.8 (RT scheduler)", d))
 			distCSV(*csvDir, "figure4_rt.csv", d)
 		case "resonance":
 			nodes := []int{1, 4, 16, 64, 256, 1024, 4096}
-			std, hpl := experiments.ResonanceStudy(nodes, 20, 75, 400, *seed)
+			std, hpl := experiments.ResonanceStudy(nodes, 20, 75, 400, *seed, *workers)
 			fmt.Println("--- standard Linux node ---")
 			fmt.Println(cluster.Format(std))
 			fmt.Println("--- HPL node ---")

@@ -44,6 +44,7 @@ func main() {
 	noDaemons := flag.Bool("no-daemons", false, "disable the background daemon population")
 	noStorms := flag.Bool("no-storms", false, "disable heavy maintenance storms")
 	spin := flag.Duration("spin", 0, "MPI spin window before blocking (0 = default 20ms)")
+	workers := flag.Int("workers", 0, "replication worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print every run")
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 		NoDaemons:     *noDaemons,
 		NoStorms:      *noStorms,
 		SpinThreshold: sim.DurationOf(*spin),
+		Workers:       *workers,
 	}
 
 	start := time.Now()

@@ -24,29 +24,30 @@ func main() {
 	table := flag.String("table", "all", "which table to produce: 1a, 1b, 2, all")
 	reps := flag.Int("reps", 200, "repetitions per configuration (paper: 1000)")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "replication worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	switch *table {
 	case "1a":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
-			experiments.TableI(experiments.Std, *reps, *seed)))
+			experiments.TableI(experiments.Std, *reps, *seed, *workers)))
 	case "1b":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ib: Scheduler OS noise for NAS (HPL)",
-			experiments.TableI(experiments.HPL, *reps, *seed)))
+			experiments.TableI(experiments.HPL, *reps, *seed, *workers)))
 	case "2":
-		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed)))
+		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers)))
 	case "all":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
-			experiments.TableI(experiments.Std, *reps, *seed)))
+			experiments.TableI(experiments.Std, *reps, *seed, *workers)))
 		fmt.Println()
 		fmt.Print(experiments.FormatTableI(
 			"Table Ib: Scheduler OS noise for NAS (HPL)",
-			experiments.TableI(experiments.HPL, *reps, *seed)))
+			experiments.TableI(experiments.HPL, *reps, *seed, *workers)))
 		fmt.Println()
-		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed)))
+		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers)))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q (want 1a, 1b, 2, all)\n", *table)
 		os.Exit(2)

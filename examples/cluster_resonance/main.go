@@ -20,7 +20,7 @@ import (
 func main() {
 	nodes := []int{1, 8, 64, 512, 4096}
 	fmt.Println("measuring single-node iteration distributions (cg.B.8)...")
-	std, hpl := experiments.ResonanceStudy(nodes, 15, 75, 300, 11)
+	std, hpl := experiments.ResonanceStudy(nodes, 15, 75, 300, 11, 0)
 
 	fmt.Println()
 	fmt.Println("=== standard Linux node ===")

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"hplsim/internal/pool"
 	"hplsim/internal/sim"
 	"hplsim/internal/stats"
 )
@@ -55,7 +56,17 @@ type Point struct {
 // Each of `draws` simulated jobs executes `iters` global iterations; each
 // node's per-iteration time is an independent draw from the empirical
 // distribution, and the global iteration takes the maximum across nodes.
+// It is ResonanceOpt with a sequential (but identically seeded) pool.
 func Resonance(ns NodeSample, nodes []int, iters, draws int, rng *sim.RNG) []Point {
+	return ResonanceOpt(ns, nodes, iters, draws, rng, 1)
+}
+
+// ResonanceOpt is Resonance with the Monte-Carlo draws fanned out over a
+// bounded worker pool (workers <= 0 selects GOMAXPROCS). Every simulated
+// job uses a random stream derived purely from (rng seed, node-size index,
+// draw index), and results land in index-addressed slots, so the output is
+// identical for every worker count.
+func ResonanceOpt(ns NodeSample, nodes []int, iters, draws int, rng *sim.RNG, workers int) []Point {
 	if !ns.Valid() {
 		panic("cluster: empty node sample")
 	}
@@ -68,18 +79,22 @@ func Resonance(ns NodeSample, nodes []int, iters, draws int, rng *sim.RNG) []Poi
 	sort.Float64s(emp)
 
 	out := make([]Point, 0, len(nodes))
-	for _, n := range nodes {
-		var slowdowns []float64
-		delayed, totalIters := 0, 0
-		for d := 0; d < draws; d++ {
+	for ni, n := range nodes {
+		n := n
+		sizeRNG := rng.Split(uint64(ni))
+		slowdowns := make([]float64, draws)
+		delayedByDraw := make([]int, draws)
+		pool.ForN(draws, workers, func(d int) {
+			r := sizeRNG.Split(uint64(d))
 			var total float64
+			delayed := 0
 			for it := 0; it < iters; it++ {
 				// max over n independent node draws; equivalently one
 				// draw from the max-order statistic. Sampling the max
 				// directly via the CDF trick keeps cost O(1) per
 				// iteration: P(max <= x) = F(x)^n, so draw u and look
 				// up the u^(1/n) quantile.
-				u := rng.Float64()
+				u := r.Float64()
 				q := rootN(u, n)
 				idx := int(q * float64(len(emp)))
 				if idx >= len(emp) {
@@ -87,19 +102,23 @@ func Resonance(ns NodeSample, nodes []int, iters, draws int, rng *sim.RNG) []Poi
 				}
 				t := emp[idx]
 				total += t
-				totalIters++
 				if t > ns.Ideal*1.01 {
 					delayed++
 				}
 			}
-			slowdowns = append(slowdowns, total/(float64(iters)*ns.Ideal))
+			slowdowns[d] = total / (float64(iters) * ns.Ideal)
+			delayedByDraw[d] = delayed
+		})
+		delayed := 0
+		for _, c := range delayedByDraw {
+			delayed += c
 		}
 		sum := stats.Summarize(slowdowns)
 		out = append(out, Point{
 			Nodes:           n,
 			MeanSlowdown:    sum.Mean,
 			P99Slowdown:     sum.P99,
-			ProbIterDelayed: float64(delayed) / float64(totalIters),
+			ProbIterDelayed: float64(delayed) / float64(draws*iters),
 		})
 	}
 	return out

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -56,6 +57,25 @@ func TestQuietNodeStaysFlat(t *testing.T) {
 		if math.Abs(p.MeanSlowdown-1) > 0.01 {
 			t.Fatalf("quiet node slowdown at %d nodes = %.4f", p.Nodes, p.MeanSlowdown)
 		}
+	}
+}
+
+func TestResonanceWorkerCountInvariance(t *testing.T) {
+	// The Monte-Carlo composition must give identical points for every
+	// worker count: each draw's stream derives from (seed, size, draw).
+	ns := noisySample(0.1, 0.03, 2.5, 5000, 7)
+	nodes := []int{1, 32, 512}
+	seq := ResonanceOpt(ns, nodes, 40, 120, sim.NewRNG(8), 1)
+	for _, workers := range []int{2, 8} {
+		par := ResonanceOpt(ns, nodes, 40, 120, sim.NewRNG(8), workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: points differ from sequential:\nseq: %+v\npar: %+v",
+				workers, seq, par)
+		}
+	}
+	// And the legacy entry point is the workers=1 case.
+	if !reflect.DeepEqual(seq, Resonance(ns, nodes, 40, 120, sim.NewRNG(8))) {
+		t.Fatal("Resonance does not match ResonanceOpt(..., 1)")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"hplsim/internal/kernel"
 	"hplsim/internal/mpi"
 	"hplsim/internal/nas"
+	"hplsim/internal/pool"
 	"hplsim/internal/sched"
 	"hplsim/internal/sim"
 	"hplsim/internal/stats"
@@ -22,8 +23,8 @@ type AblationRow struct {
 }
 
 // runScheme collects a row for one (profile, scheme) pair.
-func runScheme(label string, prof nas.Profile, scheme Scheme, reps int, seed uint64) AblationRow {
-	rs := RunMany(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps)
+func runScheme(label string, prof nas.Profile, scheme Scheme, reps int, seed uint64, workers int) AblationRow {
+	rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps, workers)
 	el := make([]float64, len(rs))
 	mg := make([]float64, len(rs))
 	cx := make([]float64, len(rs))
@@ -41,10 +42,10 @@ func runScheme(label string, prof nas.Profile, scheme Scheme, reps int, seed uin
 // AblationDynamicBalance (A1) tests the paper's claim that "balancing tasks
 // dynamically simply introduces too much OS noise": the HPC class with the
 // dynamic load balancer left on, against proper HPL.
-func AblationDynamicBalance(prof nas.Profile, reps int, seed uint64) []AblationRow {
+func AblationDynamicBalance(prof nas.Profile, reps int, seed uint64, workers int) []AblationRow {
 	return []AblationRow{
-		runScheme("hpl (fork-time only)", prof, HPL, reps, seed),
-		runScheme("hpl + dynamic balance", prof, HPLDynamic, reps, seed),
+		runScheme("hpl (fork-time only)", prof, HPL, reps, seed, workers),
+		runScheme("hpl + dynamic balance", prof, HPLDynamic, reps, seed, workers),
 	}
 }
 
@@ -52,7 +53,7 @@ func AblationDynamicBalance(prof nas.Profile, reps int, seed uint64) []AblationR
 // placement. The difference shows with fewer ranks than hardware threads:
 // with four ranks, topology-aware placement gives every rank a whole core
 // while first-fit packs two SMT siblings per core on one chip.
-func AblationPlacement(reps int, seed uint64) []AblationRow {
+func AblationPlacement(reps int, seed uint64, workers int) []AblationRow {
 	// A 4-rank variant of ep.A: same per-rank work, half the ranks.
 	prof := nas.MustGet("ep", 'A')
 	rows := []AblationRow{}
@@ -63,10 +64,11 @@ func AblationPlacement(reps int, seed uint64) []AblationRow {
 		{"topology-aware placement", false},
 		{"naive first-fit placement", true},
 	} {
+		cfg := cfg
 		el := make([]float64, reps)
-		for i := 0; i < reps; i++ {
+		pool.ForN(reps, workers, func(i int) {
 			el[i] = runFourRanks(prof, cfg.naive, seed+uint64(i)*7919)
-		}
+		})
 		rows = append(rows, AblationRow{Label: cfg.label, Times: stats.Summarize(el)})
 	}
 	return rows
@@ -94,10 +96,10 @@ func runFourRanks(prof nas.Profile, naive bool, seed uint64) float64 {
 // static pinning, nice -20) and standard CFS against HPL on one profile,
 // with the CNK-style dedicated node as the lightweight-kernel bound from
 // the paper's related work.
-func AblationAlternatives(prof nas.Profile, reps int, seed uint64) []AblationRow {
+func AblationAlternatives(prof nas.Profile, reps int, seed uint64, workers int) []AblationRow {
 	rows := []AblationRow{}
 	for _, s := range []Scheme{Std, Nice, Pinned, RT, HPL, CNK} {
-		rows = append(rows, runScheme(s.String(), prof, s, reps, seed))
+		rows = append(rows, runScheme(s.String(), prof, s, reps, seed, workers))
 	}
 	return rows
 }
@@ -105,10 +107,10 @@ func AblationAlternatives(prof nas.Profile, reps int, seed uint64) []AblationRow
 // AblationTick (A6) sweeps the timer frequency to expose tick micro-noise
 // (the NETTICK discussion in Section V): higher HZ steals more CPU time
 // and adds scheduling points.
-func AblationTick(prof nas.Profile, reps int, seed uint64) []AblationRow {
+func AblationTick(prof nas.Profile, reps int, seed uint64, workers int) []AblationRow {
 	rows := []AblationRow{}
 	for _, hz := range []int{100, 250, 1000} {
-		rs := RunMany(Options{Profile: prof, Scheme: HPL, Seed: seed, HZ: hz}, reps)
+		rs := RunManyOpt(Options{Profile: prof, Scheme: HPL, Seed: seed, HZ: hz}, reps, workers)
 		el := make([]float64, len(rs))
 		for i, r := range rs {
 			el[i] = r.ElapsedSec
@@ -138,7 +140,7 @@ func FormatAblation(title string, rows []AblationRow) string {
 // AblationNettick (A7) measures the NETTICK-style adaptive tick the paper
 // pairs with HPL: with the housekeeping tick, the timer micro-noise on
 // lone HPC ranks all but disappears.
-func AblationNettick(prof nas.Profile, reps int, seed uint64) []AblationRow {
+func AblationNettick(prof nas.Profile, reps int, seed uint64, workers int) []AblationRow {
 	rows := []AblationRow{}
 	for _, cfg := range []struct {
 		label    string
@@ -149,8 +151,8 @@ func AblationNettick(prof nas.Profile, reps int, seed uint64) []AblationRow {
 		{"HPL, HZ=250", false, 250},
 		{"HPL + NETTICK", true, 1000},
 	} {
-		rs := RunMany(Options{Profile: prof, Scheme: HPL, Seed: seed,
-			HZ: cfg.hz, AdaptiveTick: cfg.adaptive}, reps)
+		rs := RunManyOpt(Options{Profile: prof, Scheme: HPL, Seed: seed,
+			HZ: cfg.hz, AdaptiveTick: cfg.adaptive}, reps, workers)
 		el := make([]float64, len(rs))
 		for i, r := range rs {
 			el[i] = r.ElapsedSec

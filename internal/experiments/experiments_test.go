@@ -154,7 +154,7 @@ func TestFigure1Renders(t *testing.T) {
 func TestFigure3Correlation(t *testing.T) {
 	// Figures 3a/3b: execution time correlates positively with both CPU
 	// migrations and context switches under the standard scheduler.
-	migr, ctx := Figure3(25, 50)
+	migr, ctx := Figure3(25, 50, 0)
 	if migr.R <= 0.1 {
 		t.Fatalf("time-vs-migrations correlation r = %.3f, want clearly positive", migr.R)
 	}
@@ -164,7 +164,7 @@ func TestFigure3Correlation(t *testing.T) {
 }
 
 func TestTablesRender(t *testing.T) {
-	rows := TableI(HPL, 3, 51)
+	rows := TableI(HPL, 3, 51, 0)
 	if len(rows) != 12 {
 		t.Fatalf("Table I rows = %d, want 12", len(rows))
 	}
@@ -177,7 +177,7 @@ func TestTablesRender(t *testing.T) {
 func TestAblationTickMonotone(t *testing.T) {
 	// A6: more ticks, more stolen time. HZ=1000 must not be faster than
 	// HZ=100 on average.
-	rows := AblationTick(nas.MustGet("is", 'A'), 8, 52)
+	rows := AblationTick(nas.MustGet("is", 'A'), 8, 52, 0)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -191,7 +191,7 @@ func TestAblationPlacement(t *testing.T) {
 	// A2: with 4 ranks, topology-aware placement (one rank per core)
 	// beats naive first-fit (two SMT siblings per core) by roughly the
 	// SMT factor.
-	rows := AblationPlacement(3, 53)
+	rows := AblationPlacement(3, 53, 0)
 	topoAware, naive := rows[0].Times.Mean, rows[1].Times.Mean
 	if naive < topoAware*1.2 {
 		t.Fatalf("naive placement (%.2fs) not clearly slower than topology-aware (%.2fs)",
@@ -202,7 +202,7 @@ func TestAblationPlacement(t *testing.T) {
 func TestResonanceGrowsWithNodes(t *testing.T) {
 	// Section II: noise amplifies with scale under the standard kernel
 	// and stays flat under HPL.
-	std, hpl := ResonanceStudy([]int{1, 64, 1024}, 6, 50, 200, 54)
+	std, hpl := ResonanceStudy([]int{1, 64, 1024}, 6, 50, 200, 54, 0)
 	if std[2].MeanSlowdown <= std[0].MeanSlowdown {
 		t.Fatalf("std slowdown does not grow with nodes: %+v", std)
 	}
@@ -219,7 +219,7 @@ func TestAblationNettickImproves(t *testing.T) {
 	// A7: the adaptive housekeeping tick removes most timer micro-noise;
 	// HZ=1000 + NETTICK must beat plain HZ=1000 and be at least as good
 	// as HZ=250.
-	rows := AblationNettick(nas.MustGet("is", 'A'), 6, 60)
+	rows := AblationNettick(nas.MustGet("is", 'A'), 6, 60, 0)
 	hz1000, hz250, nettick := rows[0].Times.Mean, rows[1].Times.Mean, rows[2].Times.Mean
 	if nettick > hz1000 {
 		t.Fatalf("NETTICK (%.4f) slower than plain HZ=1000 (%.4f)", nettick, hz1000)
@@ -266,7 +266,7 @@ func TestHPLApproachesCNK(t *testing.T) {
 }
 
 func TestSyncStudyStructure(t *testing.T) {
-	rows := SyncStudy(3, 70)
+	rows := SyncStudy(3, 70, 0)
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(rows))
 	}

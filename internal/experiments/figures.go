@@ -88,9 +88,9 @@ type DistributionResult struct {
 
 // distribution runs ep.A.8 reps times under the scheme and builds the
 // execution-time histogram.
-func distribution(scheme Scheme, reps int, seed uint64) DistributionResult {
+func distribution(scheme Scheme, reps int, seed uint64, workers int) DistributionResult {
 	prof := nas.MustGet("ep", 'A')
-	rs := RunMany(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps)
+	rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps, workers)
 	el := make([]float64, len(rs))
 	for i, r := range rs {
 		el[i] = r.ElapsedSec
@@ -106,14 +106,14 @@ func distribution(scheme Scheme, reps int, seed uint64) DistributionResult {
 
 // Figure2 reproduces the execution-time distribution of ep.A.8 under the
 // standard Linux scheduler (1000 runs in the paper).
-func Figure2(reps int, seed uint64) DistributionResult {
-	return distribution(Std, reps, seed)
+func Figure2(reps int, seed uint64, workers int) DistributionResult {
+	return distribution(Std, reps, seed, workers)
 }
 
 // Figure4 reproduces the execution-time distribution of ep.A.8 under the
 // real-time scheduler.
-func Figure4(reps int, seed uint64) DistributionResult {
-	return distribution(RT, reps, seed)
+func Figure4(reps int, seed uint64, workers int) DistributionResult {
+	return distribution(RT, reps, seed, workers)
 }
 
 // FormatDistribution renders a distribution result like Figures 2 and 4.
@@ -142,8 +142,8 @@ type CorrelationResult struct {
 // scheduler, execution time as a function of CPU migrations (3a) and
 // context switches (3b), with the correlation the paper reads off the
 // plots. The same runs serve both panels, as in the paper.
-func Figure3(reps int, seed uint64) (migr, ctx CorrelationResult) {
-	d := distribution(Std, reps, seed)
+func Figure3(reps int, seed uint64, workers int) (migr, ctx CorrelationResult) {
+	d := distribution(Std, reps, seed, workers)
 	times := make([]float64, len(d.Results))
 	migs := make([]float64, len(d.Results))
 	ctxs := make([]float64, len(d.Results))

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"hplsim/internal/nas"
+)
+
+// TestRunManyWorkerCountInvariance is the determinism contract of the
+// parallel replication harness: the same Options must produce deeply equal
+// results at every worker count. Any mutable state leaking between
+// concurrently running kernels (a shared RNG, a package-level counter, an
+// aliased slice) shows up here as a diff — and under `go test -race` as a
+// report.
+func TestRunManyWorkerCountInvariance(t *testing.T) {
+	opt := Options{Profile: nas.MustGet("is", 'A'), Scheme: Std, Seed: 77}
+	const reps = 6
+	seq := RunManyOpt(opt, reps, 1)
+	for _, workers := range []int{2, 8} {
+		par := RunManyOpt(opt, reps, workers)
+		if !reflect.DeepEqual(seq, par) {
+			for i := range seq {
+				if !reflect.DeepEqual(seq[i], par[i]) {
+					t.Errorf("workers=%d rep %d diverged:\nseq: %+v\npar: %+v",
+						workers, i, seq[i], par[i])
+				}
+			}
+			t.Fatalf("workers=%d results differ from sequential", workers)
+		}
+	}
+}
+
+// TestRunManyWorkerCountInvarianceHPL repeats the check under the HPC
+// class (different balancer and placement paths) with storms suppressed,
+// so both major scheduler configurations are covered.
+func TestRunManyWorkerCountInvarianceHPL(t *testing.T) {
+	opt := Options{Profile: nas.MustGet("cg", 'A'), Scheme: HPL, Seed: 78, NoStorms: true}
+	const reps = 4
+	seq := RunManyOpt(opt, reps, 1)
+	par := RunManyOpt(opt, reps, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("HPL results depend on the worker count")
+	}
+}
+
+// TestRunManyDefaultsMatchExplicit checks the Options.Workers plumbing:
+// RunMany(opt) honours opt.Workers and equals the explicit RunManyOpt call.
+func TestRunManyDefaultsMatchExplicit(t *testing.T) {
+	opt := Options{Profile: nas.MustGet("is", 'A'), Scheme: HPL, Seed: 79}
+	opt.Workers = 3
+	a := RunMany(opt, 3)
+	b := RunManyOpt(opt, 3, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunMany(opt) does not match RunManyOpt(opt, reps, opt.Workers)")
+	}
+}
+
+// TestCollectNodeSampleWorkerInvariance extends the contract to the
+// cluster sampling path: the empirical distribution handed to the
+// resonance study must not depend on the worker count.
+func TestCollectNodeSampleWorkerInvariance(t *testing.T) {
+	prof := nas.MustGet("is", 'A')
+	seq := CollectNodeSample(prof, Std, 4, 80, 1)
+	par := CollectNodeSample(prof, Std, 4, 80, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("node sample depends on the worker count")
+	}
+}

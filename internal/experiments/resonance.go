@@ -8,9 +8,11 @@ import (
 
 // CollectNodeSample gathers the per-iteration time distribution of one
 // (profile, scheme) node configuration by running the full single-node
-// simulation `runs` times.
-func CollectNodeSample(prof nas.Profile, scheme Scheme, runs int, seed uint64) cluster.NodeSample {
-	rs := RunMany(Options{Profile: prof, Scheme: scheme, Seed: seed}, runs)
+// simulation `runs` times over a bounded worker pool (workers <= 0 selects
+// GOMAXPROCS). The sample is assembled in rep order, so it is independent
+// of the worker count.
+func CollectNodeSample(prof nas.Profile, scheme Scheme, runs int, seed uint64, workers int) cluster.NodeSample {
+	rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed}, runs, workers)
 	var iters []float64
 	for _, r := range rs {
 		iters = append(iters, r.IterationSec...)
@@ -25,12 +27,14 @@ func CollectNodeSample(prof nas.Profile, scheme Scheme, runs int, seed uint64) c
 // ResonanceStudy runs the Section II scaling argument end to end for both
 // the standard scheduler and HPL: measure each node configuration, then
 // compose clusters of growing size. It returns (std, hpl) scaling curves.
-func ResonanceStudy(nodes []int, nodeRuns, iters, draws int, seed uint64) (std, hpl []cluster.Point) {
+// workers bounds both the node-measurement pool and the Monte-Carlo
+// composition pool.
+func ResonanceStudy(nodes []int, nodeRuns, iters, draws int, seed uint64, workers int) (std, hpl []cluster.Point) {
 	prof := nas.MustGet("cg", 'B') // iteration-rich, medium length
 	rng := sim.NewRNG(seed)
-	stdSample := CollectNodeSample(prof, Std, nodeRuns, seed)
-	hplSample := CollectNodeSample(prof, HPL, nodeRuns, seed+1)
-	std = cluster.Resonance(stdSample, nodes, iters, draws, rng.Split(1))
-	hpl = cluster.Resonance(hplSample, nodes, iters, draws, rng.Split(2))
+	stdSample := CollectNodeSample(prof, Std, nodeRuns, seed, workers)
+	hplSample := CollectNodeSample(prof, HPL, nodeRuns, seed+1, workers)
+	std = cluster.ResonanceOpt(stdSample, nodes, iters, draws, rng.Split(1), workers)
+	hpl = cluster.ResonanceOpt(hplSample, nodes, iters, draws, rng.Split(2), workers)
 	return std, hpl
 }

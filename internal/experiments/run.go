@@ -21,6 +21,7 @@ import (
 	"hplsim/internal/nas"
 	"hplsim/internal/noise"
 	"hplsim/internal/perf"
+	"hplsim/internal/pool"
 	"hplsim/internal/sched"
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
@@ -112,6 +113,10 @@ type Options struct {
 	SpinThreshold sim.Duration
 	// Horizon caps the virtual runtime (0 = automatic).
 	Horizon sim.Duration
+	// Workers bounds the replication worker pool used by RunMany:
+	// 0 = GOMAXPROCS, 1 = sequential. Results are independent of the
+	// worker count (see RunManyOpt).
+	Workers int
 }
 
 // Result is the outcome of one measured run.
@@ -263,9 +268,12 @@ func Run(opt Options) Result {
 		// Censored: the app never finished within the horizon.
 		res.ElapsedSec = horizon.Seconds()
 	}
-	for i := 1; i < len(world.ReleaseTimes); i++ {
-		res.IterationSec = append(res.IterationSec,
-			world.ReleaseTimes[i].Sub(world.ReleaseTimes[i-1]).Seconds())
+	if n := len(world.ReleaseTimes); n > 1 {
+		res.IterationSec = make([]float64, 0, n-1)
+		for i := 1; i < n; i++ {
+			res.IterationSec = append(res.IterationSec,
+				world.ReleaseTimes[i].Sub(world.ReleaseTimes[i-1]).Seconds())
+		}
 	}
 	res.Sched = k.Sched.Stats()
 	res.Energy = k.Energy()
@@ -309,13 +317,35 @@ func runMpiexec(k *kernel.Kernel, chrt *kernel.Proc, world *mpi.World,
 		})
 }
 
-// RunMany performs reps independent runs with derived seeds.
+// RunMany performs reps independent runs with derived seeds, fanned out
+// over opt.Workers goroutines (0 = GOMAXPROCS). It is shorthand for
+// RunManyOpt(opt, reps, opt.Workers).
 func RunMany(opt Options, reps int) []Result {
+	return RunManyOpt(opt, reps, opt.Workers)
+}
+
+// RunManyOpt performs reps independent runs with derived seeds over a
+// bounded worker pool. workers <= 0 selects GOMAXPROCS; workers == 1 runs
+// strictly sequentially on the calling goroutine.
+//
+// Determinism contract: every rep builds its own kernel.Kernel and
+// sim.Engine from a seed that is a pure function of (opt.Seed, rep index),
+// shares no mutable state with its siblings, and writes its Result into the
+// slot picked by its index — so the returned slice is bitwise identical to
+// a sequential run regardless of the worker count (enforced by
+// TestRunManyWorkerCountInvariance and `go test -race`).
+//
+// A non-nil opt.Tracer forces workers to 1: a tracer is a single timeline
+// and interleaving runs into it would be meaningless.
+func RunManyOpt(opt Options, reps, workers int) []Result {
+	if opt.Tracer != nil {
+		workers = 1
+	}
 	out := make([]Result, reps)
-	for i := 0; i < reps; i++ {
+	pool.ForN(reps, workers, func(i int) {
 		o := opt
 		o.Seed = opt.Seed + uint64(i)*0x9e37
 		out[i] = Run(o)
-	}
+	})
 	return out
 }

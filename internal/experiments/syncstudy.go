@@ -8,6 +8,7 @@ import (
 	"hplsim/internal/mpi"
 	"hplsim/internal/nas"
 	"hplsim/internal/noise"
+	"hplsim/internal/pool"
 	"hplsim/internal/sched"
 	"hplsim/internal/sim"
 	"hplsim/internal/stats"
@@ -35,7 +36,7 @@ type SyncRow struct {
 // the standard scheduler idle slots to fill with daemons and balancing.
 // Fine-grained coupling resonates with fine-grained noise, exactly the
 // resonance rule of Ferreira et al.
-func SyncStudy(reps int, seed uint64) []SyncRow {
+func SyncStudy(reps int, seed uint64, workers int) []SyncRow {
 	prof := nas.MustGet("is", 'A')
 	rows := []SyncRow{}
 	for _, cfg := range []struct {
@@ -48,10 +49,11 @@ func SyncStudy(reps int, seed uint64) []SyncRow {
 		{"wavefront-coupled, HPL (reference)", true, HPL},
 		{"wavefront-coupled, std Linux", true, Std},
 	} {
+		cfg := cfg
 		el := make([]float64, reps)
-		for i := 0; i < reps; i++ {
+		pool.ForN(reps, workers, func(i int) {
 			el[i] = runSync(prof, cfg.wavefront, cfg.scheme, seed+uint64(i)*6151)
-		}
+		})
 		rows = append(rows, SyncRow{Label: cfg.label, Times: stats.Summarize(el)})
 	}
 	return rows

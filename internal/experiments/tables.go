@@ -18,11 +18,11 @@ type TableIRow struct {
 
 // TableI reproduces Table Ia (scheme Std) or Ib (scheme HPL): for every NAS
 // configuration, the min/avg/max of CPU migrations and context switches
-// over reps runs.
-func TableI(scheme Scheme, reps int, seed uint64) []TableIRow {
+// over reps runs. workers bounds the replication pool (0 = GOMAXPROCS).
+func TableI(scheme Scheme, reps int, seed uint64, workers int) []TableIRow {
 	var rows []TableIRow
 	for _, prof := range nas.All() {
-		rs := RunMany(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps)
+		rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps, workers)
 		mig := make([]float64, len(rs))
 		ctx := make([]float64, len(rs))
 		for i, r := range rs {
@@ -64,12 +64,12 @@ type TableIIRow struct {
 
 // TableII reproduces Table II: execution time min/avg/max and Var% for
 // every NAS configuration under Std and HPL.
-func TableII(reps int, seed uint64) []TableIIRow {
+func TableII(reps int, seed uint64, workers int) []TableIIRow {
 	var rows []TableIIRow
 	for _, prof := range nas.All() {
 		row := TableIIRow{Bench: prof.Name()}
 		for _, scheme := range []Scheme{Std, HPL} {
-			rs := RunMany(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps)
+			rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps, workers)
 			el := make([]float64, len(rs))
 			for i, r := range rs {
 				el[i] = r.ElapsedSec
@@ -104,8 +104,8 @@ func FormatTableII(rows []TableIIRow) string {
 
 // SchemeTimes collects execution-time statistics for one profile under one
 // scheme (used by ablations and the CLI).
-func SchemeTimes(prof nas.Profile, scheme Scheme, reps int, seed uint64) stats.Summary {
-	rs := RunMany(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps)
+func SchemeTimes(prof nas.Profile, scheme Scheme, reps int, seed uint64, workers int) stats.Summary {
+	rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps, workers)
 	el := make([]float64, len(rs))
 	for i, r := range rs {
 		el[i] = r.ElapsedSec

@@ -29,7 +29,7 @@ func (k *Kernel) tickPeriod() sim.Duration {
 // housekeeping tick — the NETTICK optimisation that removes most of the
 // timer micro-noise while the scheduler has nothing to decide.
 func (k *Kernel) armTick(c *cpuState) {
-	if c.tick != nil {
+	if c.tick.Pending() {
 		return
 	}
 	period := k.tickPeriod()
@@ -44,17 +44,15 @@ func (k *Kernel) armTick(c *cpuState) {
 }
 
 func (k *Kernel) cancelTick(c *cpuState) {
-	if c.tick != nil {
-		k.Eng.Cancel(c.tick)
-		c.tick = nil
-	}
+	k.Eng.Cancel(c.tick)
+	c.tick = sim.EventRef{}
 }
 
 // tickFire is the timer interrupt handler: account the elapsed span, steal
 // the tick cost from the running task, drive the class tick (timeslice and
 // fairness preemption) and the periodic load balancer, and re-arm.
 func (k *Kernel) tickFire(c *cpuState) {
-	c.tick = nil
+	c.tick = sim.EventRef{}
 	if c.curr == c.idle {
 		return // raced with idling; stay tickless
 	}
@@ -62,7 +60,7 @@ func (k *Kernel) tickFire(c *cpuState) {
 	k.syncProgress(c)
 	// The interrupt itself steals CPU time: the paper's "micro noise".
 	c.spanStart = c.spanStart.Add(k.Cfg.TickCost)
-	if c.completion != nil {
+	if c.completion.Pending() {
 		k.Eng.Reschedule(c.completion, c.completion.When().Add(k.Cfg.TickCost))
 	}
 	k.Sched.Tick(c.id, c.curr)
@@ -124,10 +122,8 @@ func (k *Kernel) advance(c *cpuState) {
 
 // project (re)schedules the completion event for c.curr's pending work.
 func (k *Kernel) project(c *cpuState) {
-	if c.completion != nil {
-		k.Eng.Cancel(c.completion)
-		c.completion = nil
-	}
+	k.Eng.Cancel(c.completion)
+	c.completion = sim.EventRef{}
 	t := c.curr
 	if t == c.idle || t.State != task.Running {
 		return
@@ -142,7 +138,7 @@ func (k *Kernel) project(c *cpuState) {
 		at = k.Eng.Now()
 	}
 	c.completion = k.Eng.At(at, func() {
-		c.completion = nil
+		c.completion = sim.EventRef{}
 		k.workDone(c, t)
 	})
 }
@@ -193,10 +189,8 @@ func (k *Kernel) schedule(c *cpuState) {
 	prev := c.curr
 
 	k.syncProgress(c)
-	if c.completion != nil {
-		k.Eng.Cancel(c.completion)
-		c.completion = nil
-	}
+	k.Eng.Cancel(c.completion)
+	c.completion = sim.EventRef{}
 
 	// Requeue prev if it is still runnable (involuntary switch path).
 	if prev != c.idle && prev.State == task.Running {
@@ -288,7 +282,7 @@ func (k *Kernel) StealTime(cpu int, d sim.Duration) {
 	}
 	k.syncProgress(c)
 	c.spanStart = c.spanStart.Add(d)
-	if c.completion != nil {
+	if c.completion.Pending() {
 		k.Eng.Reschedule(c.completion, c.completion.When().Add(d))
 	}
 }
@@ -317,10 +311,6 @@ func (k *Kernel) reprojectSiblings(cpu int) {
 		sc := k.cpus[sib]
 		if sc.curr == sc.idle {
 			return
-		}
-		if sc.completion != nil {
-			k.Eng.Cancel(sc.completion)
-			sc.completion = nil
 		}
 		k.project(sc)
 	})

@@ -113,10 +113,10 @@ type cpuState struct {
 	// a context switch (switch cost) or a tick (tick cost).
 	spanStart sim.Time
 	// completion fires when curr's finite work is done.
-	completion *sim.Event
+	completion sim.EventRef
 	// tick is the pending timer interrupt; nil while the CPU idles
 	// (tickless idle).
-	tick *sim.Event
+	tick sim.EventRef
 	// reschedPending guards against scheduling multiple reschedule
 	// passes at the same instant.
 	reschedPending bool

@@ -11,6 +11,7 @@ import (
 // BenchmarkBusyNodeSecond measures simulating one virtual second of a
 // fully loaded 8-CPU node (8 CPU hogs, ticks, fairness preemption).
 func BenchmarkBusyNodeSecond(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := New(Config{Topo: topo.POWER6(), Seed: uint64(i)})
 		for c := 0; c < 8; c++ {
@@ -25,6 +26,7 @@ func BenchmarkBusyNodeSecond(b *testing.B) {
 // BenchmarkContextSwitchPath measures the full preempt/switch/resume cycle:
 // two CFS hogs sharing one CPU for a virtual second (~160 switches).
 func BenchmarkContextSwitchPath(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := New(Config{Topo: topo.Topology{Chips: 1, CoresPerChip: 1, ThreadsPerCore: 1},
 			Seed: uint64(i)})
@@ -40,6 +42,7 @@ func BenchmarkContextSwitchPath(b *testing.B) {
 // BenchmarkSleepWakeChurn measures the wakeup path: 8 daemons cycling
 // 1ms-sleep / 100us-run for a virtual second (~8000 wakeups).
 func BenchmarkSleepWakeChurn(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := New(Config{Topo: topo.POWER6(), Seed: uint64(i)})
 		for c := 0; c < 8; c++ {
@@ -53,6 +56,24 @@ func BenchmarkSleepWakeChurn(b *testing.B) {
 				p.Sleep(sim.Millisecond, func() {
 					p.Compute(100*sim.Microsecond, cycle)
 				})
+			})
+		}
+		k.Run(sim.Time(sim.Second))
+	}
+}
+
+// BenchmarkSteadyTickSteal measures the event-engine hot path seen from the
+// kernel: one hog per CPU, only ticks and completion reschedules in flight.
+// With the engine free list, a whole virtual second of steady-state ticking
+// allocates nothing beyond kernel construction.
+func BenchmarkSteadyTickSteal(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := New(Config{Topo: topo.Topology{Chips: 1, CoresPerChip: 2, ThreadsPerCore: 1},
+			Seed: uint64(i)})
+		for c := 0; c < 2; c++ {
+			k.Spawn(nil, Attr{Name: "hog"}, func(p *Proc) {
+				p.Compute(sim.Duration(math.MaxInt64/4), func() { p.Exit() })
 			})
 		}
 		k.Run(sim.Time(sim.Second))

@@ -92,7 +92,7 @@ type Rank struct {
 	waiting bool
 	blocked bool
 	cont    func()
-	spinEv  *sim.Event
+	spinEv  sim.EventRef
 
 	// point-to-point state
 	mailbox []message
@@ -224,7 +224,7 @@ func (r *Rank) arriveSync(then func()) {
 // spinExpired fires when a rank has busy-waited for the full spin window:
 // it gives up its CPU and blocks until the release.
 func (r *Rank) spinExpired() {
-	r.spinEv = nil
+	r.spinEv = sim.EventRef{}
 	if !r.waiting {
 		return // raced with release
 	}
@@ -252,10 +252,8 @@ func (w *World) release(last *Rank, lastThen func()) {
 			continue
 		}
 		r.waiting = false
-		if r.spinEv != nil {
-			w.K.Eng.Cancel(r.spinEv)
-			r.spinEv = nil
-		}
+		w.K.Eng.Cancel(r.spinEv)
+		r.spinEv = sim.EventRef{}
 		cont := r.cont
 		r.cont = nil
 		if r.blocked {

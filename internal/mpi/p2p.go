@@ -24,7 +24,7 @@ type message struct {
 type recvWait struct {
 	tag    int
 	then   func(bytes int)
-	spinEv *sim.Event
+	spinEv sim.EventRef
 }
 
 // Send posts a message to rank `to` and continues immediately after the
@@ -78,7 +78,7 @@ func (r *Rank) recvSpinExpired() {
 	if r.recv == nil {
 		return
 	}
-	r.recv.spinEv = nil
+	r.recv.spinEv = sim.EventRef{}
 	r.recvBlock()
 }
 
@@ -99,9 +99,7 @@ func (r *Rank) recvBlock() {
 func (r *Rank) deliver(msg message) {
 	wait := r.recv
 	r.recv = nil
-	if wait.spinEv != nil {
-		r.W.K.Eng.Cancel(wait.spinEv)
-	}
+	r.W.K.Eng.Cancel(wait.spinEv)
 	t := r.P.T
 	cost := r.W.sendCost(msg.bytes)
 	cont := func() { wait.then(msg.bytes) }

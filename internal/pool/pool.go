@@ -1,0 +1,72 @@
+// Package pool provides the bounded worker pool used to fan independent
+// simulation replications out over the host's cores.
+//
+// The determinism contract of the replication harness (see
+// internal/experiments.RunManyOpt and DESIGN.md) rests on the shape of
+// ForN: every index is processed exactly once, the caller writes results
+// into a slot chosen by index, and no state is shared between invocations —
+// so the assembled output is bitwise identical to a sequential loop
+// regardless of the worker count or the interleaving the host scheduler
+// happens to produce.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForN invokes fn(i) for every i in [0, n), spreading invocations over a
+// bounded pool of goroutines. workers <= 0 selects GOMAXPROCS; workers == 1
+// (or n < 2) runs inline on the caller's goroutine with no synchronisation
+// overhead. ForN returns when every invocation has completed.
+//
+// fn must be safe to call from multiple goroutines on distinct indices; a
+// panic in any invocation propagates to the caller after the pool drains.
+func ForN(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	// Work-stealing by atomic counter: indices are handed out in order,
+	// so early indices start first and the pool self-balances when run
+	// times differ (long-horizon reps do not stall a whole stripe).
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

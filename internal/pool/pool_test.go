@@ -1,0 +1,56 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForNCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 8, 100} {
+		const n = 1000
+		counts := make([]int32, n)
+		ForN(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForNZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForN(0, 4, func(int) { called = true })
+	ForN(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for non-positive n")
+	}
+}
+
+func TestForNIndexedWritesMatchSequential(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	ForN(n, 1, func(i int) { want[i] = i * i })
+	got := make([]int, n)
+	ForN(n, 7, func(i int) { got[i] = i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForNPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	ForN(100, 4, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}

@@ -1,66 +1,54 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are created by Engine.At and
-// Engine.After and may be cancelled until they fire.
+// Event is a scheduled callback. Events are engine-owned: once an event has
+// fired or been cancelled the Engine recycles the object through a free
+// list, so user code never holds an Event directly — it holds an EventRef,
+// whose generation stamp distinguishes the referenced scheduling from any
+// later reuse of the same object.
 type Event struct {
-	when   Time
-	seq    uint64 // tie-break: FIFO among events at the same instant
-	index  int    // heap index, -1 when not queued
-	fn     func()
-	callAt Time // diagnostic: time the event was scheduled
+	when  Time
+	seq   uint64 // tie-break: FIFO among events at the same instant
+	index int    // heap index, -1 when not queued
+	gen   uint64 // incremented on recycle; stale EventRefs stop matching
+	fn    func()
 }
 
-// When reports the virtual time at which the event will fire (or fired).
-func (e *Event) When() Time { return e.when }
+// EventRef is a handle to a scheduled callback, returned by Engine.At and
+// Engine.After. The zero EventRef is inert: Cancel ignores it and Cancelled
+// reports true. Refs are plain values — copying one is free and allocates
+// nothing.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
+
+// Pending reports whether the referenced event is still queued (neither
+// fired nor cancelled).
+func (h EventRef) Pending() bool {
+	return h.ev != nil && h.gen == h.ev.gen && h.ev.index >= 0
+}
 
 // Cancelled reports whether the event has been cancelled or already fired.
-func (e *Event) Cancelled() bool { return e.index < 0 }
+func (h EventRef) Cancelled() bool { return !h.Pending() }
 
-// eventQueue is a binary heap ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+// When reports the virtual time at which the event will fire. It is only
+// meaningful while the event is pending.
+func (h EventRef) When() Time { return h.ev.when }
 
 // Engine is a deterministic discrete-event simulator. It is not safe for
 // concurrent use; the simulation model is single-threaded by design so that
-// runs are exactly reproducible.
+// runs are exactly reproducible. Concurrency lives a level up: independent
+// replications each own an Engine (see internal/experiments.RunManyOpt).
+//
+// The event queue is an inlined binary heap ordered by (when, seq), and
+// fired or cancelled events are recycled through a per-engine free list, so
+// steady-state scheduling (After/Step cycles) does not allocate.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   []*Event
+	free    []*Event
 	seq     uint64
 	stopped bool
 	// Dispatched counts events that have fired, for diagnostics and tests.
@@ -75,49 +63,73 @@ func NewEngine() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// alloc takes an Event from the free list, or makes a new one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return new(Event)
+}
+
+// recycle returns a no-longer-queued event to the free list. Bumping the
+// generation invalidates every outstanding EventRef to this scheduling.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil // release the closure for GC
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at time t. Scheduling in the past panics: that is
 // always a model bug, and silently reordering events would destroy
 // determinism.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn, callAt: e.now}
+	ev := e.alloc()
+	ev.when = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now. Negative d panics.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) EventRef {
 	return e.At(e.now.Add(d), fn)
 }
 
-// Cancel removes ev from the queue. Cancelling an event that already fired
-// or was already cancelled is a no-op, so callers need not track firing.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes the referenced event from the queue. Cancelling an event
+// that already fired or was already cancelled is a no-op (the generation
+// stamp no longer matches), so callers need not track firing.
+func (e *Engine) Cancel(h EventRef) {
+	if !h.Pending() {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.remove(h.ev.index)
+	e.recycle(h.ev)
 }
 
 // Reschedule moves a pending event to a new absolute time, preserving FIFO
 // order relative to newly created events (it receives a fresh sequence
-// number). If ev has fired or been cancelled, Reschedule panics.
-func (e *Engine) Reschedule(ev *Event, t Time) {
-	if ev.index < 0 {
+// number). If the event has fired or been cancelled, Reschedule panics.
+func (e *Engine) Reschedule(h EventRef, t Time) {
+	if !h.Pending() {
 		panic("sim: rescheduling a fired or cancelled event")
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, e.now))
 	}
-	heap.Remove(&e.queue, ev.index)
+	ev := h.ev
+	e.remove(ev.index)
 	ev.when = t
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 }
 
 // Stop makes the current Run call return after the in-flight event.
@@ -132,13 +144,19 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.popMin()
 	if ev.when < e.now {
 		panic("sim: event queue time went backwards")
 	}
 	e.now = ev.when
 	e.Dispatched++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before dispatch: the common pattern of a callback scheduling
+	// its successor then reuses this very object, so steady-state churn
+	// touches no new memory. Outstanding refs are invalidated by the
+	// generation bump, exactly as if the event had merely fired.
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -160,4 +178,95 @@ func (e *Engine) Run(limit Time) Time {
 		e.Step()
 	}
 	return e.now
+}
+
+// less orders the heap by (when, seq): earliest first, FIFO among equals.
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+// push appends ev and restores the heap property.
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.up(ev.index)
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	e.swap(0, n)
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes the event at heap index i.
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	ev := q[i]
+	if i != n {
+		e.swap(i, n)
+	}
+	q[n] = nil
+	e.queue = q[:n]
+	if i != n {
+		if !e.down(i) {
+			e.up(i)
+		}
+	}
+	ev.index = -1
+}
+
+// up sifts the event at index i toward the root.
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the event at index i toward the leaves; it reports whether the
+// event moved.
+func (e *Engine) down(i int) bool {
+	n := len(e.queue)
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			break
+		}
+		e.swap(i, least)
+		i = least
+	}
+	return i != start
 }

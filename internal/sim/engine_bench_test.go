@@ -5,6 +5,7 @@ import "testing"
 func BenchmarkScheduleDispatch(b *testing.B) {
 	e := NewEngine()
 	fn := func() {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.After(Millisecond, fn)
@@ -20,6 +21,7 @@ func BenchmarkHeapChurn(b *testing.B) {
 	for i := 0; i < 1024; i++ {
 		e.After(Duration(i)*Microsecond, fn)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.After(1100*Microsecond, fn)
@@ -30,10 +32,27 @@ func BenchmarkHeapChurn(b *testing.B) {
 func BenchmarkCancel(b *testing.B) {
 	e := NewEngine()
 	fn := func() {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := e.After(Millisecond, fn)
 		e.Cancel(ev)
+	}
+}
+
+func BenchmarkReschedule(b *testing.B) {
+	// The timer-interrupt path: a deep queue whose head keeps moving
+	// (completion events pushed back by tick costs).
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.After(Duration(i+1)*Millisecond, fn)
+	}
+	ev := e.After(500*Microsecond, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reschedule(ev, e.Now().Add(500*Microsecond))
 	}
 }
 

@@ -58,8 +58,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelFromEarlierEvent(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	var later *Event
-	later = e.After(2*Millisecond, func() { fired = true })
+	later := e.After(2*Millisecond, func() { fired = true })
 	e.After(Millisecond, func() { e.Cancel(later) })
 	e.Run(Infinity)
 	if fired {
@@ -162,6 +161,107 @@ func TestEngineMonotonicClock(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEventRecyclingKeepsStaleRefsInert(t *testing.T) {
+	// A ref to a fired event must stay a no-op for Cancel even after the
+	// engine recycles the Event object into a new scheduling.
+	e := NewEngine()
+	firstFired := false
+	first := e.After(Millisecond, func() { firstFired = true })
+	e.Run(Infinity)
+	if !firstFired {
+		t.Fatal("first event did not fire")
+	}
+	if !first.Cancelled() {
+		t.Fatal("fired event does not report cancelled")
+	}
+	// The free list hands the same object to the next scheduling.
+	secondFired := false
+	second := e.After(Millisecond, func() { secondFired = true })
+	if !second.Pending() {
+		t.Fatal("second event not pending")
+	}
+	// Cancelling through the stale ref must not touch the new event.
+	e.Cancel(first)
+	if !second.Pending() {
+		t.Fatal("stale Cancel hit a recycled event")
+	}
+	e.Run(Infinity)
+	if !secondFired {
+		t.Fatal("second event did not fire")
+	}
+	// The zero ref is inert everywhere.
+	var zero EventRef
+	if !zero.Cancelled() {
+		t.Fatal("zero ref reports pending")
+	}
+	e.Cancel(zero)
+}
+
+func TestEngineSteadyStateDoesNotAllocate(t *testing.T) {
+	// The After/Step cycle must recycle events instead of allocating:
+	// this is the engine hot path of every kernel run.
+	e := NewEngine()
+	fn := func() {}
+	// Warm the free list and the queue's backing array.
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i)*Microsecond, fn)
+	}
+	e.Run(Infinity)
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(Millisecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state After/Step allocates %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+func TestEngineHeapChurnOrdering(t *testing.T) {
+	// Interleave inserts, cancels, and reschedules over a deep queue and
+	// check dispatch order matches (when, seq) exactly.
+	e := NewEngine()
+	r := NewRNG(123)
+	type rec struct {
+		when Time
+		seq  int
+	}
+	var got []rec
+	var refs []EventRef
+	seq := 0
+	for i := 0; i < 2000; i++ {
+		when := e.Now().Add(Duration(r.Intn(5000)) * Microsecond)
+		s := seq
+		seq++
+		refs = append(refs, e.At(when, func() {
+			got = append(got, rec{e.Now(), s})
+		}))
+		switch r.Intn(10) {
+		case 0:
+			e.Cancel(refs[r.Intn(len(refs))])
+		case 1:
+			h := refs[r.Intn(len(refs))]
+			if h.Pending() {
+				e.Reschedule(h, e.Now().Add(Duration(r.Intn(5000))*Microsecond))
+			}
+		}
+		if r.Intn(3) == 0 {
+			e.Step()
+		}
+	}
+	e.Run(Infinity)
+	for i := 1; i < len(got); i++ {
+		if got[i].when < got[i-1].when {
+			t.Fatalf("dispatch times went backwards at %d: %v then %v",
+				i, got[i-1].when, got[i].when)
+		}
+	}
+	for _, h := range refs {
+		if h.Pending() {
+			t.Fatal("event still pending after Run(Infinity)")
+		}
 	}
 }
 
