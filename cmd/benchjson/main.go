@@ -17,11 +17,11 @@ import (
 	"os"
 	"runtime"
 	"testing"
-	"time"
 
 	"hplsim/internal/experiments"
 	"hplsim/internal/nas"
 	"hplsim/internal/sim"
+	"hplsim/internal/walltime"
 )
 
 // EngineBench is one microbenchmark reading.
@@ -122,9 +122,9 @@ func main() {
 	}
 	var seqSec float64
 	for _, w := range widths {
-		start := time.Now()
+		sw := walltime.Start()
 		experiments.RunManyOpt(opt, *reps, w)
-		sec := time.Since(start).Seconds()
+		sec := sw.Seconds()
 		if w == 1 {
 			seqSec = sec
 		}

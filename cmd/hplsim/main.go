@@ -16,12 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"hplsim/internal/experiments"
 	"hplsim/internal/nas"
 	"hplsim/internal/sim"
 	"hplsim/internal/stats"
+	"hplsim/internal/walltime"
 )
 
 func parseScheme(s string) (experiments.Scheme, bool) {
@@ -90,9 +90,9 @@ func main() {
 		Workers:       *workers,
 	}
 
-	start := time.Now()
+	sw := walltime.Start()
 	rs := experiments.RunMany(opt, *reps)
-	wall := time.Since(start)
+	wall := sw.Elapsed()
 
 	el := make([]float64, len(rs))
 	mg := make([]float64, len(rs))

@@ -1,0 +1,70 @@
+// Command schedlint enforces the repository's determinism contract as law:
+// simulation results must be a pure function of (config, seed), bitwise
+// identical at any worker count. The analyzer type-checks the module with
+// only the standard library (go/parser + go/types over `go list -export`
+// output) and reports every construct that can silently break that
+// contract:
+//
+//	[walltime]  time.Now / time.Since outside internal/walltime
+//	[rand]      math/rand, math/rand/v2, or crypto/rand imports
+//	[maprange]  range over a map inside the deterministic core
+//	[conc]      go statements, sync.WaitGroup, or channel creation
+//	            outside internal/pool
+//	[heap]      container/heap imports (replaced by repo-local structures)
+//	[sortslice] sort.Slice in the deterministic core without a
+//	            deterministic-tiebreak comment
+//	[getenv]    os.Getenv / os.LookupEnv / os.Environ in the
+//	            deterministic core
+//
+// Test files are exempt. A finding can be suppressed with a
+// //schedlint:ignore [rule...] comment on the same line or the line above;
+// see DESIGN.md "Enforcing the determinism contract".
+//
+// Usage:
+//
+//	schedlint [packages]
+//
+// Packages default to ./... relative to the enclosing module. Exit status
+// is 0 when clean, 1 when diagnostics were reported, 2 on a load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: schedlint [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	diags, err := Run(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d violation(s) of the determinism contract\n", len(diags))
+		os.Exit(1)
+	}
+}

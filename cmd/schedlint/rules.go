@@ -1,0 +1,250 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Rule identifiers, as printed in diagnostics and accepted by
+// //schedlint:ignore directives.
+const (
+	ruleWalltime  = "walltime"  // time.Now / time.Since outside internal/walltime
+	ruleRand      = "rand"      // math/rand, math/rand/v2, crypto/rand imports
+	ruleMaprange  = "maprange"  // range over a map in the deterministic core
+	ruleConc      = "conc"      // go stmt / sync.WaitGroup / channel creation outside internal/pool
+	ruleHeap      = "heap"      // container/heap import (replaced by repo-local structures)
+	ruleSortslice = "sortslice" // sort.Slice without a deterministic tiebreak comment
+	ruleGetenv    = "getenv"    // os.Getenv & friends in the deterministic core
+)
+
+// tiebreakRe matches the comment a sort.Slice call needs to stay allowed:
+// the author must state why the order is deterministic.
+var tiebreakRe = regexp.MustCompile(`(?i)determin`)
+
+// fileLinter carries the per-file state of one rules pass.
+type fileLinter struct {
+	fset  *token.FileSet
+	info  *types.Info
+	file  *ast.File
+	scope pkgScope
+	root  string
+
+	// commentAt maps a line number to the concatenated comment text that
+	// starts there, for tiebreak-comment and ignore-directive lookups.
+	commentAt map[int]string
+
+	diags []Diagnostic
+}
+
+// lintFile applies every rule in scope to one parsed, type-checked file.
+func lintFile(fset *token.FileSet, f *ast.File, info *types.Info, scope pkgScope, root string) []Diagnostic {
+	l := &fileLinter{fset: fset, info: info, file: f, scope: scope, root: root,
+		commentAt: make(map[int]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			line := fset.Position(c.Pos()).Line
+			l.commentAt[line] += " " + c.Text
+		}
+	}
+
+	for _, imp := range f.Imports {
+		l.checkImport(imp)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !l.scope.isPool {
+				l.report(n.Pos(), ruleConc,
+					"go statement: unmanaged concurrency breaks run reproducibility; fan out through internal/pool.ForN")
+			}
+		case *ast.CallExpr:
+			l.checkCall(n)
+		case *ast.RangeStmt:
+			l.checkRange(n)
+		case *ast.SelectorExpr:
+			l.checkWaitGroup(n)
+		}
+		return true
+	})
+	return l.diags
+}
+
+func (l *fileLinter) report(pos token.Pos, rule, format string, args ...any) {
+	p := l.fset.Position(pos)
+	if l.ignored(p.Line, rule) {
+		return
+	}
+	file, err := filepath.Rel(l.root, p.Filename)
+	if err != nil {
+		file = p.Filename
+	}
+	l.diags = append(l.diags, Diagnostic{
+		File: filepath.ToSlash(file),
+		Line: p.Line,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignored reports whether a //schedlint:ignore directive on the diagnostic
+// line or the line above suppresses the rule. A bare directive suppresses
+// every rule; otherwise the rule name must be listed.
+func (l *fileLinter) ignored(line int, rule string) bool {
+	for _, ln := range [2]int{line, line - 1} {
+		text := l.commentAt[ln]
+		i := strings.Index(text, "//schedlint:ignore")
+		if i < 0 {
+			continue
+		}
+		rest := strings.Fields(text[i+len("//schedlint:ignore"):])
+		if len(rest) == 0 {
+			return true
+		}
+		for _, r := range rest {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (l *fileLinter) checkImport(imp *ast.ImportSpec) {
+	path, err := strconv.Unquote(imp.Path.Value)
+	if err != nil {
+		return
+	}
+	switch path {
+	case "container/heap":
+		l.report(imp.Pos(), ruleHeap,
+			"import container/heap: replaced by the engine's inlined event heap and the rbtree runqueue; do not reintroduce it")
+	case "math/rand", "math/rand/v2":
+		if !l.scope.isWalltime {
+			l.report(imp.Pos(), ruleRand,
+				"import %s: draw from a seed-derived internal/sim.RNG stream instead", path)
+		}
+	case "crypto/rand":
+		if !l.scope.isWalltime {
+			l.report(imp.Pos(), ruleRand,
+				"import crypto/rand: entropy is never reproducible; draw from a seed-derived internal/sim.RNG stream")
+		}
+	}
+}
+
+// funcOf resolves a call's callee to (package path, name) when it is a
+// package-level function reached through a selector or a (possibly
+// dot-imported) identifier.
+func (l *fileLinter) funcOf(call *ast.CallExpr) (string, string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", ""
+	}
+	obj, ok := l.info.Uses[id]
+	if !ok {
+		return "", ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", "" // method, not a package-level function
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+func (l *fileLinter) checkCall(call *ast.CallExpr) {
+	// Channel creation: make(chan T[, n]) counts as spawning unmanaged
+	// communication structure.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
+		if tv, ok := l.info.Types[call.Args[0]]; ok && tv.IsType() {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && !l.scope.isPool {
+				l.report(call.Pos(), ruleConc,
+					"channel creation: unmanaged concurrency breaks run reproducibility; fan out through internal/pool.ForN")
+			}
+		}
+	}
+
+	pkg, name := l.funcOf(call)
+	if pkg == "" {
+		return
+	}
+	switch {
+	case pkg == "time" && (name == "Now" || name == "Since"):
+		if !l.scope.isWalltime {
+			l.report(call.Pos(), ruleWalltime,
+				"call to time.%s: results must be a pure function of (config, seed); host timing goes through internal/walltime", name)
+		}
+	case pkg == "os" && (name == "Getenv" || name == "LookupEnv" || name == "Environ"):
+		if l.scope.deterministic {
+			l.report(call.Pos(), ruleGetenv,
+				"call to os.%s in the deterministic core: environment state is invisible to the (config, seed) contract; plumb it through a Config field", name)
+		}
+	case pkg == "sort" && name == "Slice":
+		if l.scope.deterministic && !l.hasTiebreakComment(call.Pos()) {
+			l.report(call.Pos(), ruleSortslice,
+				"sort.Slice is unstable: equal elements land in nondeterministic order; add a deterministic tiebreak to the less function and a comment containing \"deterministic\" explaining it (or use sort.SliceStable over already-deterministic input)")
+		}
+	}
+}
+
+// hasTiebreakComment reports whether the statement at pos carries a comment
+// — trailing on the same line, or in the contiguous comment block directly
+// above — matching tiebreakRe.
+func (l *fileLinter) hasTiebreakComment(pos token.Pos) bool {
+	line := l.fset.Position(pos).Line
+	if tiebreakRe.MatchString(l.commentAt[line]) {
+		return true
+	}
+	for ln := line - 1; l.commentAt[ln] != ""; ln-- {
+		if tiebreakRe.MatchString(l.commentAt[ln]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *fileLinter) checkRange(rng *ast.RangeStmt) {
+	if !l.scope.deterministic {
+		return
+	}
+	t := l.info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); isMap {
+		l.report(rng.Pos(), ruleMaprange,
+			"range over %s: map iteration order is nondeterministic; collect and sort the keys first", t)
+	}
+}
+
+// checkWaitGroup flags uses of the sync.WaitGroup type: ad-hoc fan-out must
+// route through internal/pool so worker count never changes results.
+func (l *fileLinter) checkWaitGroup(sel *ast.SelectorExpr) {
+	if l.scope.isPool {
+		return
+	}
+	obj, ok := l.info.Uses[sel.Sel]
+	if !ok {
+		return
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok || tn.Pkg() == nil {
+		return
+	}
+	if tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup" {
+		l.report(sel.Pos(), ruleConc,
+			"sync.WaitGroup: unmanaged concurrency breaks run reproducibility; fan out through internal/pool.ForN")
+	}
+}

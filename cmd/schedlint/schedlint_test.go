@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantSpec is one expected diagnostic parsed from a `// want "regex"`
+// comment in a fixture file.
+type wantSpec struct {
+	file    string // relative to the fixture module root, forward slashes
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantMarker = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants scans every fixture .go file for want comments. A line may
+// carry several quoted regexes: each becomes its own expectation.
+func collectWants(t *testing.T, root string) []*wantSpec {
+	t.Helper()
+	var wants []*wantSpec
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantMarker.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				quoted, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment %q", rel, line, rest)
+				}
+				pattern, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s:%d: unquoting %q: %v", rel, line, quoted, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", rel, line, pattern, err)
+				}
+				wants = append(wants, &wantSpec{
+					file: filepath.ToSlash(rel), line: line, re: re, raw: pattern,
+				})
+				rest = strings.TrimSpace(rest[len(quoted):])
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestGoldenFixtures drives the analyzer over the seeded-violation module
+// under testdata/src and demands an exact diagnostic set: every want
+// comment fires exactly once, nothing else is reported, and the clean
+// fixtures (internal/noise, internal/walltime, internal/pool) stay silent.
+func TestGoldenFixtures(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("seeded violation fixtures produced no diagnostics")
+	}
+	wants := collectWants(t, root)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found under testdata/src")
+	}
+
+	for _, d := range diags {
+		s := d.String()
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line && w.re.MatchString(s) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", s)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.raw)
+		}
+	}
+
+	for _, d := range diags {
+		for _, clean := range []string{"internal/noise/", "internal/walltime/", "internal/pool/"} {
+			if strings.HasPrefix(d.File, clean) {
+				t.Errorf("clean fixture flagged: %s", d)
+			}
+		}
+	}
+}
+
+// TestEachRuleFires asserts per-rule coverage of the fixture set, so a rule
+// silently disabled by a refactor cannot hide behind the others.
+func TestEachRuleFires(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, d := range diags {
+		seen[d.Rule]++
+	}
+	for _, rule := range []string{
+		ruleWalltime, ruleRand, ruleMaprange, ruleConc,
+		ruleHeap, ruleSortslice, ruleGetenv,
+	} {
+		if seen[rule] == 0 {
+			t.Errorf("rule %q produced no diagnostics on the fixture set", rule)
+		}
+	}
+}
+
+// TestRepoIsClean runs the analyzer over the real repository: the
+// determinism contract must hold on every commit, not only in CI.
+func TestRepoIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository violates the determinism contract: %s", d)
+	}
+}
+
+// TestDiagnosticFormat pins the report shape other tooling greps for.
+func TestDiagnosticFormat(t *testing.T) {
+	d := Diagnostic{File: "internal/sim/clock.go", Line: 13, Rule: "walltime", Msg: "call to time.Now"}
+	got := d.String()
+	want := "internal/sim/clock.go:13: [walltime] call to time.Now"
+	if got != want {
+		t.Fatalf("Diagnostic.String() = %q, want %q", got, want)
+	}
+	if fmt.Sprint(d) != got {
+		t.Fatal("Diagnostic must format identically through fmt")
+	}
+}

@@ -1,0 +1,13 @@
+// Command app is a fixture: the wall-clock rule reaches host-facing cmds
+// too — they must route timing through internal/walltime.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now() // want `\[walltime\] call to time\.Now`
+	fmt.Println(start)
+}

@@ -1,0 +1,3 @@
+module hplsim
+
+go 1.22

@@ -1,0 +1,33 @@
+// Package kernel is a fixture: nondeterministic iteration in the
+// deterministic core.
+package kernel
+
+// Counters is a named map type: the rule must see through the name.
+type Counters map[string]int
+
+// Sum iterates a map directly.
+func Sum(m map[int]int) int {
+	s := 0
+	for k, v := range m { // want `\[maprange\] range over map\[int\]int`
+		s += k + v
+	}
+	return s
+}
+
+// Total iterates a named map type.
+func Total(c Counters) int {
+	s := 0
+	for _, v := range c { // want `\[maprange\] range over hplsim/internal/kernel\.Counters`
+		s += v
+	}
+	return s
+}
+
+// SliceSum must not be flagged: slices iterate in index order.
+func SliceSum(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

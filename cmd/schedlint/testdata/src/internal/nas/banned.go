@@ -1,0 +1,36 @@
+// Package nas is a fixture: banned APIs in the deterministic core.
+package nas
+
+import (
+	"container/heap" // want `\[heap\] import container/heap`
+	"os"
+	"sort"
+)
+
+// Reheap touches the banned heap package.
+func Reheap(h heap.Interface) {
+	heap.Init(h)
+}
+
+// Flaky sorts with an unstable comparator and no tiebreak justification.
+func Flaky(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `\[sortslice\] sort\.Slice is unstable`
+}
+
+// Justified carries the required comment and is allowed.
+func Justified(xs []int) {
+	// Deterministic tiebreak: the inputs are distinct by construction, so
+	// equal-element order cannot arise.
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Env reads host environment from simulation code.
+func Env() string {
+	return os.Getenv("HPLSIM_MODE") // want `\[getenv\] call to os\.Getenv`
+}
+
+// Lookup reads host environment from simulation code.
+func Lookup() bool {
+	_, ok := os.LookupEnv("HPLSIM_MODE") // want `\[getenv\] call to os\.LookupEnv`
+	return ok
+}

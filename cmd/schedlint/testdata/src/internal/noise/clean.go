@@ -1,0 +1,33 @@
+// Package noise is the clean fixture: a deterministic-core package using
+// every allowed escape hatch. schedlint must report nothing here.
+package noise
+
+import (
+	"os"
+	"sort"
+)
+
+// Sorted uses sort.Slice with the required justification comment.
+func Sorted(xs []int) {
+	// Deterministic tiebreak: values are compared with a strict total
+	// order over distinct elements.
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Debug reads the environment behind an explicit suppression: the value
+// only gates extra logging and never feeds back into simulation state.
+func Debug() bool {
+	//schedlint:ignore getenv
+	return os.Getenv("HPLSIM_DEBUG") != ""
+}
+
+// Keys collects and sorts map keys before iterating: no map range.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//schedlint:ignore maprange
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

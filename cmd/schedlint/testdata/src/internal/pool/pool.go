@@ -1,0 +1,20 @@
+// Package pool is the allowlisted concurrency fixture: goroutines,
+// WaitGroups, and channels here must not be reported.
+package pool
+
+import "sync"
+
+// ForN is the only sanctioned fan-out primitive.
+func ForN(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	close(done)
+}

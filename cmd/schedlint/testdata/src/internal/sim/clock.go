@@ -1,0 +1,29 @@
+// Package sim is a fixture: wall-clock and randomness violations inside a
+// deterministic-core package.
+package sim
+
+import (
+	"crypto/rand"     // want `\[rand\] import crypto/rand`
+	mrand "math/rand" // want `\[rand\] import math/rand`
+	"time"
+)
+
+// Stamp reads the host clock from simulation code.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `\[walltime\] call to time\.Now`
+}
+
+// Age measures host elapsed time from simulation code.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `\[walltime\] call to time\.Since`
+}
+
+// Draw uses the global math/rand stream (flagged at the import).
+func Draw() int {
+	return mrand.Intn(8)
+}
+
+// Fill uses crypto entropy (flagged at the import).
+func Fill(b []byte) {
+	rand.Read(b)
+}

@@ -1,0 +1,34 @@
+// Package stats is a fixture for rule scoping: it is NOT part of the
+// deterministic core, so map iteration, sort.Slice, and os.Getenv are
+// allowed — but the repo-wide wall-clock and concurrency rules still apply.
+package stats
+
+import (
+	"os"
+	"sort"
+	"time"
+)
+
+// Group may iterate maps freely outside the core.
+func Group(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Rank may use sort.Slice without justification outside the core.
+func Rank(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Home may read the environment outside the core.
+func Home() string {
+	return os.Getenv("HOME")
+}
+
+// Stamp still may not read the wall clock anywhere in the module.
+func Stamp() time.Time {
+	return time.Now() // want `\[walltime\] call to time\.Now`
+}

@@ -1,0 +1,24 @@
+// Package task is a fixture: unmanaged concurrency in the deterministic
+// core.
+package task
+
+import "sync"
+
+// FanOut spawns ad-hoc goroutines instead of using internal/pool.
+func FanOut(n int) {
+	var wg sync.WaitGroup   // want `\[conc\] sync\.WaitGroup`
+	ch := make(chan int, n) // want `\[conc\] channel creation`
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `\[conc\] go statement`
+			defer wg.Done()
+			ch <- 1
+		}()
+	}
+	wg.Wait()
+}
+
+// Consume receives from an existing channel: only creation is flagged.
+func Consume(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,15 @@
+// Package walltime is the allowlisted host-clock fixture: wall-clock reads
+// here must not be reported.
+package walltime
+
+import "time"
+
+// Start reads the host clock inside the one package allowed to.
+func Start() time.Time {
+	return time.Now()
+}
+
+// ElapsedSince measures against the host clock.
+func ElapsedSince(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

@@ -1,0 +1,9 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Check is a no-op in normal builds.
+func Check(cond bool, format string, args ...any) {}

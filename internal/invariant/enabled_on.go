@@ -1,0 +1,13 @@
+//go:build invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Check panics with a Violation when cond is false.
+func Check(cond bool, format string, args ...any) {
+	if !cond {
+		Violated(format, args...)
+	}
+}

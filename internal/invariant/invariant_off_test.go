@@ -1,0 +1,13 @@
+//go:build !invariants
+
+package invariant
+
+import "testing"
+
+func TestDisabled(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without -tags invariants")
+	}
+	// Check must be inert: a false condition is ignored.
+	Check(false, "must not panic")
+}

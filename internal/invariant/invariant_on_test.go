@@ -1,0 +1,27 @@
+//go:build invariants
+
+package invariant
+
+import "testing"
+
+func TestEnabled(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under -tags invariants")
+	}
+}
+
+func TestCheckPanicsOnViolation(t *testing.T) {
+	defer func() {
+		r := recover()
+		v, ok := r.(Violation)
+		if !ok {
+			t.Fatalf("expected Violation panic, got %v", r)
+		}
+		if v.Msg != "boom 7" {
+			t.Fatalf("unexpected message %q", v.Msg)
+		}
+	}()
+	Check(true, "fine")
+	Check(false, "boom %d", 7)
+	t.Fatal("Check(false) did not panic")
+}

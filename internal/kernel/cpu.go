@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"hplsim/internal/invariant"
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
 )
@@ -66,6 +67,9 @@ func (k *Kernel) tickFire(c *cpuState) {
 	k.Sched.Tick(c.id, c.curr)
 	k.Sched.PeriodicBalance(c.id)
 	k.armTick(c)
+	if invariant.Enabled {
+		k.checkInvariants()
+	}
 }
 
 // smtFactor reports the throughput factor of cpu given how many of its SMT
@@ -213,6 +217,9 @@ func (k *Kernel) schedule(c *cpuState) {
 		// No switch: restore and resume.
 		pick.State = task.Running
 		k.advance(c)
+		if invariant.Enabled {
+			k.checkInvariants()
+		}
 		return
 	}
 
@@ -268,6 +275,9 @@ func (k *Kernel) schedule(c *cpuState) {
 		k.reprojectSiblings(c.id)
 	}
 	k.advance(c)
+	if invariant.Enabled {
+		k.checkInvariants()
+	}
 }
 
 // StealTime models hardware-interrupt context on cpu: `d` of CPU time

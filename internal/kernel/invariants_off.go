@@ -1,0 +1,6 @@
+//go:build !invariants
+
+package kernel
+
+// checkInvariants is a no-op in normal builds; see invariants_on.go.
+func (k *Kernel) checkInvariants() {}

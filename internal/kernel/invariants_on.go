@@ -1,0 +1,57 @@
+//go:build invariants
+
+package kernel
+
+import (
+	"hplsim/internal/invariant"
+	"hplsim/internal/task"
+)
+
+// checkInvariants sweeps the whole node for scheduler-accounting
+// corruption. It runs at the end of every reschedule pass and every timer
+// tick when built with the invariants tag:
+//
+//   - the class chain is ordered correctly (delegated to the scheduler core);
+//   - every CPU has a current task, and that task is not simultaneously
+//     sitting on a runqueue;
+//   - a non-idle current task agrees about which CPU it runs on and is in
+//     the Running state;
+//   - per-CPU runqueue accounting closes: the number of tasks claiming
+//     "queued on cpu" (OnRq with CPU == cpu) equals what the class
+//     runqueues of that CPU report. A task linked into two runqueues, or
+//     a stale OnRq flag after a lost dequeue, breaks the equality on some
+//     CPU and panics here instead of skewing an experiment.
+func (k *Kernel) checkInvariants() {
+	k.Sched.CheckInvariants()
+
+	queued := make([]int, len(k.cpus))
+	for _, t := range k.tasks {
+		if !t.OnRq {
+			continue
+		}
+		invariant.Check(t.State == task.Runnable,
+			"kernel: task %s is on a runqueue in state %v", t.Name, t.State)
+		invariant.Check(t.CPU >= 0 && t.CPU < len(k.cpus),
+			"kernel: queued task %s claims CPU %d of %d", t.Name, t.CPU, len(k.cpus))
+		queued[t.CPU]++
+	}
+	for cpu, c := range k.cpus {
+		invariant.Check(c.curr != nil, "kernel: cpu %d has no current task", cpu)
+		invariant.Check(!c.curr.OnRq,
+			"kernel: cpu %d current task %s is still on a runqueue", cpu, c.curr.Name)
+		if c.curr != c.idle {
+			invariant.Check(c.curr.CPU == cpu,
+				"kernel: cpu %d runs task %s which claims CPU %d", cpu, c.curr.Name, c.curr.CPU)
+			// A current task that just blocked or exited stays curr until
+			// the pending reschedule pass (queued at the same instant)
+			// switches it out; any other non-Running state is corruption.
+			invariant.Check(c.curr.State == task.Running || c.reschedPending,
+				"kernel: cpu %d current task %s is in state %v with no reschedule pending",
+				cpu, c.curr.Name, c.curr.State)
+		}
+		nq := k.Sched.NrQueued(cpu)
+		invariant.Check(queued[cpu] == nq,
+			"kernel: cpu %d has %d tasks claiming to be queued but classes hold %d "+
+				"(task on two runqueues or stale OnRq)", cpu, queued[cpu], nq)
+	}
+}

@@ -1,0 +1,90 @@
+//go:build invariants
+
+package kernel
+
+import (
+	"testing"
+
+	"hplsim/internal/invariant"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+func expectViolation(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupted kernel passed checkInvariants")
+		}
+		if _, ok := r.(invariant.Violation); !ok {
+			t.Fatalf("expected invariant.Violation, got %v", r)
+		}
+	}()
+	fn()
+}
+
+// bootBusy boots a node and spawns a couple of compute tasks so runqueues
+// are populated.
+func bootBusy(t *testing.T) *Kernel {
+	t.Helper()
+	k := New(Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		k.Spawn(nil, Attr{Name: "worker", Policy: task.Normal}, func(p *Proc) {
+			p.Compute(50*sim.Millisecond, p.Exit)
+		})
+	}
+	k.Run(sim.Time(2 * sim.Millisecond))
+	return k
+}
+
+func TestCleanKernelPasses(t *testing.T) {
+	k := bootBusy(t)
+	k.checkInvariants()
+}
+
+func TestCorruptStaleOnRq(t *testing.T) {
+	k := bootBusy(t)
+	// A task claiming to be queued without being on any class runqueue is
+	// exactly the "lost dequeue" corruption: per-CPU accounting no longer
+	// closes.
+	for _, tk := range k.tasks {
+		if !tk.OnRq && tk.Policy == task.Normal {
+			tk.OnRq = true
+			tk.State = task.Runnable
+			break
+		}
+	}
+	expectViolation(t, func() { k.checkInvariants() })
+}
+
+func TestCorruptCurrOnRunqueue(t *testing.T) {
+	k := bootBusy(t)
+	corrupted := false
+	for _, c := range k.cpus {
+		if c.curr != c.idle {
+			c.curr.OnRq = true // running task claims to still be queued
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Skip("no busy CPU at the probe instant")
+	}
+	expectViolation(t, func() { k.checkInvariants() })
+}
+
+func TestInvariantSweepRunsDuringSimulation(t *testing.T) {
+	// The sweep is wired into every reschedule pass: corrupting state and
+	// then letting the simulation advance must panic without any explicit
+	// check call.
+	k := bootBusy(t)
+	for _, tk := range k.tasks {
+		if !tk.OnRq && tk.Policy == task.Normal {
+			tk.OnRq = true
+			tk.State = task.Runnable
+			break
+		}
+	}
+	expectViolation(t, func() { k.Run(sim.Time(20 * sim.Millisecond)) })
+}

@@ -1,0 +1,81 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzInsertDelete drives an arbitrary interleaving of inserts and removes
+// decoded from the fuzz input and cross-checks the tree against a reference
+// model: a sorted slice ordered by (key, insertion sequence). After every
+// operation the model and the tree must agree on size, minimum, and full
+// in-order traversal. Under `-tags invariants` every mutation additionally
+// runs the structural red-black checker, so the fuzzer searches for
+// operation sequences that corrupt the tree itself, not just its contents.
+func FuzzInsertDelete(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x80, 0x04, 0x81})
+	f.Add([]byte{0x10, 0x10, 0x10, 0x80, 0x80, 0x80})
+	f.Add([]byte{0x00, 0xff, 0x7f, 0x81, 0x01, 0x80, 0x82})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type ref struct {
+			key  uint64
+			seq  int
+			node *Node[int]
+		}
+		tr := &Tree[int]{}
+		var model []ref
+		seq := 0
+
+		check := func() {
+			t.Helper()
+			tr.checkInvariants()
+			if tr.Len() != len(model) {
+				t.Fatalf("tree len %d, model len %d", tr.Len(), len(model))
+			}
+			if len(model) == 0 {
+				if tr.Min() != nil {
+					t.Fatal("non-nil Min on empty tree")
+				}
+				return
+			}
+			if tr.Min() != model[0].node {
+				t.Fatalf("Min is key %d, model minimum is key %d",
+					tr.Min().Key(), model[0].key)
+			}
+			i := 0
+			tr.Walk(func(n *Node[int]) {
+				if i >= len(model) {
+					t.Fatalf("walk visited more than %d nodes", len(model))
+				}
+				if n != model[i].node {
+					t.Fatalf("walk position %d: key %d, model expects key %d",
+						i, n.Key(), model[i].key)
+				}
+				i++
+			})
+			if i != len(model) {
+				t.Fatalf("walk visited %d nodes, model holds %d", i, len(model))
+			}
+		}
+
+		for _, b := range data {
+			if b < 0x80 {
+				// Insert with a small key space so ties exercise the
+				// FIFO sequence ordering.
+				key := uint64(b % 32)
+				n := tr.Insert(key, seq)
+				model = append(model, ref{key: key, seq: seq, node: n})
+				sort.SliceStable(model, func(i, j int) bool {
+					return model[i].key < model[j].key
+				})
+				seq++
+			} else if len(model) > 0 {
+				// Remove the element selected by the low bits.
+				i := int(b-0x80) % len(model)
+				tr.Remove(model[i].node)
+				model = append(model[:i], model[i+1:]...)
+			}
+			check()
+		}
+	})
+}

@@ -1,0 +1,6 @@
+//go:build !invariants
+
+package rbtree
+
+// checkInvariants is a no-op in normal builds; see invariants_on.go.
+func (t *Tree[V]) checkInvariants() {}

@@ -1,0 +1,61 @@
+//go:build invariants
+
+package rbtree
+
+import "hplsim/internal/invariant"
+
+// checkInvariants verifies the full red-black contract after a mutation:
+// BST order under (key, seq), no red node with a red child, equal black
+// height on every root-to-nil path, consistent parent links, a correctly
+// cached leftmost node, and an accurate size. It is compiled in only under
+// the invariants build tag; Insert and Remove call it on every mutation, so
+// a corrupting rebalance panics at the operation that introduced it rather
+// than surfacing as a wrong scheduling decision much later.
+func (t *Tree[V]) checkInvariants() {
+	if t.root == nil {
+		invariant.Check(t.leftmost == nil, "rbtree: empty tree caches a leftmost node")
+		invariant.Check(t.size == 0, "rbtree: empty tree has size %d", t.size)
+		return
+	}
+	invariant.Check(t.root.parent == nil, "rbtree: root has a parent")
+	invariant.Check(t.root.color == black, "rbtree: root is red")
+
+	count := 0
+	blackHeight := -1
+	var prev *Node[V]
+	var walk func(n *Node[V], blacks int)
+	walk = func(n *Node[V], blacks int) {
+		if n == nil {
+			if blackHeight < 0 {
+				blackHeight = blacks
+			}
+			invariant.Check(blacks == blackHeight,
+				"rbtree: black height %d on one path, %d on another", blacks, blackHeight)
+			return
+		}
+		if n.color == black {
+			blacks++
+		} else {
+			invariant.Check(n.parent != nil && n.parent.color == black,
+				"rbtree: red-red edge at key %d", n.key)
+		}
+		invariant.Check(n.left == nil || n.left.parent == n,
+			"rbtree: broken parent link below key %d (left)", n.key)
+		invariant.Check(n.right == nil || n.right.parent == n,
+			"rbtree: broken parent link below key %d (right)", n.key)
+
+		walk(n.left, blacks)
+		if prev == nil {
+			invariant.Check(n == t.leftmost,
+				"rbtree: cached leftmost has key %d but minimum is %d", t.leftmost.key, n.key)
+		} else {
+			invariant.Check(t.less(prev, n),
+				"rbtree: order violation: (%d,%d) precedes (%d,%d)", prev.key, prev.seq, n.key, n.seq)
+		}
+		prev = n
+		count++
+		walk(n.right, blacks)
+	}
+	walk(t.root, 0)
+	invariant.Check(count == t.size, "rbtree: size is %d but tree holds %d nodes", t.size, count)
+}

@@ -1,0 +1,81 @@
+//go:build invariants
+
+package rbtree
+
+import (
+	"testing"
+
+	"hplsim/internal/invariant"
+)
+
+// expectViolation runs fn and fails unless it panics with an
+// invariant.Violation whose message contains the tree's rule prefix.
+func expectViolation(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupted tree passed checkInvariants")
+		}
+		if _, ok := r.(invariant.Violation); !ok {
+			t.Fatalf("expected invariant.Violation, got %v", r)
+		}
+	}()
+	fn()
+}
+
+func build(n int) *Tree[int] {
+	tr := &Tree[int]{}
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i*7%n), i)
+	}
+	return tr
+}
+
+func TestCorruptRootColor(t *testing.T) {
+	tr := build(16)
+	tr.root.color = red
+	expectViolation(t, func() { tr.checkInvariants() })
+}
+
+func TestCorruptRedRed(t *testing.T) {
+	tr := build(64)
+	// Force a red-red edge: find a black non-root node with a parent and
+	// recolor it red together with its parent.
+	n := tr.leftmost
+	for n != nil && (n.parent == nil || n.parent.parent == nil) {
+		n = n.Next()
+	}
+	if n == nil {
+		t.Fatal("no suitable node")
+	}
+	n.color = red
+	n.parent.color = red
+	expectViolation(t, func() { tr.checkInvariants() })
+}
+
+func TestCorruptLeftmostCache(t *testing.T) {
+	tr := build(16)
+	tr.leftmost = tr.leftmost.Next()
+	expectViolation(t, func() { tr.checkInvariants() })
+}
+
+func TestCorruptSize(t *testing.T) {
+	tr := build(16)
+	tr.size++
+	expectViolation(t, func() { tr.checkInvariants() })
+}
+
+func TestCorruptOrder(t *testing.T) {
+	tr := build(16)
+	tr.leftmost.key = 1 << 60 // minimum now claims a huge key
+	expectViolation(t, func() { tr.checkInvariants() })
+}
+
+func TestMutationsRunChecks(t *testing.T) {
+	// Insert and Remove must invoke the checker when the tag is on: corrupt
+	// the tree, then trigger the check through the public mutation API.
+	tr := build(16)
+	tr.size += 3
+	expectViolation(t, func() { tr.Insert(99, 99) })
+}

@@ -8,6 +8,8 @@
 // integer payloads while the CFS class stores task entities.
 package rbtree
 
+import "hplsim/internal/invariant"
+
 type color bool
 
 const (
@@ -77,6 +79,9 @@ func (t *Tree[V]) Insert(key uint64, value V) *Node[V] {
 		t.leftmost = n
 	}
 	t.insertFixup(n)
+	if invariant.Enabled {
+		t.checkInvariants()
+	}
 	return n
 }
 
@@ -224,6 +229,9 @@ func (t *Tree[V]) Remove(n *Node[V]) {
 		t.deleteFixup(x, xParent)
 	}
 	n.left, n.right, n.parent = nil, nil, nil
+	if invariant.Enabled {
+		t.checkInvariants()
+	}
 }
 
 func (t *Tree[V]) transplant(u, v *Node[V]) {

@@ -11,6 +11,7 @@
 package cfs
 
 import (
+	"hplsim/internal/invariant"
 	"hplsim/internal/rbtree"
 	"hplsim/internal/sched"
 	"hplsim/internal/sim"
@@ -76,6 +77,10 @@ type runqueue struct {
 	// weight is the total load weight of queued tasks (used for slice
 	// computation together with the running task's weight).
 	weight int64
+	// lastMin is written only by invariant builds: the minVruntime value
+	// observed by the previous structural check, used to verify the
+	// never-decreases contract of min_vruntime.
+	lastMin uint64
 }
 
 // Class is the CFS scheduling class. One instance serves all CPUs.
@@ -141,6 +146,9 @@ func (c *Class) Enqueue(s *sched.Scheduler, cpu int, t *task.Task, kind sched.Wa
 	}
 	t.CFS.Node = rq.tree.Insert(t.CFS.VRuntime, t)
 	rq.weight += t.CFS.Weight
+	if invariant.Enabled {
+		c.checkRq(cpu)
+	}
 }
 
 // Dequeue implements sched.Class.
@@ -149,6 +157,9 @@ func (c *Class) Dequeue(s *sched.Scheduler, cpu int, t *task.Task) {
 	rq.tree.Remove(t.CFS.Node)
 	t.CFS.Node = nil
 	rq.weight -= t.CFS.Weight
+	if invariant.Enabled {
+		c.checkRq(cpu)
+	}
 }
 
 // PickNext implements sched.Class: leftmost task on the timeline.

@@ -1,0 +1,6 @@
+//go:build !invariants
+
+package cfs
+
+// checkRq is a no-op in normal builds; see invariants_on.go.
+func (c *Class) checkRq(cpu int) {}

@@ -1,0 +1,40 @@
+//go:build invariants
+
+package cfs
+
+import (
+	"hplsim/internal/invariant"
+	"hplsim/internal/rbtree"
+	"hplsim/internal/task"
+)
+
+// checkRq verifies the CFS runqueue contract for one CPU after a mutation:
+// the cached total weight equals the sum over queued tasks, every queued
+// task's timeline node and the tree agree (node points back at the task,
+// the node key is the task's vruntime, nr_running bookkeeping matches the
+// tree population), and min_vruntime never moves backwards. Compiled in
+// only under the invariants build tag.
+func (c *Class) checkRq(cpu int) {
+	rq := &c.rqs[cpu]
+	invariant.Check(rq.minVruntime >= rq.lastMin,
+		"cfs: cpu %d min_vruntime went backwards: %d after %d", cpu, rq.minVruntime, rq.lastMin)
+	rq.lastMin = rq.minVruntime
+
+	var weight int64
+	count := 0
+	rq.tree.Walk(func(n *rbtree.Node[*task.Task]) {
+		t := n.Value
+		invariant.Check(t.CFS.Node == n,
+			"cfs: cpu %d queued task %d does not point at its timeline node", cpu, t.ID)
+		invariant.Check(n.Key() == t.CFS.VRuntime,
+			"cfs: cpu %d task %d queued under key %d but vruntime is %d",
+			cpu, t.ID, n.Key(), t.CFS.VRuntime)
+		weight += t.CFS.Weight
+		count++
+	})
+	invariant.Check(count == rq.tree.Len(),
+		"cfs: cpu %d tree reports %d tasks but walk visited %d (nr_running disagreement)",
+		cpu, rq.tree.Len(), count)
+	invariant.Check(weight == rq.weight,
+		"cfs: cpu %d queue weight is %d but queued tasks sum to %d", cpu, rq.weight, weight)
+}

@@ -1,0 +1,71 @@
+//go:build invariants
+
+package cfs
+
+import (
+	"testing"
+
+	"hplsim/internal/invariant"
+	"hplsim/internal/sched"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+func expectViolation(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupted runqueue passed checkRq")
+		}
+		if _, ok := r.(invariant.Violation); !ok {
+			t.Fatalf("expected invariant.Violation, got %v", r)
+		}
+	}()
+	fn()
+}
+
+func newTask(id int, vr uint64) *task.Task {
+	return &task.Task{ID: id, Policy: task.Normal, State: task.Runnable,
+		Affinity: topo.MaskAll(1), CFS: task.CFSEntity{VRuntime: vr}}
+}
+
+// enqueue drives the class directly; the *sched.Scheduler receiver is unused
+// by the CFS enqueue path.
+func enqueue(c *Class, cpu int, t *task.Task) {
+	c.Enqueue((*sched.Scheduler)(nil), cpu, t, sched.EnqueuePutPrev)
+}
+
+func TestCorruptWeight(t *testing.T) {
+	c := New(1, DefaultTunables())
+	enqueue(c, 0, newTask(1, 100))
+	c.rqs[0].weight += 512
+	expectViolation(t, func() { enqueue(c, 0, newTask(2, 200)) })
+}
+
+func TestCorruptMinVruntimeBackwards(t *testing.T) {
+	c := New(1, DefaultTunables())
+	enqueue(c, 0, newTask(1, 100))
+	c.rqs[0].updateMin(5000)
+	enqueue(c, 0, newTask(2, 6000))
+	c.rqs[0].minVruntime = 10 // ratchet forced backwards
+	expectViolation(t, func() { enqueue(c, 0, newTask(3, 7000)) })
+}
+
+func TestCorruptNodeBacklink(t *testing.T) {
+	c := New(1, DefaultTunables())
+	tk := newTask(1, 100)
+	enqueue(c, 0, tk)
+	tk.CFS.Node = nil // task no longer points at its timeline node
+	expectViolation(t, func() { enqueue(c, 0, newTask(2, 200)) })
+}
+
+func TestCleanQueuePasses(t *testing.T) {
+	c := New(2, DefaultTunables())
+	for i := 0; i < 8; i++ {
+		enqueue(c, i%2, newTask(i, uint64(1000*i)))
+	}
+	for cpu := 0; cpu < 2; cpu++ {
+		c.checkRq(cpu)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !invariants
+
+package sched
+
+// CheckInvariants is a no-op in normal builds; see invariants_on.go.
+func (s *Scheduler) CheckInvariants() {}

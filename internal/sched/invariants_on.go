@@ -1,0 +1,29 @@
+//go:build invariants
+
+package sched
+
+import (
+	"hplsim/internal/invariant"
+	"hplsim/internal/task"
+)
+
+// CheckInvariants verifies the scheduler-core contract: the class chain is
+// ordered RT before HPC before Normal before Idle (the ordering IS the
+// priority model — a lower-priority class must never shadow a higher one),
+// every policy is handled, and the idle class sits at the end of the chain.
+// Compiled in only under the invariants build tag; the kernel calls it from
+// its own invariant sweep.
+func (s *Scheduler) CheckInvariants() {
+	order := []task.Policy{task.FIFO, task.RR, task.HPC, task.Normal, task.Idle}
+	prev := -1
+	prevPolicy := task.Policy(0)
+	for _, p := range order {
+		i := s.classIndex(p) // panics if no class handles p
+		invariant.Check(i >= prev,
+			"sched: class chain inverted: policy %v (class %d) ranks above %v (class %d)",
+			p, i, prevPolicy, prev)
+		prev, prevPolicy = i, p
+	}
+	invariant.Check(s.classes[len(s.classes)-1].Handles(task.Idle),
+		"sched: last class %q does not handle the idle policy", s.classes[len(s.classes)-1].Name())
+}

@@ -1,0 +1,30 @@
+// Package walltime is the only place the repository may read the host
+// wall clock. Simulation results must be a pure function of (config, seed):
+// schedlint bans time.Now and time.Since everywhere else, so host-side
+// timing (progress reporting, benchmark harnesses) routes through the
+// Stopwatch here and a stray wall-clock read in simulation code fails CI
+// instead of silently breaking reproducibility.
+package walltime
+
+import "time"
+
+// Stopwatch marks a start instant on the host clock. The zero value is not
+// meaningful; obtain one with Start.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start begins timing host wall-clock elapsed time.
+func Start() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed reports the host time since Start.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}
+
+// Seconds reports the elapsed host time in seconds.
+func (s Stopwatch) Seconds() float64 {
+	return s.Elapsed().Seconds()
+}

@@ -1,0 +1,17 @@
+package walltime
+
+import "testing"
+
+func TestStopwatch(t *testing.T) {
+	sw := Start()
+	d := sw.Elapsed()
+	if d < 0 {
+		t.Fatalf("Elapsed went backwards: %v", d)
+	}
+	if d2 := sw.Elapsed(); d2 < d {
+		t.Fatalf("Elapsed not monotonic: %v then %v", d, d2)
+	}
+	if sw.Seconds() < 0 {
+		t.Fatalf("Seconds negative")
+	}
+}
