@@ -135,6 +135,7 @@ var deterministicPkgs = []string{
 	"internal/noise",
 	"internal/cluster",
 	"internal/experiments",
+	"internal/schedcheck",
 }
 
 // pkgScope classifies a target package for rule selection.

@@ -1,0 +1,44 @@
+// Package schedcheck is a fixture: the property harness is part of the
+// deterministic core — scenario generation and shrinking must be a pure
+// function of the seed, so the core-scoped rules (maprange, sortslice,
+// getenv) apply to it in addition to the repo-wide ones.
+package schedcheck
+
+import (
+	"os"
+	"sort"
+)
+
+// Scenario is a minimal stand-in for the real scenario schema.
+type Scenario struct {
+	Seed  uint64
+	Tags  map[string]int
+	Ranks []int
+}
+
+// Fingerprint folds the tag map in iteration order: nondeterministic.
+func Fingerprint(s Scenario) uint64 {
+	h := s.Seed
+	for k, v := range s.Tags { // want `\[maprange\] range over map\[string\]int`
+		h ^= uint64(len(k)) * uint64(v)
+	}
+	return h
+}
+
+// SortCandidates orders shrink candidates without a tiebreak: equal-cost
+// candidates land in nondeterministic order, so shrinking stops being a
+// pure function of the seed.
+func SortCandidates(costs []int) {
+	sort.Slice(costs, func(i, j int) bool { return costs[i] < costs[j] }) // want `\[sortslice\] sort\.Slice is unstable`
+}
+
+// SortRanks is allowed: the less function has a deterministic tiebreak.
+func SortRanks(ranks []int) {
+	// Keys are unique rank IDs, so the order is deterministic.
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+}
+
+// CorpusSize reads tuning from the environment, invisible to (config, seed).
+func CorpusSize() string {
+	return os.Getenv("SCHEDCHECK_SCENARIOS") // want `\[getenv\] call to os\.Getenv`
+}

@@ -37,6 +37,41 @@ type Tracer interface {
 	Mark(now sim.Time, t *task.Task, label string)
 }
 
+// MigrateKind distinguishes why a task changed CPUs.
+type MigrateKind int
+
+const (
+	// MigrateFork: placement at fork time chose a CPU other than the
+	// parent's (the one migration the paper's HPL policy permits).
+	MigrateFork MigrateKind = iota
+	// MigrateWake: a wakeup landed the task on a different CPU.
+	MigrateWake
+	// MigrateBalance: the load balancer moved a queued task.
+	MigrateBalance
+)
+
+func (m MigrateKind) String() string {
+	switch m {
+	case MigrateFork:
+		return "fork"
+	case MigrateWake:
+		return "wake"
+	case MigrateBalance:
+		return "balance"
+	default:
+		return fmt.Sprintf("MigrateKind(%d)", int(m))
+	}
+}
+
+// KindTracer is an optional extension of Tracer: implementations also
+// receive the kind of every migration. The schedcheck migration oracle
+// relies on it to tell permitted fork-time placement from forbidden
+// post-placement moves.
+type KindTracer interface {
+	Tracer
+	MigrateK(now sim.Time, t *task.Task, from, to int, kind MigrateKind)
+}
+
 // Config parameterises a simulated node.
 type Config struct {
 	// Topo is the machine topology; defaults to the paper's POWER6.
@@ -73,6 +108,12 @@ type Config struct {
 	Seed uint64
 	// Tracer, if non-nil, receives scheduling events.
 	Tracer Tracer
+	// NoOverheads zeroes SwitchCost and TickCost instead of applying their
+	// defaults, giving the idealised machine on which the schedcheck
+	// metamorphic oracles hold exactly.
+	NoOverheads bool
+	// Chaos enables scheduler fault injection for the property harness.
+	Chaos sched.Chaos
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +128,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TickCost == 0 {
 		c.TickCost = 3 * sim.Microsecond
+	}
+	if c.NoOverheads {
+		c.SwitchCost = 0
+		c.TickCost = 0
 	}
 	if c.Cache == (cache.Model{}) {
 		c.Cache = cache.DefaultModel()
@@ -187,6 +232,7 @@ func New(cfg Config) *Kernel {
 		RNG:     k.rng.Split(0xba1a), // load-balancer tie-break stream
 		Now:     k.Eng.Now,
 		Timer:   func(d sim.Duration, fn func()) { k.Eng.After(d, fn) },
+		Chaos:   cfg.Chaos,
 	})
 	for i := range k.cores {
 		k.cores[i] = &coreState{}
@@ -219,9 +265,19 @@ func (h *hooks) Migrated(t *task.Task, from, to int) {
 	k.Perf.Migrations++
 	k.Perf.BalanceMoves++
 	t.Counters.Migrations++
-	if k.Cfg.Tracer != nil {
-		k.Cfg.Tracer.Migrate(k.Eng.Now(), t, from, to)
+	k.traceMigrate(t, from, to, MigrateBalance)
+}
+
+// traceMigrate reports a migration to the tracer, with its kind when the
+// tracer wants kinds.
+func (k *Kernel) traceMigrate(t *task.Task, from, to int, kind MigrateKind) {
+	if k.Cfg.Tracer == nil {
+		return
 	}
+	if kt, ok := k.Cfg.Tracer.(KindTracer); ok {
+		kt.MigrateK(k.Eng.Now(), t, from, to, kind)
+	}
+	k.Cfg.Tracer.Migrate(k.Eng.Now(), t, from, to)
 }
 
 // Now reports the current virtual time.

@@ -68,9 +68,7 @@ func (k *Kernel) Spawn(parent *task.Task, attr Attr, start func(p *Proc)) *task.
 	if cpu != origin {
 		k.Perf.Migrations++
 		t.Counters.Migrations++
-		if k.Cfg.Tracer != nil {
-			k.Cfg.Tracer.Migrate(k.Eng.Now(), t, origin, cpu)
-		}
+		k.traceMigrate(t, origin, cpu, MigrateFork)
 	}
 	t.State = task.Runnable
 	k.Sched.Enqueue(cpu, t, sched.EnqueueFork)
@@ -91,9 +89,7 @@ func (k *Kernel) Wake(t *task.Task) {
 	if cpu != prev {
 		k.Perf.Migrations++
 		t.Counters.Migrations++
-		if k.Cfg.Tracer != nil {
-			k.Cfg.Tracer.Migrate(k.Eng.Now(), t, prev, cpu)
-		}
+		k.traceMigrate(t, prev, cpu, MigrateWake)
 	}
 	if k.Cfg.Tracer != nil {
 		k.Cfg.Tracer.Wake(k.Eng.Now(), t, cpu)

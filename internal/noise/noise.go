@@ -54,6 +54,8 @@ type DaemonSpec struct {
 	Service sim.Duration
 	// ServiceDist is the burst length distribution.
 	ServiceDist Dist
+	// Affinity pins the daemon to a CPU subset; zero means all CPUs.
+	Affinity topo.CPUMask
 }
 
 // Spawn starts the daemon on the kernel. It runs forever (daemons never
@@ -64,10 +66,11 @@ func (s DaemonSpec) Spawn(k *kernel.Kernel, rng *sim.RNG) *task.Task {
 		jitter = 0.2
 	}
 	return k.Spawn(nil, kernel.Attr{
-		Name:   s.Name,
-		Policy: s.Policy,
-		RTPrio: s.RTPrio,
-		Nice:   s.Nice,
+		Name:     s.Name,
+		Policy:   s.Policy,
+		RTPrio:   s.RTPrio,
+		Nice:     s.Nice,
+		Affinity: s.Affinity,
 	}, func(p *kernel.Proc) {
 		var cycle func()
 		cycle = func() {

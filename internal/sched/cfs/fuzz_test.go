@@ -1,0 +1,114 @@
+package cfs_test
+
+import (
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sched/cfs"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// FuzzQueueOps drives an arbitrary interleaving of enqueue, dequeue,
+// pick-next, and exec-charge operations decoded from the fuzz input and
+// cross-checks the CFS runqueue against a reference model: the set of
+// queued tasks ordered by (vruntime, enqueue sequence). The class may
+// rewrite a task's vruntime on enqueue (sleeper credit, fork placement), so
+// the model records the post-enqueue value and verifies only the ordering
+// contract: PickNext returns the FIFO-earliest task among those with the
+// minimal vruntime, Queued tracks the model's size exactly, and wake/fork
+// clamping never moves a task backwards. Under `-tags invariants` every
+// mutation additionally runs the runqueue's structural checker.
+func FuzzQueueOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x04, 0x08, 0x02, 0x02, 0x01})
+	f.Add([]byte{0x10, 0x50, 0x90, 0xd0, 0x02, 0x06, 0x03})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x03, 0x03, 0x03, 0x02, 0x01, 0x02})
+	f.Add([]byte{0xff, 0x7f, 0x80, 0x01, 0x02, 0x03, 0x04, 0x05})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, c, _ := setup(cfs.DefaultTunables())
+		const cpu = 0
+
+		type ref struct {
+			t   *task.Task
+			vr  uint64 // vruntime at enqueue time (frozen while queued)
+			seq int    // enqueue sequence, the FIFO tiebreak
+		}
+		var model []ref
+		var running *task.Task
+		nextID, seq := 1, 0
+
+		enqueue := func(tk *task.Task, kind sched.WakeKind) {
+			before := tk.CFS.VRuntime
+			c.Enqueue(s, cpu, tk, kind)
+			if kind != sched.EnqueueMove && tk.CFS.VRuntime < before {
+				t.Fatalf("enqueue kind %v moved task %d backwards: %d -> %d",
+					kind, tk.ID, before, tk.CFS.VRuntime)
+			}
+			model = append(model, ref{t: tk, vr: tk.CFS.VRuntime, seq: seq})
+			seq++
+		}
+		// modelMin is the index PickNext must return: minimal vruntime,
+		// FIFO on ties.
+		modelMin := func() int {
+			best := 0
+			for i, r := range model[1:] {
+				if r.vr < model[best].vr ||
+					(r.vr == model[best].vr && r.seq < model[best].seq) {
+					best = i + 1
+				}
+			}
+			return best
+		}
+		check := func() {
+			t.Helper()
+			if got := c.Queued(s, cpu); got != len(model) {
+				t.Fatalf("Queued = %d, model holds %d", got, len(model))
+			}
+		}
+
+		for _, b := range data {
+			switch b % 4 {
+			case 0: // enqueue a fresh waking task
+				tk := mkTask(nextID, int(b>>2)%40-20)
+				nextID++
+				tk.CFS.VRuntime = uint64(b) * 1_000_000
+				enqueue(tk, sched.EnqueueWake)
+			case 1: // enqueue a fresh forked task
+				tk := mkTask(nextID, int(b>>2)%40-20)
+				nextID++
+				enqueue(tk, sched.EnqueueFork)
+			case 2: // pick next; the previous runner goes back queued
+				if running != nil {
+					enqueue(running, sched.EnqueuePutPrev)
+					running = nil
+				}
+				got := c.PickNext(s, cpu)
+				if len(model) == 0 {
+					if got != nil {
+						t.Fatal("PickNext returned a task from an empty queue")
+					}
+					break
+				}
+				i := modelMin()
+				if got != model[i].t {
+					t.Fatalf("PickNext = task %d (vr %d), model expects task %d (vr %d, seq %d)",
+						got.ID, got.CFS.VRuntime, model[i].t.ID, model[i].vr, model[i].seq)
+				}
+				model = append(model[:i], model[i+1:]...)
+				running = got
+			case 3: // charge the runner, or dequeue an arbitrary queued task
+				if running != nil {
+					c.ExecCharge(s, cpu, running, sim.Duration(b)*100*sim.Microsecond)
+					break
+				}
+				if len(model) == 0 {
+					break
+				}
+				i := int(b>>2) % len(model)
+				c.Dequeue(s, cpu, model[i].t)
+				model = append(model[:i], model[i+1:]...)
+			}
+			check()
+		}
+	})
+}

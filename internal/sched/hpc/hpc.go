@@ -114,9 +114,11 @@ func (c *Class) Queued(s *sched.Scheduler, cpu int) int { return len(c.rqs[cpu])
 // StealFrom implements sched.Class. The HPC class never balances itself
 // under the HPL policy; under the dynamic-balancing ablation
 // (BalanceHPLDynamic) or plain standard policy it behaves like a FIFO
-// steal, so the cost of re-enabling balancing can be measured.
+// steal, so the cost of re-enabling balancing can be measured. The chaos
+// override exists only so the property harness can prove its migration
+// oracle detects a scheduler that breaks fork-time-only placement.
 func (c *Class) StealFrom(s *sched.Scheduler, from, to int) *task.Task {
-	if s.Policy() == sched.BalanceHPL {
+	if s.Policy() == sched.BalanceHPL && !s.ChaosHPCMigration() {
 		return nil
 	}
 	for _, t := range c.rqs[from] {

@@ -1,0 +1,179 @@
+package hpc_test
+
+import (
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// forkPlaceHarness loads a machine and asks SelectCPU(EnqueueFork) where the
+// next rank goes. Load is expressed per CPU: `running` marks a foreign HPC
+// task occupying the CPU, `queued` adds that many waiting HPC tasks.
+type cpuLoad struct {
+	running bool
+	queued  int
+}
+
+func loadMachine(t *testing.T, s *sched.Scheduler, c interface {
+	Enqueue(*sched.Scheduler, int, *task.Task, sched.WakeKind)
+}, loads map[int]cpuLoad) {
+	t.Helper()
+	id := 100
+	for cpu, l := range loads {
+		if l.running {
+			r := &task.Task{ID: id, Policy: task.HPC, State: task.Running,
+				CPU: cpu, Affinity: topo.MaskOf(cpu)}
+			id++
+			s.SetCurr(cpu, r)
+		}
+		for i := 0; i < l.queued; i++ {
+			q := &task.Task{ID: id, Policy: task.HPC, State: task.Runnable,
+				CPU: cpu, Affinity: topo.MaskOf(cpu)}
+			id++
+			c.Enqueue(s, cpu, q, sched.EnqueueWake)
+		}
+	}
+}
+
+// TestForkPlacement drives the fork-time balancer through its edge cases:
+// a single-CPU machine, a fully loaded socket, asymmetric load, and the
+// chip -> core -> thread preference order that fills SMT siblings last.
+func TestForkPlacement(t *testing.T) {
+	power6 := topo.POWER6() // 2 chips x 2 cores x 2 threads: cpus 0..7
+	single := topo.Topology{Chips: 1, CoresPerChip: 1, ThreadsPerCore: 1}
+	dual := topo.Topology{Chips: 1, CoresPerChip: 2, ThreadsPerCore: 1}
+
+	cases := []struct {
+		name     string
+		topo     topo.Topology
+		loads    map[int]cpuLoad
+		affinity topo.CPUMask // zero value means all CPUs
+		want     int
+	}{
+		{
+			name: "single-cpu topology has no choice",
+			topo: single,
+			want: 0,
+		},
+		{
+			name:  "single-cpu topology even when loaded",
+			topo:  single,
+			loads: map[int]cpuLoad{0: {running: true, queued: 3}},
+			want:  0,
+		},
+		{
+			name: "empty machine takes the first thread",
+			topo: power6,
+			want: 0,
+		},
+		{
+			name:  "second rank crosses to the idle chip",
+			topo:  power6,
+			loads: map[int]cpuLoad{0: {running: true}},
+			// Not the SMT sibling (cpu 1) and not the next core
+			// (cpu 2): the least-loaded chip wins first.
+			want: 4,
+		},
+		{
+			name:  "third rank takes the idle core before any sibling",
+			topo:  power6,
+			loads: map[int]cpuLoad{0: {running: true}, 4: {running: true}},
+			want:  2,
+		},
+		{
+			name: "siblings fill only when every core is busy",
+			topo: power6,
+			loads: map[int]cpuLoad{
+				0: {running: true}, 2: {running: true},
+				4: {running: true}, 6: {running: true},
+			},
+			want: 1,
+		},
+		{
+			name: "asymmetric load balances chip totals, not first-fit",
+			topo: power6,
+			// Chip 0 carries 3 runnable on cpu 0; chip 1 carries 4
+			// spread out. Chip totals pick chip 0, and inside it the
+			// idle core (cpu 2), not cpu 0's idle sibling cpu 1.
+			loads: map[int]cpuLoad{
+				0: {running: true, queued: 2},
+				4: {running: true}, 5: {running: true},
+				6: {running: true}, 7: {running: true},
+			},
+			want: 2,
+		},
+		{
+			name:     "full socket stays inside the affinity mask",
+			topo:     power6,
+			affinity: topo.MaskOf(0, 1, 2, 3),
+			// Chip 0 is saturated and chip 1 is empty, but the rank is
+			// confined to chip 0: it must take its least-loaded thread.
+			loads: map[int]cpuLoad{
+				0: {running: true, queued: 1},
+				1: {running: true},
+				2: {running: true},
+				3: {running: true, queued: 2},
+			},
+			want: 1,
+		},
+		{
+			name:  "two-core chip spreads before stacking",
+			topo:  dual,
+			loads: map[int]cpuLoad{0: {running: true}},
+			want:  1,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, c, _ := setup(tc.topo, sched.BalanceHPL, false)
+			loadMachine(t, s, c, tc.loads)
+			child := &task.Task{ID: 1, Policy: task.HPC, State: task.Runnable,
+				Affinity: topo.MaskAll(tc.topo.NumCPUs())}
+			if !tc.affinity.Empty() {
+				child.Affinity = tc.affinity
+			}
+			if got := c.SelectCPU(s, child, 0, sched.EnqueueFork); got != tc.want {
+				t.Fatalf("fork placed on cpu %d, want cpu %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestForkPlacementIgnoresParent: the forking parent runs on the origin CPU
+// while placing its child, but it must not count as load there — otherwise
+// a parent spawning ranks one by one would evict itself from its own CPU.
+func TestForkPlacementIgnoresParent(t *testing.T) {
+	tp := topo.Topology{Chips: 1, CoresPerChip: 2, ThreadsPerCore: 1}
+	s, c, _ := setup(tp, sched.BalanceHPL, false)
+	parent := &task.Task{ID: 1, Policy: task.HPC, State: task.Running,
+		CPU: 0, Affinity: topo.MaskAll(2)}
+	s.SetCurr(0, parent)
+	child := &task.Task{ID: 2, Policy: task.HPC, State: task.Runnable,
+		Parent: parent, Affinity: topo.MaskAll(2)}
+	if got := c.SelectCPU(s, child, 0, sched.EnqueueFork); got != 0 {
+		t.Fatalf("child placed on cpu %d, want the parent's cpu 0", got)
+	}
+	// A foreign HPC task in the parent's seat does count.
+	other := &task.Task{ID: 3, Policy: task.HPC, State: task.Running,
+		CPU: 0, Affinity: topo.MaskOf(0)}
+	s.SetCurr(0, other)
+	if got := c.SelectCPU(s, child, 0, sched.EnqueueFork); got != 1 {
+		t.Fatalf("child placed on cpu %d, want the idle cpu 1", got)
+	}
+}
+
+// TestNaivePlacementFirstFit pins the contrast the hierarchical placer is
+// measured against: the naive placer takes the first least-loaded CPU in
+// numeric order, which is the busy task's SMT sibling.
+func TestNaivePlacementFirstFit(t *testing.T) {
+	s, c, _ := setup(topo.POWER6(), sched.BalanceHPL, true)
+	loadMachine(t, s, c, map[int]cpuLoad{0: {running: true}})
+	child := &task.Task{ID: 1, Policy: task.HPC, State: task.Runnable,
+		Affinity: topo.MaskAll(8)}
+	if got := c.SelectCPU(s, child, 0, sched.EnqueueFork); got != 1 {
+		t.Fatalf("naive fork placed on cpu %d, want first-fit cpu 1", got)
+	}
+}

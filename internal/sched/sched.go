@@ -96,6 +96,16 @@ const (
 	BalanceNone
 )
 
+// Chaos bundles deliberate fault-injection switches used by the schedcheck
+// property harness to prove its oracles can catch real policy bugs. All
+// switches default to off; production configurations never set them.
+type Chaos struct {
+	// HPCMigration re-enables dynamic balancing and HPC-queue stealing
+	// while HPC tasks are alive under BalanceHPL, breaking the paper's
+	// fork-time-only placement guarantee on purpose.
+	HPCMigration bool
+}
+
 func (p BalancePolicy) String() string {
 	switch p {
 	case BalanceStandard:
@@ -117,6 +127,7 @@ type Scheduler struct {
 	classes []Class
 	hooks   Hooks
 	policy  BalancePolicy
+	chaos   Chaos
 
 	curr []*task.Task // running task per CPU (nil only before boot)
 
@@ -150,6 +161,8 @@ type Config struct {
 	// Timer schedules fn to run after d (engine-backed); classes use it
 	// for time-based state changes such as RT unthrottling.
 	Timer func(d sim.Duration, fn func())
+	// Chaos enables fault injection for the property harness.
+	Chaos Chaos
 }
 
 // New builds a scheduler core from the class chain.
@@ -160,6 +173,7 @@ func New(cfg Config) *Scheduler {
 		classes: cfg.Classes,
 		hooks:   cfg.Hooks,
 		policy:  cfg.Policy,
+		chaos:   cfg.Chaos,
 		curr:    make([]*task.Task, n),
 		domains: make([][]topo.Domain, n),
 		rng:     cfg.RNG,
@@ -197,6 +211,10 @@ func (s *Scheduler) Timer(d sim.Duration, fn func()) {
 
 // Policy reports the balance policy in force.
 func (s *Scheduler) Policy() BalancePolicy { return s.policy }
+
+// ChaosHPCMigration reports whether the HPC-migration fault injection is
+// armed (see Chaos).
+func (s *Scheduler) ChaosHPCMigration() bool { return s.chaos.HPCMigration }
 
 // Curr reports the task running on cpu (possibly the idle task).
 func (s *Scheduler) Curr(cpu int) *task.Task { return s.curr[cpu] }
@@ -251,7 +269,7 @@ func (s *Scheduler) balancingEnabled() bool {
 	case BalanceStandard, BalanceHPLDynamic:
 		return true
 	case BalanceHPL:
-		return s.nrHPC == 0
+		return s.nrHPC == 0 || s.chaos.HPCMigration
 	default:
 		return false
 	}
@@ -345,6 +363,18 @@ func (s *Scheduler) NrQueued(cpu int) int {
 		n += c.Queued(s, cpu)
 	}
 	return n
+}
+
+// QueuedOf reports the number of tasks queued (runnable, not running) on
+// cpu in the class with the given name, or 0 if no class has that name.
+// Oracle probes use it to check class-priority dominance at switch-in.
+func (s *Scheduler) QueuedOf(name string, cpu int) int {
+	for _, c := range s.classes {
+		if c.Name() == name {
+			return c.Queued(s, cpu)
+		}
+	}
+	return 0
 }
 
 // NrRunnable reports queued tasks plus the running task (0 for idle).

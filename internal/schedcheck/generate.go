@@ -1,0 +1,120 @@
+package schedcheck
+
+import "hplsim/internal/sim"
+
+// Generate builds a random scenario from a seed. The result is a pure
+// function of the seed: the corpus in CI and a failure reproduced locally
+// see byte-identical scenarios. Chaos is never generated — fault injection
+// is reserved for the harness's own self-tests.
+func Generate(seed uint64) Scenario {
+	rng := sim.NewRNG(seed).Split(0x5ce7a810)
+
+	s := Scenario{
+		Seed: seed,
+		Topo: TopoSpec{
+			Chips:   1 + rng.Intn(2),
+			Cores:   1 + rng.Intn(2),
+			Threads: 1 + rng.Intn(2),
+		},
+		HZ: []int{100, 250, 1000}[rng.Intn(3)],
+	}
+	if rng.Float64() < 0.7 {
+		s.Physics = PhysicsIdeal
+	} else {
+		s.Physics = PhysicsRealistic
+	}
+	if rng.Float64() < 0.8 {
+		s.Scheme = SchemeHPL
+	} else {
+		s.Scheme = SchemeStandard
+	}
+
+	nCPU := s.Topo.NumCPUs()
+	// Mostly at most one rank per CPU (where the paper's exactness claims
+	// live), sometimes oversubscribed to exercise the round-robin path.
+	ranks := 1 + rng.Intn(nCPU)
+	if rng.Float64() < 0.25 {
+		ranks = nCPU + 1 + rng.Intn(3)
+	}
+
+	s.Barrier = ranks >= 2 && rng.Float64() < 0.5
+	if s.Barrier {
+		s.SpinThreshold = []sim.Duration{
+			100 * sim.Microsecond, sim.Millisecond, 5 * sim.Millisecond, 20 * sim.Millisecond,
+		}[rng.Intn(4)]
+		s.LaunchAt = rng.UniformDuration(sim.Millisecond, 10*sim.Millisecond)
+	}
+
+	phase := func() Phase {
+		p := Phase{
+			Compute: rng.UniformDuration(200*sim.Microsecond, 5*sim.Millisecond),
+			Iters:   1 + rng.Intn(4),
+		}
+		if !s.Barrier && rng.Float64() < 0.5 {
+			p.Sleep = rng.UniformDuration(100*sim.Microsecond, sim.Millisecond)
+		}
+		return p
+	}
+	if s.Barrier {
+		// Barrier mode: every rank shares one phase skeleton (equal
+		// barrier arrival counts) but computes its own durations, giving
+		// the skew that exercises spin-then-block.
+		nPhases := 1 + rng.Intn(3)
+		skeleton := make([]int, nPhases)
+		for i := range skeleton {
+			skeleton[i] = 1 + rng.Intn(4)
+		}
+		for r := 0; r < ranks; r++ {
+			spec := RankSpec{}
+			for _, iters := range skeleton {
+				p := phase()
+				p.Iters = iters
+				spec.Phases = append(spec.Phases, p)
+			}
+			s.Ranks = append(s.Ranks, spec)
+		}
+	} else {
+		for r := 0; r < ranks; r++ {
+			spec := RankSpec{Start: rng.UniformDuration(0, 15*sim.Millisecond)}
+			nPhases := 1 + rng.Intn(3)
+			for i := 0; i < nPhases; i++ {
+				spec.Phases = append(spec.Phases, phase())
+			}
+			s.Ranks = append(s.Ranks, spec)
+		}
+	}
+
+	for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+		s.Daemons = append(s.Daemons, NoiseSpec{
+			Period:  rng.UniformDuration(2*sim.Millisecond, 20*sim.Millisecond),
+			Service: rng.UniformDuration(20*sim.Microsecond, 300*sim.Microsecond),
+		})
+	}
+	if rng.Float64() < 0.4 {
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			s.RTNoise = append(s.RTNoise, RTSpec{
+				CPU:     rng.Intn(nCPU),
+				Prio:    50 + rng.Intn(40),
+				Period:  rng.UniformDuration(2*sim.Millisecond, 20*sim.Millisecond),
+				Service: rng.UniformDuration(20*sim.Microsecond, 200*sim.Microsecond),
+			})
+		}
+	}
+
+	s.Horizon = horizonFor(s)
+	return s
+}
+
+// horizonFor sizes the simulation bound so every rank finishes even if all
+// compute serialized onto one CPU, with margin for noise theft and
+// realistic-physics overheads.
+func horizonFor(s Scenario) sim.Duration {
+	var serial, maxStart sim.Duration
+	for _, r := range s.Ranks {
+		serial += r.serial()
+		if r.Start > maxStart {
+			maxStart = r.Start
+		}
+	}
+	return 4*serial + maxStart + s.LaunchAt + 300*sim.Millisecond
+}

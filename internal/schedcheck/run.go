@@ -1,0 +1,271 @@
+package schedcheck
+
+import (
+	"fmt"
+
+	"hplsim/internal/kernel"
+	"hplsim/internal/mpi"
+	"hplsim/internal/noise"
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// rankObs are the per-workload observables the metamorphic oracles compare.
+// "Workload" is the phase list from the scenario; under a permutation the
+// workload runs in a different fork slot but keeps its observables.
+type rankObs struct {
+	Completed  bool
+	Runtime    sim.Duration // exit minus spawn; censored at the horizon
+	Busy       sim.Duration // accumulated CPU time, including barrier spin
+	Migrations uint64
+}
+
+// report is the outcome of one simulation of a scenario.
+type report struct {
+	eventHash uint64
+	obs       []rankObs // indexed by workload
+	domViol   []string  // class-priority dominance violations
+	migViol   []string  // fork-time-only migration violations
+}
+
+// recorder implements kernel.Tracer and kernel.KindTracer: it probes the
+// scheduler at every context switch and migration, and fingerprints the
+// engine's dispatch stream through the Observer hook.
+type recorder struct {
+	k      *kernel.Kernel
+	scheme string
+
+	hash      uint64
+	domViol   []string
+	migViol   []string
+	forkMoves []int // per task ID, count of fork-placement migrations
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newRecorder(scheme string) *recorder {
+	return &recorder{scheme: scheme, hash: fnvOffset}
+}
+
+// observe folds every event dispatch into an FNV-style fingerprint. Two
+// runs of the same scenario must produce the same stream bit for bit.
+func (r *recorder) observe(at sim.Time, seq uint64) {
+	r.hash = (r.hash ^ uint64(at)) * fnvPrime
+	r.hash = (r.hash ^ seq) * fnvPrime
+}
+
+// Switch implements kernel.Tracer: the dominance probe. The class chain
+// promises that no CFS task runs while an HPC task is runnable on the same
+// CPU, so observing a Normal task switched in with a non-empty HPC queue is
+// a scheduler bug, whatever the configuration.
+func (r *recorder) Switch(now sim.Time, cpu int, prev, next *task.Task) {
+	if next.Policy != task.Normal {
+		return
+	}
+	if n := r.k.Sched.QueuedOf("hpc", cpu); n > 0 {
+		r.domViol = append(r.domViol, fmt.Sprintf(
+			"t=%v cpu%d: CFS task %q switched in with %d HPC task(s) queued", now, cpu, next.Name, n))
+	}
+}
+
+// MigrateK implements kernel.KindTracer: the fork-time-only probe. Under
+// the HPL scheme an HPC task may migrate exactly once, at fork placement.
+func (r *recorder) MigrateK(now sim.Time, t *task.Task, from, to int, kind kernel.MigrateKind) {
+	if t.Policy != task.HPC || r.scheme != SchemeHPL {
+		return
+	}
+	if kind != kernel.MigrateFork {
+		r.migViol = append(r.migViol, fmt.Sprintf(
+			"t=%v: HPC task %q moved cpu%d->cpu%d by %v after placement", now, t.Name, from, to, kind))
+		return
+	}
+	for len(r.forkMoves) <= t.ID {
+		r.forkMoves = append(r.forkMoves, 0)
+	}
+	r.forkMoves[t.ID]++
+	if r.forkMoves[t.ID] > 1 {
+		r.migViol = append(r.migViol, fmt.Sprintf(
+			"t=%v: HPC task %q fork-migrated %d times", now, t.Name, r.forkMoves[t.ID]))
+	}
+}
+
+// Migrate implements kernel.Tracer (kinds arrive through MigrateK).
+func (r *recorder) Migrate(now sim.Time, t *task.Task, from, to int) {}
+
+// Wake implements kernel.Tracer.
+func (r *recorder) Wake(now sim.Time, t *task.Task, cpu int) {}
+
+// Mark implements kernel.Tracer.
+func (r *recorder) Mark(now sim.Time, t *task.Task, label string) {}
+
+// kernelConfig maps a scenario onto a kernel configuration. Ideal physics
+// zeroes every source of friction so the metamorphic oracles hold exactly;
+// realistic physics keeps the kernel defaults.
+func kernelConfig(s Scenario, rec *recorder) kernel.Config {
+	cfg := kernel.Config{
+		Topo:   s.Topo.Topology(),
+		HZ:     s.HZ,
+		Seed:   s.Seed,
+		Tracer: rec,
+		Chaos:  sched.Chaos{HPCMigration: s.Chaos.HPCMigration},
+	}
+	if s.Scheme == SchemeStandard {
+		cfg.Balance = sched.BalanceStandard
+	} else {
+		cfg.Balance = sched.BalanceHPL
+	}
+	if s.Physics == PhysicsIdeal {
+		cfg.NoOverheads = true
+		cfg.SMTFactors = []float64{1, 1}
+	}
+	return cfg
+}
+
+// runOnce simulates the scenario with workload assign[slot] running in fork
+// slot `slot` (nil means identity) and reports observables and violations.
+func runOnce(s Scenario, assign []int) report {
+	if assign == nil {
+		assign = make([]int, len(s.Ranks))
+		for i := range assign {
+			assign[i] = i
+		}
+	}
+	rec := newRecorder(s.Scheme)
+	k := kernel.New(kernelConfig(s, rec))
+	rec.k = k
+	k.Eng.Observer = rec.observe
+
+	for i, d := range s.Daemons {
+		noise.DaemonSpec{
+			Name:    fmt.Sprintf("daemon%d", i),
+			Period:  d.Period,
+			Service: d.Service,
+		}.Spawn(k, k.RNG(0xda30+uint64(i)))
+	}
+	for i, rt := range s.RTNoise {
+		noise.DaemonSpec{
+			Name:     fmt.Sprintf("rtnoise%d", i),
+			Policy:   task.FIFO,
+			RTPrio:   rt.Prio,
+			Period:   rt.Period,
+			Service:  rt.Service,
+			Affinity: topo.MaskOf(rt.CPU),
+		}.Spawn(k, k.RNG(0xf1f0+uint64(i)))
+	}
+
+	tasks := make([]*task.Task, len(s.Ranks)) // indexed by workload
+	var world *mpi.World
+	if s.Barrier {
+		world = mpi.NewWorld(k, mpi.Config{
+			Ranks:         len(s.Ranks),
+			Policy:        task.HPC,
+			SpinThreshold: s.SpinThreshold,
+		})
+		k.Eng.After(s.LaunchAt, func() {
+			world.Launch(nil, func(r *mpi.Rank) {
+				runRankMPI(r, s.Ranks[assign[r.ID]].Phases)
+			})
+		})
+	} else {
+		for slot := range s.Ranks {
+			slot := slot
+			wl := assign[slot]
+			k.Eng.After(s.Ranks[slot].Start, func() {
+				tasks[wl] = k.Spawn(nil, kernel.Attr{
+					Name:   fmt.Sprintf("rank%d", slot),
+					Policy: task.HPC,
+				}, func(p *kernel.Proc) {
+					runRank(p, s.Ranks[wl].Phases)
+				})
+			})
+		}
+	}
+
+	k.Run(sim.Time(0).Add(s.Horizon))
+	end := k.Now()
+
+	if world != nil {
+		for slot, r := range world.Ranks {
+			if r.P != nil {
+				tasks[assign[slot]] = r.P.T
+			}
+		}
+	}
+	rep := report{
+		eventHash: rec.hash,
+		obs:       make([]rankObs, len(s.Ranks)),
+		domViol:   rec.domViol,
+		migViol:   rec.migViol,
+	}
+	for wl, t := range tasks {
+		if t == nil {
+			continue // never spawned within the horizon
+		}
+		o := rankObs{Busy: t.SumExec, Migrations: t.Counters.Migrations}
+		if t.State == task.Dead {
+			o.Completed = true
+			o.Runtime = t.Exited.Sub(t.Spawned)
+		} else {
+			o.Runtime = end.Sub(t.Spawned)
+		}
+		rep.obs[wl] = o
+	}
+	return rep
+}
+
+// runRank drives an independent rank through its phases: compute, optional
+// sleep, repeat, exit.
+func runRank(p *kernel.Proc, phases []Phase) {
+	var step func(pi, it int)
+	step = func(pi, it int) {
+		if pi == len(phases) {
+			p.Exit()
+			return
+		}
+		ph := phases[pi]
+		npi, nit := pi, it+1
+		if nit >= ph.Iters {
+			npi, nit = pi+1, 0
+		}
+		p.Compute(ph.Compute, func() {
+			if ph.Sleep > 0 {
+				p.Sleep(ph.Sleep, func() { step(npi, nit) })
+			} else {
+				step(npi, nit)
+			}
+		})
+	}
+	step(0, 0)
+}
+
+// runRankMPI drives a barrier-coupled rank: compute, optional sleep,
+// barrier, repeat, finish. Validation guarantees equal iteration counts
+// across ranks, so every barrier releases.
+func runRankMPI(r *mpi.Rank, phases []Phase) {
+	var step func(pi, it int)
+	step = func(pi, it int) {
+		if pi == len(phases) {
+			r.Finish()
+			return
+		}
+		ph := phases[pi]
+		npi, nit := pi, it+1
+		if nit >= ph.Iters {
+			npi, nit = pi+1, 0
+		}
+		r.Compute(ph.Compute, func() {
+			arrive := func() { r.Barrier(func() { step(npi, nit) }) }
+			if ph.Sleep > 0 {
+				r.P.Sleep(ph.Sleep, arrive)
+			} else {
+				arrive()
+			}
+		})
+	}
+	step(0, 0)
+}

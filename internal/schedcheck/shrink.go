@@ -1,0 +1,212 @@
+package schedcheck
+
+import "hplsim/internal/sim"
+
+// minCompute keeps shrunk phases meaningful: below this the simulation is
+// all edges and no steady state.
+const minCompute = 50 * sim.Microsecond
+
+// DefaultShrinkBudget bounds the number of Check calls a shrink may spend.
+const DefaultShrinkBudget = 200
+
+// Shrink greedily reduces a failing scenario while it keeps failing (any
+// oracle): drop noise tasks, drop ranks, drop phases, halve iteration
+// counts and durations, and shrink the topology. It returns the smallest
+// failing scenario found and its failure; if the input scenario passes, it
+// is returned unchanged with a nil failure. budget caps the number of
+// Check calls (<= 0 means DefaultShrinkBudget).
+func Shrink(s Scenario, budget int) (Scenario, *Failure) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	fail := Check(s)
+	if fail == nil {
+		return s, nil
+	}
+	checks := 1
+	cur := s
+	for checks < budget {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if cand.Validate() != nil {
+				continue
+			}
+			if checks >= budget {
+				break
+			}
+			f := Check(cand)
+			checks++
+			if f != nil {
+				cur, fail = cand, f
+				improved = true
+				break // restart from the reduced scenario
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, fail
+}
+
+// candidates enumerates one-step reductions of the scenario, biggest wins
+// first. Every candidate is a fresh deep copy.
+func candidates(s Scenario) []Scenario {
+	var out []Scenario
+
+	// Halve, then drop individual noise tasks.
+	if n := len(s.Daemons); n >= 2 {
+		c := s.clone()
+		c.Daemons = c.Daemons[:n/2]
+		out = append(out, c)
+	}
+	for i := range s.Daemons {
+		c := s.clone()
+		c.Daemons = append(c.Daemons[:i], c.Daemons[i+1:]...)
+		out = append(out, c)
+	}
+	if n := len(s.RTNoise); n >= 2 {
+		c := s.clone()
+		c.RTNoise = c.RTNoise[:n/2]
+		out = append(out, c)
+	}
+	for i := range s.RTNoise {
+		c := s.clone()
+		c.RTNoise = append(c.RTNoise[:i], c.RTNoise[i+1:]...)
+		out = append(out, c)
+	}
+
+	// Drop ranks (keep at least one). Barrier iteration counts stay equal
+	// because whole ranks are removed.
+	if n := len(s.Ranks); n >= 3 {
+		c := s.clone()
+		c.Ranks = c.Ranks[:(n+1)/2]
+		out = append(out, c)
+	}
+	if len(s.Ranks) >= 2 {
+		for i := range s.Ranks {
+			c := s.clone()
+			c.Ranks = append(c.Ranks[:i], c.Ranks[i+1:]...)
+			out = append(out, c)
+		}
+	}
+
+	// Shrink the topology one dimension at a time.
+	if s.Topo.Threads == 2 {
+		c := s.clone()
+		c.Topo.Threads = 1
+		out = append(out, c)
+	}
+	if s.Topo.Cores == 2 {
+		c := s.clone()
+		c.Topo.Cores = 1
+		out = append(out, c)
+	}
+	if s.Topo.Chips == 2 {
+		c := s.clone()
+		c.Topo.Chips = 1
+		out = append(out, c)
+	}
+
+	// Drop the last phase of every rank together (keeps barrier arrival
+	// counts equal across ranks).
+	dropLast := true
+	for _, r := range s.Ranks {
+		if len(r.Phases) < 2 {
+			dropLast = false
+		}
+	}
+	if dropLast {
+		c := s.clone()
+		for i := range c.Ranks {
+			c.Ranks[i].Phases = c.Ranks[i].Phases[:len(c.Ranks[i].Phases)-1]
+		}
+		out = append(out, c)
+	}
+
+	// Halve iteration counts of every phase together.
+	canHalveIters := false
+	for _, r := range s.Ranks {
+		for _, p := range r.Phases {
+			if p.Iters >= 2 {
+				canHalveIters = true
+			}
+		}
+	}
+	if canHalveIters && !s.Barrier {
+		c := s.clone()
+		for i := range c.Ranks {
+			for j := range c.Ranks[i].Phases {
+				if c.Ranks[i].Phases[j].Iters >= 2 {
+					c.Ranks[i].Phases[j].Iters /= 2
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	if s.Barrier {
+		// In barrier mode iteration counts are aligned per phase index
+		// across ranks; halve them in lockstep.
+		c := s.clone()
+		changed := false
+		for j := range c.Ranks[0].Phases {
+			if c.Ranks[0].Phases[j].Iters >= 2 {
+				changed = true
+				for i := range c.Ranks {
+					c.Ranks[i].Phases[j].Iters /= 2
+				}
+			}
+		}
+		if changed {
+			out = append(out, c)
+		}
+	}
+
+	// Halve compute and sleep durations, and the noise schedules.
+	{
+		c := s.clone()
+		changed := false
+		for i := range c.Ranks {
+			c.Ranks[i].Start /= 2
+			for j := range c.Ranks[i].Phases {
+				p := &c.Ranks[i].Phases[j]
+				if p.Compute/2 >= minCompute {
+					p.Compute /= 2
+					changed = true
+				}
+				if p.Sleep > 0 {
+					p.Sleep /= 2
+					changed = true
+				}
+			}
+		}
+		for i := range c.Daemons {
+			c.Daemons[i].Period /= 2
+			if c.Daemons[i].Service/2 > 0 {
+				c.Daemons[i].Service /= 2
+			}
+		}
+		if changed {
+			out = append(out, c)
+		}
+	}
+
+	// Zero all sleeps (independent mode; barrier phases rarely sleep).
+	{
+		c := s.clone()
+		changed := false
+		for i := range c.Ranks {
+			for j := range c.Ranks[i].Phases {
+				if c.Ranks[i].Phases[j].Sleep > 0 {
+					c.Ranks[i].Phases[j].Sleep = 0
+					changed = true
+				}
+			}
+		}
+		if changed {
+			out = append(out, c)
+		}
+	}
+
+	return out
+}

@@ -53,6 +53,11 @@ type Engine struct {
 	stopped bool
 	// Dispatched counts events that have fired, for diagnostics and tests.
 	Dispatched uint64
+	// Observer, if non-nil, is invoked at every dispatch after the clock
+	// advances and before the callback runs. The schedcheck harness hashes
+	// the (when, seq) stream through it to fingerprint a run. Observers
+	// must not schedule, cancel, or otherwise touch the engine.
+	Observer func(at Time, seq uint64)
 }
 
 // NewEngine returns an Engine with the clock at zero.
@@ -150,6 +155,9 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.when
 	e.Dispatched++
+	if e.Observer != nil {
+		e.Observer(ev.when, ev.seq)
+	}
 	fn := ev.fn
 	// Recycle before dispatch: the common pattern of a callback scheduling
 	// its successor then reuses this very object, so steady-state churn
