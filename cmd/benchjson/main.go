@@ -42,12 +42,44 @@ type RunManyBench struct {
 // Report is the whole trajectory record.
 type Report struct {
 	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
 	GoVersion  string         `json:"go_version"`
 	Engine     []EngineBench  `json:"engine"`
 	Profile    string         `json:"profile"`
 	Scheme     string         `json:"scheme"`
 	Reps       int            `json:"reps"`
 	RunMany    []RunManyBench `json:"run_many"`
+}
+
+// FastForwardBench is one row of the std-vs-fast-forward comparison: the
+// replication harness run sequentially in one tick mode. The engine-traffic
+// counters are from a single representative replication (they are
+// deterministic per seed); the wall clock covers all reps.
+type FastForwardBench struct {
+	Scheme           string  `json:"scheme"`
+	HZ               int     `json:"hz"`
+	FastForward      bool    `json:"fast_forward"`
+	Seconds          float64 `json:"seconds"`
+	EventsDispatched uint64  `json:"events_dispatched"`
+	LaneFires        uint64  `json:"lane_fires"`
+	TicksCoalesced   uint64  `json:"ticks_coalesced"`
+	EventsPerVirtSec float64 `json:"events_per_virtual_sec"`
+	Speedup          float64 `json:"speedup_vs_std"`
+}
+
+// FFReport is the BENCH_fastforward.json record: the same replication
+// benchmark with ticks stepped versus fast-forwarded, across schemes and
+// tick rates. Host context rides along because the absolute seconds (and
+// the flat run_many curve in the sibling report) are meaningless without
+// knowing how many cores backed them.
+type FFReport struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	GoVersion  string             `json:"go_version"`
+	Profile    string             `json:"profile"`
+	Ranks      int                `json:"ranks"`
+	Reps       int                `json:"reps"`
+	Rows       []FastForwardBench `json:"rows"`
 }
 
 func engineBench(name string, fn func(b *testing.B)) EngineBench {
@@ -62,6 +94,8 @@ func engineBench(name string, fn func(b *testing.B)) EngineBench {
 
 func main() {
 	out := flag.String("o", "BENCH_parallel.json", "output file ('-' for stdout)")
+	ffOut := flag.String("ff-out", "BENCH_fastforward.json",
+		"fast-forward comparison output file ('' to skip, '-' for stdout)")
 	reps := flag.Int("reps", 32, "replications per worker-count measurement")
 	bench := flag.String("bench", "ep", "NAS benchmark for the RunMany measurement")
 	class := flag.String("class", "A", "NAS class: A or B")
@@ -79,6 +113,7 @@ func main() {
 
 	rep := Report{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 		Profile:    prof.Name(),
 		Scheme:     experiments.Std.String(),
@@ -136,19 +171,74 @@ func main() {
 		fmt.Fprintf(os.Stderr, "run_many workers=%-2d %7.3fs  speedup=%.2fx\n", w, sec, speedup)
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	writeJSON(*out, rep)
+
+	if *ffOut == "" {
+		return
+	}
+	ffRep := FFReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Profile:    prof.Name(),
+		Ranks:      prof.Ranks,
+		Reps:       *reps,
+	}
+	// Std-versus-fast-forward on the sequential replication harness, per
+	// scheme and tick rate: the saving is proportional to the tick share
+	// of the event stream, so it grows with HZ and with the HPL scheme's
+	// quieter queues (fewer heap events per virtual second). Both modes
+	// replay identical seeds and, by the schedcheck equivalence oracle,
+	// identical traces — the ratio is pure dispatch cost.
+	for _, scheme := range []experiments.Scheme{experiments.Std, experiments.HPL} {
+		for _, hz := range []int{250, 1000} {
+			var stdSec float64
+			for _, ff := range []bool{false, true} {
+				o := experiments.Options{Profile: prof, Scheme: scheme, Seed: 1, HZ: hz, FastForward: ff}
+				sw := walltime.Start()
+				experiments.RunManyOpt(o, *reps, 1)
+				sec := sw.Seconds()
+				if !ff {
+					stdSec = sec
+				}
+				speedup := stdSec / sec
+				if math.IsNaN(speedup) || math.IsInf(speedup, 0) {
+					speedup = 0
+				}
+				probe := experiments.Run(o)
+				ffRep.Rows = append(ffRep.Rows, FastForwardBench{
+					Scheme:           scheme.String(),
+					HZ:               hz,
+					FastForward:      ff,
+					Seconds:          sec,
+					EventsDispatched: probe.EventsDispatched,
+					LaneFires:        probe.LaneFires,
+					TicksCoalesced:   probe.TicksCoalesced,
+					EventsPerVirtSec: probe.EventsPerVirtualSec(),
+					Speedup:          speedup,
+				})
+				fmt.Fprintf(os.Stderr, "fastforward scheme=%-3s hz=%-4d ff=%-5v %7.3fs  speedup=%.2fx\n",
+					scheme, hz, ff, sec, speedup)
+			}
+		}
+	}
+	writeJSON(*ffOut, ffRep)
+}
+
+func writeJSON(path string, v any) {
+	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if path == "-" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

@@ -73,6 +73,14 @@ func (m Model) Progress(dt sim.Duration, w0, s float64) (work float64, w1 float6
 	if dt <= 0 {
 		return 0, w0
 	}
+	if w0 == 1 {
+		// Saturated warmth is the ODE's fixed point: the general
+		// expressions below reduce to work == t and w1 == 1 exactly
+		// (cold == 0 and 1-(1-1)*e^x == 1 bitwise), so skipping the two
+		// math.Exp calls cannot perturb a trace. Long-running tasks
+		// saturate within ~40*WarmTau, making this the hot tick path.
+		return float64(dt), 1
+	}
 	t := float64(dt)
 	tau := float64(m.WarmTau)
 	cold := s * (1 - w0)

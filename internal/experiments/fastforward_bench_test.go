@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"testing"
+
+	"hplsim/internal/nas"
+)
+
+// The std/fast-forward benchmark pair measures the replication cost of one
+// ep.A run per iteration in each tick mode; cmd/benchjson records the same
+// comparison (across schemes and tick rates) into BENCH_fastforward.json.
+
+func BenchmarkRunStandard(b *testing.B) {
+	opt := Options{Profile: nas.MustGet("ep", 'A'), Scheme: HPL, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		opt.Seed++
+		Run(opt)
+	}
+}
+
+func BenchmarkRunFastForward(b *testing.B) {
+	opt := Options{Profile: nas.MustGet("ep", 'A'), Scheme: HPL, Seed: 1, FastForward: true}
+	for i := 0; i < b.N; i++ {
+		opt.Seed++
+		Run(opt)
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"hplsim/internal/nas"
+)
+
+// TestFastForwardRunEquivalence runs the full measurement chain (daemons,
+// storms, perf window, launcher noise) in both tick modes: every reported
+// observable must match bitwise; only the engine traffic may differ.
+func TestFastForwardRunEquivalence(t *testing.T) {
+	for _, scheme := range []Scheme{Std, HPL, CNK} {
+		opt := Options{Profile: nas.MustGet("is", 'A'), Scheme: scheme, Seed: 90}
+		std := Run(opt)
+		opt.FastForward = true
+		ff := Run(opt)
+
+		if std.ElapsedSec != ff.ElapsedSec {
+			t.Errorf("%v: elapsed %v vs %v", scheme, std.ElapsedSec, ff.ElapsedSec)
+		}
+		w1, w2 := std.Window, ff.Window
+		w1.TicksCoalesced, w2.TicksCoalesced = 0, 0
+		if w1 != w2 {
+			t.Errorf("%v: perf window diverges:\n std %+v\n ff  %+v", scheme, w1, w2)
+		}
+		if std.Sched != ff.Sched {
+			t.Errorf("%v: sched stats diverge:\n std %+v\n ff  %+v", scheme, std.Sched, ff.Sched)
+		}
+		if std.Energy != ff.Energy {
+			t.Errorf("%v: energy diverges:\n std %+v\n ff  %+v", scheme, std.Energy, ff.Energy)
+		}
+		if std.VirtualSec != ff.VirtualSec {
+			t.Errorf("%v: virtual time %v vs %v", scheme, std.VirtualSec, ff.VirtualSec)
+		}
+		if ff.TicksCoalesced == 0 {
+			t.Errorf("%v: fast-forward coalesced nothing", scheme)
+		}
+		if std.TicksCoalesced != 0 {
+			t.Errorf("%v: standard mode reported %d coalesced ticks", scheme, std.TicksCoalesced)
+		}
+		if ff.LaneFires >= std.LaneFires {
+			t.Errorf("%v: lane fires %d (ff) vs %d (std): no tick traffic saved",
+				scheme, ff.LaneFires, std.LaneFires)
+		}
+		if t.Failed() {
+			t.Fatalf("divergence under scheme %v", scheme)
+		}
+	}
+}

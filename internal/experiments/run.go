@@ -99,6 +99,12 @@ type Options struct {
 	// AdaptiveTick enables the NETTICK-style housekeeping tick for lone
 	// HPC tasks (Section V).
 	AdaptiveTick bool
+	// FastForward enables the kernel's virtual-time fast-forward: ticks
+	// that provably decide nothing are replayed in batch instead of being
+	// dispatched. Trace-equivalent to the default mode (the schedcheck
+	// fast-forward oracle enforces it); changes only wall-clock cost and
+	// the engine traffic metrics.
+	FastForward bool
 	// NoDaemons suppresses the background daemon population.
 	NoDaemons bool
 	// NoStorms suppresses the heavy-storm process.
@@ -136,6 +142,27 @@ type Result struct {
 	Sched sched.Stats
 	// Energy is the node's integrated energy over the whole run.
 	Energy kernel.EnergyReport
+	// EventsDispatched counts heap events the engine dispatched over the
+	// whole run (timer-lane firings are separate, in LaneFires); with
+	// TicksCoalesced and VirtualSec it quantifies what fast-forward saves.
+	EventsDispatched uint64
+	// LaneFires counts timer-lane firings (delivered ticks).
+	LaneFires uint64
+	// TicksCoalesced counts ticks settled by fast-forward replay instead
+	// of dispatch (0 in standard mode).
+	TicksCoalesced uint64
+	// VirtualSec is the virtual time the run covered, in seconds.
+	VirtualSec float64
+}
+
+// EventsPerVirtualSec is the engine traffic rate: dispatched heap events
+// plus delivered ticks per simulated second — the quantity fast-forward
+// exists to shrink.
+func (r Result) EventsPerVirtualSec() float64 {
+	if r.VirtualSec <= 0 {
+		return 0
+	}
+	return float64(r.EventsDispatched+r.LaneFires) / r.VirtualSec
 }
 
 // Migrations is shorthand for the window's migration count.
@@ -171,6 +198,7 @@ func Run(opt Options) Result {
 		Balance:           balance,
 		HPCNaivePlacement: opt.Scheme == HPLNaive,
 		AdaptiveTick:      opt.AdaptiveTick,
+		FastForward:       opt.FastForward,
 		Seed:              opt.Seed,
 		Tracer:            opt.Tracer,
 	})
@@ -277,6 +305,10 @@ func Run(opt Options) Result {
 	}
 	res.Sched = k.Sched.Stats()
 	res.Energy = k.Energy()
+	res.EventsDispatched = k.Eng.Dispatched
+	res.LaneFires = k.Eng.LaneFires
+	res.TicksCoalesced = k.Perf.TicksCoalesced
+	res.VirtualSec = sim.Duration(k.Now()).Seconds()
 	return res
 }
 

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"math"
+
 	"hplsim/internal/invariant"
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
@@ -9,6 +11,11 @@ import (
 // resched requests a scheduling pass on cpu at the current instant. Multiple
 // requests within one instant coalesce into a single pass.
 func (k *Kernel) resched(cpu int) {
+	if k.replaying {
+		// An elided tick asked to reschedule: its NextDecision bound was
+		// too late. Diverging silently would be far worse than crashing.
+		panic("kernel: reschedule during fast-forward tick replay (NextDecision bound too late)")
+	}
 	c := k.cpus[cpu]
 	if c.reschedPending {
 		return
@@ -25,14 +32,14 @@ func (k *Kernel) tickPeriod() sim.Duration {
 	return sim.Duration(int64(sim.Second) / int64(k.Cfg.HZ))
 }
 
-// armTick schedules the next timer interrupt for a busy CPU. With
-// AdaptiveTick, an HPC task running alone on its CPU only gets a 10 Hz
-// housekeeping tick — the NETTICK optimisation that removes most of the
-// timer micro-noise while the scheduler has nothing to decide.
-func (k *Kernel) armTick(c *cpuState) {
-	if c.tick.Pending() {
-		return
-	}
+// tickPeriodFor reports the period a tick on c firing at the current
+// kernel time would choose for its successor. With AdaptiveTick, an HPC
+// task running alone on its CPU only gets a 10 Hz housekeeping tick — the
+// NETTICK optimisation that removes most of the timer micro-noise while
+// the scheduler has nothing to decide. The inputs (current task, queue
+// occupancy) change only at events, so between two events the period is
+// constant — which is what lets armLane enumerate the elided tick grid.
+func (k *Kernel) tickPeriodFor(c *cpuState) sim.Duration {
 	period := k.tickPeriod()
 	if k.Cfg.AdaptiveTick && c.curr != c.idle &&
 		c.curr.Policy == task.HPC && k.Sched.NrQueued(c.id) == 0 {
@@ -41,35 +48,232 @@ func (k *Kernel) armTick(c *cpuState) {
 			period = housekeeping
 		}
 	}
-	c.tick = k.Eng.After(period, func() { k.tickFire(c) })
+	return period
+}
+
+// armTick starts the periodic tick on a busy CPU (no-op if already armed).
+func (k *Kernel) armTick(c *cpuState) {
+	if c.tickNext != 0 {
+		return
+	}
+	c.tickNext = k.now().Add(k.tickPeriodFor(c))
+	k.armLane(c)
 }
 
 func (k *Kernel) cancelTick(c *cpuState) {
-	k.Eng.Cancel(c.tick)
-	c.tick = sim.EventRef{}
+	k.Eng.DisarmLane(c.lane)
+	c.tickNext = 0
+}
+
+// armLane points c's timer lane at the next tick that must actually be
+// dispatched: every grid instant in standard mode; in fast-forward mode the
+// first grid instant at or after the earliest possible scheduling decision
+// (class NextDecision bound or periodic-balance deadline). Grid instants
+// before that are quiescent by construction and are replayed on demand.
+// Rounding the decision bound up to the grid is exact, not a heuristic: a
+// decision manifests only when a tick fires, and no tick exists between
+// grid instants.
+func (k *Kernel) armLane(c *cpuState) {
+	if !k.ff {
+		k.Eng.ArmLane(c.lane, c.tickNext)
+		return
+	}
+	d := k.Sched.NextDecision(c.id, c.curr, c.spanStart)
+	if due := k.Sched.NextBalanceDue(c.id); due < d {
+		d = due
+	}
+	if d == sim.Infinity {
+		// No tick before the next external event can decide anything.
+		// Leave the lane disarmed; the elided instants are replayed
+		// lazily when the next event (or run horizon) needs them.
+		k.Eng.DisarmLane(c.lane)
+		return
+	}
+	target := c.tickNext
+	if d > c.spanStart && d > target {
+		// A future bound: accrual is measured from the anchor, so no tick
+		// before d can see the condition true; skip to the first grid
+		// instant at or after d. A bound at or before the anchor means the
+		// condition already holds — the very next grid tick decides, even
+		// when switch/tick dead time has pushed the anchor past it.
+		p := k.tickPeriodFor(c)
+		n := (d.Sub(target) + p - 1) / p
+		target = target.Add(n * p)
+	}
+	k.Eng.ArmLane(c.lane, target)
+}
+
+// tickAdjust re-aims cpu's timer lane after something moved its next
+// scheduling decision (possibly earlier): a task was enqueued there, the
+// balancing gate flipped, or a scheduling pass completed. The tick grid
+// itself never moves — only which grid instant is dispatched live.
+func (k *Kernel) tickAdjust(cpu int) {
+	if !k.ff || k.replaying {
+		return
+	}
+	c := k.cpus[cpu]
+	if c.tickNext == 0 {
+		return
+	}
+	k.armLane(c)
 }
 
 // tickFire is the timer interrupt handler: account the elapsed span, steal
 // the tick cost from the running task, drive the class tick (timeslice and
-// fairness preemption) and the periodic load balancer, and re-arm.
+// fairness preemption) and the periodic load balancer, and re-arm. It runs
+// on the CPU's timer lane, so it consumes no event sequence number and
+// fires ahead of any heap event at the same instant — identically in both
+// tick modes, which is what keeps their dispatch fingerprints comparable.
 func (k *Kernel) tickFire(c *cpuState) {
-	c.tick = sim.EventRef{}
+	if c.tickNext == 0 {
+		return // raced with idling (defensive; cancelTick disarms the lane)
+	}
+	now := k.Eng.Now()
+	if k.ff {
+		// Settle every CPU's elided ticks first. Same-instant ticks of
+		// lower-numbered CPUs precede this one (the engine fired their
+		// lanes first if armed; replay must respect the same order).
+		k.catchUp(now, c.id)
+		if c.tickNext != now {
+			panic("kernel: fast-forward lane fired off the tick grid")
+		}
+	}
 	if c.curr == c.idle {
 		return // raced with idling; stay tickless
 	}
+	c.ticks++
 	k.Perf.Ticks++
 	k.syncProgress(c)
 	// The interrupt itself steals CPU time: the paper's "micro noise".
 	c.spanStart = c.spanStart.Add(k.Cfg.TickCost)
 	if c.completion.Pending() {
-		k.Eng.Reschedule(c.completion, c.completion.When().Add(k.Cfg.TickCost))
+		k.Eng.Shift(c.completion, c.completion.When().Add(k.Cfg.TickCost))
 	}
 	k.Sched.Tick(c.id, c.curr)
 	k.Sched.PeriodicBalance(c.id)
-	k.armTick(c)
+	c.tickNext = now.Add(k.tickPeriodFor(c))
+	k.armLane(c)
 	if invariant.Enabled {
 		k.checkInvariants()
 	}
+}
+
+// replayTick re-runs the bookkeeping of one elided tick of c exactly as
+// tickFire would have at that instant: same counters, same accounting
+// arithmetic in the same order, same class tick (slice refills and throttle
+// charging included). What it skips is exactly what cannot matter there —
+// the event dispatch (lane firings consume no sequence numbers in either
+// mode) and PeriodicBalance (a provable no-op before NextBalanceDue, which
+// bounds the lane arming). It returns the tick-cost theft; the caller
+// batches the seq-preserving completion Shift, which is associative in the
+// event's integer timestamp.
+func (k *Kernel) replayTick(c *cpuState) sim.Duration {
+	at := c.tickNext
+	k.replaying, k.vnow = true, at
+	c.ticks++
+	k.Perf.Ticks++
+	k.Perf.TicksCoalesced++
+	k.syncProgress(c)
+	c.spanStart = c.spanStart.Add(k.Cfg.TickCost)
+	k.Sched.Tick(c.id, c.curr)
+	c.tickNext = at.Add(k.tickPeriodFor(c))
+	k.replaying = false
+	return k.Cfg.TickCost
+}
+
+// replayBatch settles m consecutive elided ticks of c in one pass, bitwise
+// identical to m calls of replayTick. It requires the steady state where
+// every tick in the run sees the same inputs — the span exactly one period
+// behind, so each tick charges dt = period - TickCost — and a class that can
+// batch its charge (sched.TickBatcher). Everything integer (exec time, core
+// busy, counters, the class charge) collapses in closed form; the
+// non-associative float recurrences (cache warmth, work drain) keep their
+// per-tick loop, but with the per-batch constants hoisted: the exponential
+// depends only on dt, so each elided tick costs a handful of float ops and
+// none of the per-tick call machinery. The loop bodies mirror the exact
+// expression shapes of cache.Progress and syncProgress.
+func (k *Kernel) replayBatch(c *cpuState, m int64) bool {
+	t := c.curr
+	p := k.tickPeriodFor(c)
+	dt := p - k.Cfg.TickCost
+	if dt <= 0 || c.tickNext.Sub(c.spanStart) != dt {
+		return false
+	}
+	if !k.Sched.ReplayTicks(c.id, t, dt, m) {
+		return false
+	}
+	c.ticks += uint64(m)
+	k.Perf.Ticks += uint64(m)
+	k.Perf.TicksCoalesced += uint64(m)
+	span := sim.Duration(m) * dt
+	t.SumExec += span
+	k.cores[k.Topo.CoreOf(c.id)].busy += span
+	fdt := float64(dt)
+	tau := float64(k.Cfg.Cache.WarmTau)
+	e := math.Exp(-fdt / tau)
+	oneMinusE := 1 - e
+	smt := k.smtFactor(c.id)
+	w, sens := t.Cache.Warmth, t.Sensitivity
+	drain := t.HasWork()
+	for i := int64(0); i < m; i++ {
+		if drain && t.Work > 0 {
+			lost := sens * (1 - w) * tau * oneMinusE
+			t.Work -= (fdt - lost) * smt
+			if t.Work < 0 {
+				t.Work = 0
+			}
+		}
+		w = 1 - (1-w)*e
+	}
+	t.Cache.Warmth = w
+	c.tickNext = c.tickNext.Add(sim.Duration(m) * p)
+	c.spanStart = c.tickNext.Add(-dt) // one period behind again, cost charged
+	return true
+}
+
+// catchUp replays every CPU's elided ticks up to `at`. Ticks exactly at
+// `at` are included only for CPUs below tieID: a heap event at an instant
+// runs after all of that instant's lane firings (tieID = NumCPUs), while a
+// live tick on CPU i runs after same-instant ticks of lower-numbered CPUs
+// only (tieID = i), matching the engine's lowest-lane-first tie-break.
+// Replaying per-CPU rather than globally time-sorted is exact because
+// elided ticks commute across CPUs: each touches only its own CPU's
+// scheduling state plus order-insensitive sums (core busy time, counters).
+// Each stretch batches through replayBatch where the steady state allows
+// and falls back to tick-by-tick replay otherwise (typically just the
+// first tick after an event, which realigns the span to the grid).
+func (k *Kernel) catchUp(at sim.Time, tieID int) {
+	for _, c := range k.cpus {
+		if c.tickNext == 0 {
+			continue
+		}
+		var theft sim.Duration
+		for c.tickNext < at || (c.tickNext == at && c.id < tieID) {
+			bound := at
+			if c.id >= tieID {
+				bound-- // ticks strictly before the event instant
+			}
+			m := int64(bound.Sub(c.tickNext))/int64(k.tickPeriodFor(c)) + 1
+			if k.replayBatch(c, m) {
+				theft += sim.Duration(m) * k.Cfg.TickCost
+				continue
+			}
+			theft += k.replayTick(c)
+		}
+		if theft > 0 && c.completion.Pending() {
+			k.Eng.Shift(c.completion, c.completion.When().Add(theft))
+		}
+	}
+}
+
+// beforeEvent is the engine hook in fast-forward mode: before any heap
+// event dispatches, settle all elided ticks at or before its instant so
+// the event observes exactly the state a step-every-tick run would have
+// produced. Replay never schedules, so the hook is idempotent at a given
+// instant; its only engine mutations (completion shifts) target times at
+// or after the event, as the hook contract requires.
+func (k *Kernel) beforeEvent(at sim.Time) {
+	k.catchUp(at, len(k.cpus))
 }
 
 // smtFactor reports the throughput factor of cpu given how many of its SMT
@@ -95,7 +299,7 @@ func (k *Kernel) syncProgress(c *cpuState) {
 	if t == c.idle {
 		return
 	}
-	now := k.Eng.Now()
+	now := k.now() // the replayed tick instant during elided-tick replay
 	if now <= c.spanStart {
 		return // span has not started yet (switch/tick cost dead time)
 	}
@@ -217,6 +421,7 @@ func (k *Kernel) schedule(c *cpuState) {
 		// No switch: restore and resume.
 		pick.State = task.Running
 		k.advance(c)
+		k.tickAdjust(c.id)
 		if invariant.Enabled {
 			k.checkInvariants()
 		}
@@ -275,6 +480,7 @@ func (k *Kernel) schedule(c *cpuState) {
 		k.reprojectSiblings(c.id)
 	}
 	k.advance(c)
+	k.tickAdjust(c.id)
 	if invariant.Enabled {
 		k.checkInvariants()
 	}
@@ -293,7 +499,9 @@ func (k *Kernel) StealTime(cpu int, d sim.Duration) {
 	k.syncProgress(c)
 	c.spanStart = c.spanStart.Add(d)
 	if c.completion.Pending() {
-		k.Eng.Reschedule(c.completion, c.completion.When().Add(d))
+		// Shift, not Reschedule: the interrupt displaces the projected
+		// completion without changing its identity or FIFO rank.
+		k.Eng.Shift(c.completion, c.completion.When().Add(d))
 	}
 }
 

@@ -1,0 +1,301 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+	"hplsim/internal/topo"
+)
+
+// ffSnapshot is everything an observer could compare between a
+// step-every-tick run and a fast-forward run: completion times, the full
+// perf counter set, per-CPU tick counts, per-task accounting, energy.
+type ffSnapshot struct {
+	done     map[string]sim.Time
+	perf     string // Counters minus TicksCoalesced, rendered
+	ticks    []uint64
+	sumExec  map[string]sim.Duration
+	energy   string
+	finalNow sim.Time
+}
+
+func snapshotOf(k *Kernel, done map[string]sim.Time) ffSnapshot {
+	p := k.Perf
+	p.TicksCoalesced = 0 // the one intentionally mode-dependent counter
+	s := ffSnapshot{
+		done:     done,
+		perf:     fmt.Sprintf("%+v", p),
+		sumExec:  map[string]sim.Duration{},
+		energy:   k.Energy().String(),
+		finalNow: k.Now(),
+	}
+	for cpu := 0; cpu < k.Topo.NumCPUs(); cpu++ {
+		s.ticks = append(s.ticks, k.TicksOn(cpu))
+	}
+	for i, t := range k.Tasks() {
+		s.sumExec[fmt.Sprintf("%d/%s", i, t.Name)] = t.SumExec
+	}
+	return s
+}
+
+func (a ffSnapshot) diff(t *testing.T, b ffSnapshot) {
+	t.Helper()
+	if a.finalNow != b.finalNow {
+		t.Errorf("final time: std %v, ff %v", a.finalNow, b.finalNow)
+	}
+	if a.perf != b.perf {
+		t.Errorf("perf counters diverge:\n std %s\n ff  %s", a.perf, b.perf)
+	}
+	for cpu := range a.ticks {
+		if a.ticks[cpu] != b.ticks[cpu] {
+			t.Errorf("cpu %d ticks: std %d, ff %d", cpu, a.ticks[cpu], b.ticks[cpu])
+		}
+	}
+	for name, d := range a.done {
+		if b.done[name] != d {
+			t.Errorf("task %s completion: std %v, ff %v", name, d, b.done[name])
+		}
+	}
+	for name, e := range a.sumExec {
+		if b.sumExec[name] != e {
+			t.Errorf("task %s SumExec: std %v, ff %v", name, e, b.sumExec[name])
+		}
+	}
+	if a.energy != b.energy {
+		t.Errorf("energy report diverges:\n std %s\n ff  %s", a.energy, b.energy)
+	}
+}
+
+// runBoth executes the same scenario with FastForward off and on and
+// returns both snapshots plus the fast-forward kernel for mode-specific
+// assertions.
+func runBoth(t *testing.T, cfg Config, load func(k *Kernel, done map[string]sim.Time), until sim.Time) (ffSnapshot, ffSnapshot, *Kernel) {
+	t.Helper()
+	run := func(ff bool) (ffSnapshot, *Kernel) {
+		c := cfg
+		c.FastForward = ff
+		k := New(c)
+		done := map[string]sim.Time{}
+		load(k, done)
+		k.Run(until)
+		return snapshotOf(k, done), k
+	}
+	std, _ := run(false)
+	fast, kf := run(true)
+	return std, fast, kf
+}
+
+// mixedLoad is a deliberately messy scenario: CFS hogs and sleepers, HPC
+// ranks round-robining, an RR pair, affinity changes mid-run, and periodic
+// balancing — every tick-driven decision path the classes have.
+func mixedLoad(k *Kernel, done map[string]sim.Time) {
+	spawn := func(name string, attr Attr, body func(p *Proc)) {
+		attr.Name = name
+		k.Spawn(nil, attr, body)
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("hog%d", i)
+		spawn(name, Attr{Sensitivity: 0.5}, func(p *Proc) {
+			p.Compute(sim.Duration(120+10*i)*sim.Millisecond, func() {
+				done[name] = p.Now()
+				p.Exit()
+			})
+		})
+	}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("sleeper%d", i)
+		spawn(name, Attr{}, func(p *Proc) {
+			var loop func(n int)
+			loop = func(n int) {
+				if n == 0 {
+					done[name] = p.Now()
+					p.Exit()
+					return
+				}
+				p.Compute(4*sim.Millisecond, func() {
+					p.Sleep(7*sim.Millisecond, func() { loop(n - 1) })
+				})
+			}
+			loop(12)
+		})
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("rank%d", i)
+		spawn(name, Attr{Policy: task.HPC, Affinity: topo.MaskOf(i % 2)}, func(p *Proc) {
+			p.Compute(180*sim.Millisecond, func() {
+				done[name] = p.Now()
+				p.Exit()
+			})
+		})
+	}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("rr%d", i)
+		spawn(name, Attr{Policy: task.RR, RTPrio: 40, Affinity: topo.MaskOf(3)}, func(p *Proc) {
+			p.Compute(130*sim.Millisecond, func() {
+				done[name] = p.Now()
+				p.Exit()
+			})
+		})
+	}
+	spawn("latecomer", Attr{Affinity: topo.MaskOf(2)}, func(p *Proc) {
+		p.Sleep(33*sim.Millisecond, func() {
+			p.Compute(60*sim.Millisecond, func() {
+				done["latecomer"] = p.Now()
+				p.Exit()
+			})
+		})
+	})
+}
+
+func TestFastForwardEquivalenceMixed(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 1234} {
+		cfg := Config{Topo: topo.POWER6(), Seed: seed}
+		std, fast, kf := runBoth(t, cfg, mixedLoad, sim.Time(2*sim.Second))
+		std.diff(t, fast)
+		if kf.Perf.TicksCoalesced == 0 {
+			t.Errorf("seed %d: fast-forward coalesced nothing on a mostly quiescent load", seed)
+		}
+		if t.Failed() {
+			t.Fatalf("divergence at seed %d", seed)
+		}
+	}
+}
+
+func TestFastForwardEquivalenceNoBalancing(t *testing.T) {
+	// BalanceNone removes the balancer deadline entirely: quiescent CPUs
+	// should coalesce the overwhelming majority of their ticks.
+	cfg := Config{Topo: topo.POWER6(), Balance: sched.BalanceNone, Seed: 3}
+	std, fast, kf := runBoth(t, cfg, mixedLoad, sim.Time(2*sim.Second))
+	std.diff(t, fast)
+	if kf.Perf.TicksCoalesced*2 < kf.Perf.Ticks {
+		t.Errorf("coalesced %d of %d ticks; expected a majority without balancer deadlines",
+			kf.Perf.TicksCoalesced, kf.Perf.Ticks)
+	}
+}
+
+func TestFastForwardEquivalenceHPL(t *testing.T) {
+	// The paper's configuration: HPL balance policy + adaptive tick, HPC
+	// ranks pinned one per CPU with a daemon mixing in.
+	cfg := Config{Topo: topo.POWER6(), Balance: sched.BalanceHPL, AdaptiveTick: true, Seed: 11}
+	load := func(k *Kernel, done map[string]sim.Time) {
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("rank%d", i)
+			cpu := i
+			k.Spawn(nil, Attr{Name: name, Policy: task.HPC, Affinity: topo.MaskOf(cpu)}, func(p *Proc) {
+				var phase func(n int)
+				phase = func(n int) {
+					if n == 0 {
+						done[name] = p.Now()
+						p.Exit()
+						return
+					}
+					p.Compute(150*sim.Millisecond, func() {
+						p.Sleep(2*sim.Millisecond, func() { phase(n - 1) })
+					})
+				}
+				phase(4)
+			})
+		}
+		k.Spawn(nil, Attr{Name: "daemon"}, func(p *Proc) {
+			var loop func()
+			loop = func() {
+				p.Sleep(50*sim.Millisecond, func() {
+					p.Compute(6*sim.Millisecond, func() { loop() })
+				})
+			}
+			loop()
+		})
+	}
+	std, fast, kf := runBoth(t, cfg, load, sim.Time(sim.Second))
+	std.diff(t, fast)
+	if kf.Perf.TicksCoalesced == 0 {
+		t.Error("adaptive-tick HPL run coalesced nothing")
+	}
+}
+
+func TestFastForwardAdaptiveTickLoneHPC(t *testing.T) {
+	// AdaptiveTick composes with fast-forward: a lone HPC rank keeps its
+	// 10 Hz housekeeping grid in both modes, with identical per-CPU tick
+	// counts and identical TickCost theft visible in its completion time.
+	for _, ff := range []bool{false, true} {
+		k := New(Config{Topo: uni(), AdaptiveTick: true, FastForward: ff,
+			SwitchCost: 1, TickCost: sim.Microsecond, Seed: 5})
+		var done sim.Time
+		k.Spawn(nil, Attr{Name: "rank", Policy: task.HPC}, func(p *Proc) {
+			p.Compute(sim.Duration(sim.Second), func() { done = p.Now(); p.Exit() })
+		})
+		k.Run(sim.Time(2 * sim.Second))
+		// 1s of work at 10 Hz housekeeping: 10-ish ticks, each stealing 1us.
+		if k.TicksOn(0) < 9 || k.TicksOn(0) > 11 {
+			t.Fatalf("ff=%v: lone HPC rank took %d ticks over 1s, want ~10 (100ms housekeeping)",
+				ff, k.TicksOn(0))
+		}
+		wantLo := sim.Time(sim.Second).Add(9 * sim.Microsecond)
+		wantHi := sim.Time(sim.Second).Add(12 * sim.Microsecond)
+		if done < wantLo || done > wantHi {
+			t.Fatalf("ff=%v: done at %v, want 1s + ~10us of tick theft", ff, done)
+		}
+	}
+}
+
+func TestFastForwardAdaptiveTickBitwise(t *testing.T) {
+	// The full adaptive-tick rate dance — lone HPC at 10 Hz, back to 250 Hz
+	// when a sibling queues up — must be bitwise identical across modes.
+	cfg := Config{Topo: dual(), AdaptiveTick: true, Seed: 9}
+	load := func(k *Kernel, done map[string]sim.Time) {
+		k.Spawn(nil, Attr{Name: "rank", Policy: task.HPC, Affinity: topo.MaskOf(0)}, func(p *Proc) {
+			p.Compute(900*sim.Millisecond, func() { done["rank"] = p.Now(); p.Exit() })
+		})
+		// A second HPC task shares CPU 0 mid-run, forcing the tick back to
+		// full rate for the round-robin interval.
+		k.Spawn(nil, Attr{Name: "intruder", Policy: task.HPC, Affinity: topo.MaskOf(0)}, func(p *Proc) {
+			p.Sleep(300*sim.Millisecond, func() {
+				p.Compute(100*sim.Millisecond, func() { done["intruder"] = p.Now(); p.Exit() })
+			})
+		})
+	}
+	std, fast, _ := runBoth(t, cfg, load, sim.Time(2*sim.Second))
+	std.diff(t, fast)
+}
+
+func TestFastForwardRunHorizonSettles(t *testing.T) {
+	// Stopping mid-compute must leave counters settled to the horizon: a
+	// fast-forward run paused at 500ms agrees with a standard run paused
+	// there, tick for tick.
+	cfg := Config{Topo: uni(), Seed: 13}
+	load := func(k *Kernel, done map[string]sim.Time) {
+		k.Spawn(nil, Attr{Name: "w"}, func(p *Proc) {
+			p.Compute(sim.Duration(sim.Second), func() { done["w"] = p.Now(); p.Exit() })
+		})
+	}
+	std, fast, kf := runBoth(t, cfg, load, sim.Time(500*sim.Millisecond))
+	std.diff(t, fast)
+	if kf.Perf.Ticks == 0 {
+		t.Fatal("no ticks settled by the horizon catch-up")
+	}
+}
+
+func TestFastForwardDispatchesFewerEvents(t *testing.T) {
+	// The point of the exercise: a quiescent pinned workload dispatches far
+	// less timer traffic in fast-forward mode.
+	run := func(ff bool) (uint64, uint64) {
+		k := New(Config{Topo: uni(), Balance: sched.BalanceNone, FastForward: ff, Seed: 17})
+		k.Spawn(nil, Attr{Name: "w"}, func(p *Proc) {
+			p.Compute(sim.Duration(sim.Second), func() { p.Exit() })
+		})
+		k.Run(sim.Time(2 * sim.Second))
+		return k.Eng.LaneFires, k.Perf.Ticks
+	}
+	stdFires, stdTicks := run(false)
+	ffFires, ffTicks := run(true)
+	if stdTicks != ffTicks {
+		t.Fatalf("tick counts diverge: std %d, ff %d", stdTicks, ffTicks)
+	}
+	if ffFires*10 > stdFires {
+		t.Fatalf("fast-forward fired %d lanes vs %d standard; expected >10x reduction on a quiescent hog",
+			ffFires, stdFires)
+	}
+}

@@ -100,6 +100,16 @@ type Config struct {
 	// most of the timer micro-noise. Ticks return to full rate as soon
 	// as another task queues up.
 	AdaptiveTick bool
+	// FastForward enables virtual-time fast-forward: timer ticks that
+	// provably cannot change a scheduling decision (per the classes'
+	// NextDecision bounds and the balancer's deadlines) are not
+	// dispatched as they happen; their bookkeeping is replayed, tick by
+	// tick with identical arithmetic, immediately before the next event
+	// that could observe it. The mode is bitwise trace-equivalent to
+	// stepping every tick — same completion times, same counters, same
+	// dispatch fingerprint — and exists purely to make replications
+	// faster. See DESIGN.md, "Virtual-time fast-forward".
+	FastForward bool
 	// Power parameterises the energy model; zero value uses defaults.
 	Power PowerModel
 	// CFS are the CFS tunables; zero value uses the defaults.
@@ -159,9 +169,18 @@ type cpuState struct {
 	spanStart sim.Time
 	// completion fires when curr's finite work is done.
 	completion sim.EventRef
-	// tick is the pending timer interrupt; nil while the CPU idles
-	// (tickless idle).
-	tick sim.EventRef
+	// lane is the engine timer lane carrying this CPU's periodic tick.
+	// Lane ids equal CPU ids, so the engine's lowest-lane-first tie-break
+	// doubles as the cross-CPU tick order at a shared instant.
+	lane int
+	// tickNext is the next instant on this CPU's tick grid, or 0 while
+	// the CPU idles (tickless idle). In fast-forward mode the lane may
+	// be armed at a later grid instant: the instants in between are
+	// elided and replayed on demand (see catchUp).
+	tickNext sim.Time
+	// ticks counts timer interrupts accounted to this CPU, real and
+	// replayed alike.
+	ticks uint64
 	// reschedPending guards against scheduling multiple reschedule
 	// passes at the same instant.
 	reschedPending bool
@@ -194,6 +213,15 @@ type Kernel struct {
 
 	energy *energyState
 
+	// ff mirrors Cfg.FastForward. replaying marks an elided-tick replay
+	// in progress; vnow is then the instant being replayed, and now()
+	// reports it instead of the engine clock so that every time read on
+	// the replay path (throttle periods, accounting spans) sees the
+	// value it would have seen had the tick been dispatched live.
+	ff        bool
+	replaying bool
+	vnow      sim.Time
+
 	rng *sim.RNG
 }
 
@@ -224,21 +252,31 @@ func New(cfg Config) *Kernel {
 		cfs.New(n, cfg.CFS),
 		k.idle,
 	}
+	k.ff = cfg.FastForward
 	k.Sched = sched.New(sched.Config{
 		Topo:    cfg.Topo,
 		Classes: classes,
 		Hooks:   (*hooks)(k),
 		Policy:  cfg.Balance,
 		RNG:     k.rng.Split(0xba1a), // load-balancer tie-break stream
-		Now:     k.Eng.Now,
-		Timer:   func(d sim.Duration, fn func()) { k.Eng.After(d, fn) },
-		Chaos:   cfg.Chaos,
+		Now:     k.now,
+		Timer: func(d sim.Duration, fn func()) {
+			if k.replaying {
+				// A class arming a timer at an elided tick means the
+				// tick made a decision after all: the NextDecision
+				// bound was wrong. Fail loudly instead of diverging.
+				panic("kernel: timer armed during fast-forward tick replay")
+			}
+			k.Eng.After(d, fn)
+		},
+		Chaos: cfg.Chaos,
 	})
 	for i := range k.cores {
 		k.cores[i] = &coreState{}
 	}
 	for cpu := 0; cpu < n; cpu++ {
 		c := &cpuState{id: cpu}
+		c.lane = k.Eng.NewLane(func() { k.tickFire(c) })
 		swapper := k.newTask(fmt.Sprintf("swapper/%d", cpu), task.Idle)
 		swapper.CPU = cpu
 		swapper.State = task.Running
@@ -249,6 +287,9 @@ func New(cfg Config) *Kernel {
 		k.cpus[cpu] = c
 		k.Sched.SetCurr(cpu, swapper)
 	}
+	if k.ff {
+		k.Eng.BeforeEvent = k.beforeEvent
+	}
 	return k
 }
 
@@ -258,6 +299,10 @@ type hooks Kernel
 
 // Resched implements sched.Hooks.
 func (h *hooks) Resched(cpu int) { (*Kernel)(h).resched(cpu) }
+
+// TickAdjust implements sched.TickAdjuster: a scheduler event may have
+// moved cpu's next tick-driven decision earlier, so re-aim its timer lane.
+func (h *hooks) TickAdjust(cpu int) { (*Kernel)(h).tickAdjust(cpu) }
 
 // Migrated implements sched.Hooks.
 func (h *hooks) Migrated(t *task.Task, from, to int) {
@@ -281,7 +326,20 @@ func (k *Kernel) traceMigrate(t *task.Task, from, to int, kind MigrateKind) {
 }
 
 // Now reports the current virtual time.
-func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
+func (k *Kernel) Now() sim.Time { return k.now() }
+
+// now reports kernel time: the engine clock, or the instant of the elided
+// tick being replayed.
+func (k *Kernel) now() sim.Time {
+	if k.replaying {
+		return k.vnow
+	}
+	return k.Eng.Now()
+}
+
+// TicksOn reports the timer interrupts accounted to cpu (real and
+// replayed), for the fast-forward equivalence tests.
+func (k *Kernel) TicksOn(cpu int) uint64 { return k.cpus[cpu].ticks }
 
 // RNG returns a derived random stream for workload use. The label keeps
 // workload draws independent of kernel-internal draws.
@@ -302,8 +360,23 @@ func (k *Kernel) IdleOn(cpu int) bool {
 	return c.curr == c.idle
 }
 
-// Run drives the simulation until the given virtual time.
-func (k *Kernel) Run(until sim.Time) { k.Eng.Run(until) }
+// Run drives the simulation until the given virtual time. In fast-forward
+// mode, elided ticks up to the horizon are settled before returning, so
+// counters and per-task accounting match what a step-every-tick run shows
+// at the same instant.
+func (k *Kernel) Run(until sim.Time) {
+	k.Eng.Run(until)
+	if !k.ff {
+		return
+	}
+	end := until
+	if k.Eng.Stopped() || until == sim.Infinity {
+		// Stopped early (or no horizon): settle only to where the engine
+		// actually got, exactly as a per-tick run stopped there would be.
+		end = k.Eng.Now()
+	}
+	k.catchUp(end, len(k.cpus))
+}
 
 // Stop halts the simulation after the current event.
 func (k *Kernel) Stop() { k.Eng.Stop() }

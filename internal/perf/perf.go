@@ -33,8 +33,15 @@ type Counters struct {
 	BalanceMoves uint64
 	// Forks counts task creations.
 	Forks uint64
-	// Ticks counts timer interrupts delivered to busy CPUs.
+	// Ticks counts timer interrupts delivered to busy CPUs, whether
+	// dispatched live or replayed by the fast-forward mode (the two
+	// tick modes agree on this count by construction).
 	Ticks uint64
+	// TicksCoalesced counts the subset of Ticks that fast-forward mode
+	// settled by replay instead of dispatching. Zero in standard mode;
+	// purely diagnostic — it measures how much event traffic coalescing
+	// removed, not a scheduling behaviour.
+	TicksCoalesced uint64
 }
 
 // Sub returns the per-window deltas c - start.
@@ -48,6 +55,7 @@ func (c Counters) Sub(start Counters) Counters {
 		BalanceMoves:        c.BalanceMoves - start.BalanceMoves,
 		Forks:               c.Forks - start.Forks,
 		Ticks:               c.Ticks - start.Ticks,
+		TicksCoalesced:      c.TicksCoalesced - start.TicksCoalesced,
 	}
 }
 

@@ -192,6 +192,7 @@ func (s *Scheduler) completeMove(c Class, t *task.Task, from, to int) {
 	c.Enqueue(s, to, t, EnqueueMove)
 	t.OnRq = true
 	s.checkPreemptWakeup(to, t)
+	s.tickAdjusted(to)
 }
 
 // MoveQueued migrates a specific queued task to a destination CPU (used by

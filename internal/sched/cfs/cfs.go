@@ -190,6 +190,38 @@ func (c *Class) ExecCharge(s *sched.Scheduler, cpu int, t *task.Task, delta sim.
 	rq.updateMin(minvr)
 }
 
+// ReplayTicks implements sched.TickBatcher. A quiescent tick is ExecCharge
+// plus a Tick whose preemption checks come out false, so m ticks reduce to
+// m vruntime charges. calcDelta is a pure function of the constant
+// (dt, weight), so m identical integer additions collapse to one multiply
+// exactly; the min-vruntime ratchet is fed a nondecreasing sequence, so
+// only the final value matters. Both preemption conditions are monotone in
+// the running task's vruntime with the queue frozen (elided ticks never
+// enqueue), so checking them once against the final vruntime sees
+// everything a per-tick check would have seen: if any elided tick should
+// have preempted, the NextDecision bound was wrong — fail loud, exactly as
+// the kernel's replay reschedule panic would have.
+func (c *Class) ReplayTicks(s *sched.Scheduler, cpu int, t *task.Task, dt sim.Duration, m int64) bool {
+	rq := &c.rqs[cpu]
+	t.CFS.VRuntime += uint64(m) * calcDelta(dt, t.CFS.Weight)
+	n := rq.tree.Min()
+	if n == nil {
+		rq.updateMin(t.CFS.VRuntime)
+		return true
+	}
+	minvr := t.CFS.VRuntime
+	if n.Key() < minvr {
+		minvr = n.Key()
+	}
+	rq.updateMin(minvr)
+	ran := t.CFS.VRuntime - t.CFS.SliceStart
+	gran := calcDelta(c.tun.WakeupGranularity, nice0Weight)
+	if ran >= c.slice(rq, t) || n.Key()+gran < t.CFS.VRuntime {
+		panic("cfs: elided tick crossed a preemption decision (NextDecision bound too late)")
+	}
+	return true
+}
+
 // slice returns the running task's fair slice in vruntime units, given the
 // queue state: latency shared by weight, floored at the minimum granularity.
 func (c *Class) slice(rq *runqueue, t *task.Task) uint64 {
@@ -229,6 +261,55 @@ func (c *Class) Tick(s *sched.Scheduler, cpu int, t *task.Task) {
 func (c *Class) CheckPreempt(s *sched.Scheduler, cpu int, curr, w *task.Task) bool {
 	gran := calcDelta(c.tun.WakeupGranularity, nice0Weight)
 	return w.CFS.VRuntime+gran < curr.CFS.VRuntime
+}
+
+// wallFor lower-bounds the wall time the running task needs to accrue vr of
+// vruntime: the exact inverse of calcDelta rounded down, so the resulting
+// decision bound errs early (harmless) rather than late. Gaps are capped to
+// keep the multiplication far from uint64 overflow; a capped gap only makes
+// the bound earlier.
+func wallFor(vr uint64, weight int64) sim.Duration {
+	const maxGap = 1 << 42
+	if vr > maxGap {
+		vr = maxGap
+	}
+	return sim.Duration(vr * uint64(weight) / nice0Weight)
+}
+
+// NextDecision implements sched.Class. Tick preempts a running CFS task in
+// two cases, both monotone in its vruntime: it has used its fair slice, or
+// the leftmost waiter has fallen more than the wakeup granularity behind.
+// With an empty timeline neither can fire, so a lone CFS task never decides
+// at a tick. Because vruntime accrued by instant x is at most
+// calcDelta(x - anchor, weight), converting the remaining vruntime gap back
+// to wall time bounds the decision from below.
+func (c *Class) NextDecision(s *sched.Scheduler, cpu int, t *task.Task, anchor sim.Time) sim.Time {
+	rq := &c.rqs[cpu]
+	if rq.tree.Len() == 0 {
+		return sim.Infinity
+	}
+	weight := t.CFS.Weight
+	if weight == 0 {
+		weight = WeightOf(t.Nice)
+	}
+	// Slice exhaustion: ran >= slice.
+	ran := t.CFS.VRuntime - t.CFS.SliceStart
+	need := c.slice(rq, t)
+	d := anchor
+	if ran < need {
+		d = anchor.Add(wallFor(need-ran, weight))
+	}
+	// Leftmost waiter lag: min.Key() + gran < VRuntime.
+	gran := calcDelta(c.tun.WakeupGranularity, nice0Weight)
+	limit := rq.tree.Min().Key() + gran
+	if t.CFS.VRuntime <= limit {
+		lag := anchor.Add(wallFor(limit+1-t.CFS.VRuntime, weight))
+		if lag < d {
+			return lag
+		}
+		return d
+	}
+	return anchor
 }
 
 // Queued implements sched.Class.

@@ -102,10 +102,46 @@ func (c *Class) Tick(s *sched.Scheduler, cpu int, t *task.Task) {
 	}
 }
 
+// ReplayTicks implements sched.TickBatcher. With no peer queued the tick
+// sequence is: charge the slice, refill it when depleted, never reschedule.
+// The refill makes consecutive charges non-associative, so the loop mirrors
+// the per-tick ExecCharge/Tick interleaving exactly — two integer ops per
+// elided tick, with none of the per-tick call machinery.
+func (c *Class) ReplayTicks(s *sched.Scheduler, cpu int, t *task.Task, dt sim.Duration, m int64) bool {
+	if len(c.rqs[cpu]) != 0 {
+		return false
+	}
+	sl := t.HPC.Slice
+	for i := int64(0); i < m; i++ {
+		sl -= dt
+		if sl <= 0 {
+			sl = Timeslice
+		}
+	}
+	t.HPC.Slice = sl
+	return true
+}
+
 // CheckPreempt implements sched.Class: an HPC wakee never preempts a
 // running HPC task; it waits for its round-robin turn.
 func (c *Class) CheckPreempt(s *sched.Scheduler, cpu int, curr, w *task.Task) bool {
 	return false
+}
+
+// NextDecision implements sched.Class. The only tick-driven decision is the
+// round-robin rotation, and it requires a waiting peer: a lone HPC task —
+// the paper's steady state of one rank per hardware thread — never yields to
+// a tick, so the bound is Infinity and the fast-forward mode can leap to the
+// next external event.
+func (c *Class) NextDecision(s *sched.Scheduler, cpu int, t *task.Task, anchor sim.Time) sim.Time {
+	if len(c.rqs[cpu]) == 0 {
+		return sim.Infinity
+	}
+	slice := t.HPC.Slice
+	if slice < 0 {
+		slice = 0
+	}
+	return anchor.Add(slice)
 }
 
 // Queued implements sched.Class.

@@ -76,3 +76,9 @@ func (c *Class) StealFrom(s *sched.Scheduler, from, to int) *task.Task { return 
 func (c *Class) SelectCPU(s *sched.Scheduler, t *task.Task, origin int, kind sched.WakeKind) int {
 	return origin
 }
+
+// NextDecision implements sched.Class: no tick ever changes a decision for
+// an idle CPU (idle CPUs are tickless anyway).
+func (c *Class) NextDecision(s *sched.Scheduler, cpu int, t *task.Task, anchor sim.Time) sim.Time {
+	return sim.Infinity
+}

@@ -193,6 +193,32 @@ func (c *Class) CheckPreempt(s *sched.Scheduler, cpu int, curr, w *task.Task) bo
 	return w.RTPrio > curr.RTPrio
 }
 
+// NextDecision implements sched.Class. Two tick-driven events can change a
+// decision for a running RT task: the RR rotation (only when a same-priority
+// peer is waiting — with no peer, Tick merely refills the slice) and the
+// throttle budget crossing in ExecCharge. Both bounds rely on execution time
+// by instant x being at most x - anchor; a period rollover can only reset the
+// budget and push the real crossing later, so ignoring it stays conservative.
+func (c *Class) NextDecision(s *sched.Scheduler, cpu int, t *task.Task, anchor sim.Time) sim.Time {
+	rq := &c.rqs[cpu]
+	d := sim.Infinity
+	if t.Policy == task.RR && len(rq.queues[t.RTPrio]) > 0 {
+		slice := t.RT.Slice
+		if slice < 0 {
+			slice = 0
+		}
+		d = anchor.Add(slice)
+	}
+	left := ThrottleRuntime - rq.rtTime
+	if left < 0 {
+		left = 0
+	}
+	if trip := anchor.Add(left); trip < d {
+		d = trip
+	}
+	return d
+}
+
 // Queued implements sched.Class.
 func (c *Class) Queued(s *sched.Scheduler, cpu int) int { return c.rqs[cpu].count }
 

@@ -64,6 +64,20 @@ type Class interface {
 	// SelectCPU chooses a CPU for a fork or wakeup. origin is the
 	// parent's CPU (fork) or the task's previous CPU (wake).
 	SelectCPU(s *Scheduler, t *task.Task, origin int, kind WakeKind) int
+	// NextDecision reports a conservative lower bound on the earliest
+	// future instant at which a timer tick could change a scheduling
+	// decision for t, the task of this class currently running on cpu:
+	// a Tick that calls Resched, or an ExecCharge crossing that does.
+	// anchor is the instant from which t's current span accrues CPU time
+	// (execution time observed by any tick at time x is at most
+	// x - anchor, which is what makes a bound derived from remaining
+	// timeslice or budget safe). Returning Infinity means no tick-driven
+	// decision can ever occur in the current state. The kernel's
+	// fast-forward mode elides ticks strictly before the bound, so
+	// reporting a decision too early merely costs a harmless extra tick,
+	// while reporting it too late is a correctness bug (the elided-tick
+	// replay panics if a class decides during replay).
+	NextDecision(s *Scheduler, cpu int, t *task.Task, anchor sim.Time) sim.Time
 }
 
 // Hooks are the kernel services the scheduler core needs. The kernel owns
@@ -74,6 +88,39 @@ type Hooks interface {
 	// Migrated notifies that a queued task moved between CPUs, so the
 	// kernel can account the migration and adjust cache state.
 	Migrated(t *task.Task, from, to int)
+}
+
+// TickBatcher is an optional extension of Class for the fast-forward mode:
+// ReplayTicks applies the class-side bookkeeping of m consecutive elided
+// ticks of t (the task running on cpu), each charging the same exec delta
+// dt — bitwise identical to m repetitions of ExecCharge(dt) followed by
+// Tick(). Implementations must return false when the current class state is
+// not batchable (e.g. waiters are queued, so Tick is not a no-op); the
+// kernel then falls back to replaying tick by tick. Implementations must
+// never call Resched: batching is only attempted strictly before the
+// class's own NextDecision bound, where a reschedule would contradict it.
+type TickBatcher interface {
+	ReplayTicks(s *Scheduler, cpu int, t *task.Task, dt sim.Duration, m int64) bool
+}
+
+// ReplayTicks forwards a batched elided-tick charge to t's class, if the
+// class supports batching. It reports whether the charge was applied.
+func (s *Scheduler) ReplayTicks(cpu int, t *task.Task, dt sim.Duration, m int64) bool {
+	if tb, ok := s.ClassOf(t).(TickBatcher); ok {
+		return tb.ReplayTicks(s, cpu, t, dt, m)
+	}
+	return false
+}
+
+// TickAdjuster is an optional extension of Hooks: implementations are told
+// whenever an event may have moved a CPU's next tick-driven scheduling
+// decision *earlier* — a task was enqueued on the CPU, or the dynamic
+// balancing gate flipped. The kernel's fast-forward mode uses it to
+// re-evaluate its coalesced timer arming; changes that can only push the
+// decision later (dequeues, steals) are deliberately not reported, because
+// a conservatively early timer is harmless.
+type TickAdjuster interface {
+	TickAdjust(cpu int)
 }
 
 // BalancePolicy selects the load-balancing behaviour of the whole node.
@@ -147,6 +194,9 @@ type Scheduler struct {
 	now   func() sim.Time
 	timer func(sim.Duration, func())
 
+	// tickAdjust is non-nil when Hooks also implements TickAdjuster.
+	tickAdjust func(cpu int)
+
 	stats Stats
 }
 
@@ -179,6 +229,9 @@ func New(cfg Config) *Scheduler {
 		rng:     cfg.RNG,
 		now:     cfg.Now,
 		timer:   cfg.Timer,
+	}
+	if ta, ok := cfg.Hooks.(TickAdjuster); ok {
+		s.tickAdjust = ta.TickAdjust
 	}
 	s.nextBalance = make([][]sim.Time, n)
 	s.backoff = make([][]sim.Duration, n)
@@ -246,17 +299,44 @@ func (s *Scheduler) classIndex(p task.Policy) int {
 // TaskAlive accounts a new task of the given policy (fork or policy change).
 func (s *Scheduler) TaskAlive(p task.Policy) {
 	if p == task.HPC {
+		was := s.balancingEnabled()
 		s.nrHPC++
+		if s.balancingEnabled() != was {
+			s.tickAdjustAll()
+		}
 	}
 }
 
 // TaskGone accounts a task leaving the given policy (exit or policy change).
 func (s *Scheduler) TaskGone(p task.Policy) {
 	if p == task.HPC {
+		was := s.balancingEnabled()
 		s.nrHPC--
 		if s.nrHPC < 0 {
 			panic("sched: HPC task count underflow")
 		}
+		if s.balancingEnabled() != was {
+			s.tickAdjustAll()
+		}
+	}
+}
+
+// tickAdjusted tells the kernel cpu's next tick-driven decision may have
+// moved earlier (no-op unless the hooks implement TickAdjuster).
+func (s *Scheduler) tickAdjusted(cpu int) {
+	if s.tickAdjust != nil {
+		s.tickAdjust(cpu)
+	}
+}
+
+// tickAdjustAll reports a decision change affecting every CPU, e.g. the
+// dynamic-balancing gate flipping with the HPC task count.
+func (s *Scheduler) tickAdjustAll() {
+	if s.tickAdjust == nil {
+		return
+	}
+	for cpu := range s.curr {
+		s.tickAdjust(cpu)
 	}
 }
 
@@ -289,6 +369,10 @@ func (s *Scheduler) Enqueue(cpu int, t *task.Task, kind WakeKind) {
 		return // the core is already rescheduling this CPU
 	}
 	s.checkPreemptWakeup(cpu, t)
+	// A new queued task can only move the CPU's next tick-driven decision
+	// earlier (an RR/HPC peer appearing starts the rotation clock, a CFS
+	// waiter arms the fairness checks).
+	s.tickAdjusted(cpu)
 }
 
 // Dequeue removes a queued task from its runqueue (sleep, exit, migration).
@@ -384,6 +468,33 @@ func (s *Scheduler) NrRunnable(cpu int) int {
 		n++
 	}
 	return n
+}
+
+// NextDecision reports the class-level lower bound on the next instant a
+// timer tick could change a scheduling decision for t, the task running on
+// cpu. anchor is the start of t's current accounting span. See
+// Class.NextDecision for the contract.
+func (s *Scheduler) NextDecision(cpu int, t *task.Task, anchor sim.Time) sim.Time {
+	return s.ClassOf(t).NextDecision(s, cpu, t, anchor)
+}
+
+// NextBalanceDue reports the earliest instant at which a timer tick on cpu
+// would run a periodic-balance pass that touches state (including its RNG
+// draws): the minimum of the CPU's per-domain next-balance deadlines, or
+// Infinity while dynamic balancing is gated off. Ticks strictly before the
+// returned time leave PeriodicBalance a provable no-op, which is what lets
+// the fast-forward mode elide them.
+func (s *Scheduler) NextBalanceDue(cpu int) sim.Time {
+	if !s.balancingEnabled() {
+		return sim.Infinity
+	}
+	due := sim.Infinity
+	for _, nb := range s.nextBalance[cpu] {
+		if nb < due {
+			due = nb
+		}
+	}
+	return due
 }
 
 // SelectCPU chooses the CPU for a fork or wakeup of t.

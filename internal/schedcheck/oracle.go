@@ -13,6 +13,7 @@ const (
 	OracleDominance   = "dominance"
 	OracleMigration   = "hpc-migration"
 	OracleDeterminism = "determinism"
+	OracleFastForward = "fast-forward"
 	OracleNoise       = "noise-insulation"
 	OraclePermutation = "permutation"
 	OracleRescale     = "rescale"
@@ -98,6 +99,28 @@ func Check(s Scenario) *Failure {
 	}
 	if d := diffObs(base.obs, again.obs, true, 1); d != "" {
 		return &Failure{Oracle: OracleDeterminism, Detail: "observables differ between identical runs: " + d}
+	}
+
+	// Fast-forward equivalence: eliding quiescent ticks must be invisible
+	// to every observable — the dispatch fingerprint (lane firings are
+	// outside it in both modes), per-workload observables, and the full
+	// perf counter set except the diagnostic coalescing count. This oracle
+	// applies unconditionally: the equivalence claim has no applicability
+	// predicate to hide behind.
+	ff := runMode(s, nil, true)
+	if base.eventHash != ff.eventHash {
+		return &Failure{Oracle: OracleFastForward, Detail: fmt.Sprintf(
+			"dispatch fingerprint differs between tick modes: std %016x vs ff %016x",
+			base.eventHash, ff.eventHash)}
+	}
+	if d := diffObs(base.obs, ff.obs, true, 1); d != "" {
+		return &Failure{Oracle: OracleFastForward, Detail: "fast-forward changed observables: " + d}
+	}
+	pa, pb := base.perf, ff.perf
+	pa.TicksCoalesced, pb.TicksCoalesced = 0, 0
+	if pa != pb {
+		return &Failure{Oracle: OracleFastForward, Detail: fmt.Sprintf(
+			"fast-forward changed perf counters: std %+v vs ff %+v", pa, pb)}
 	}
 
 	if s.noiseApplicable() {

@@ -6,6 +6,7 @@ import (
 	"hplsim/internal/kernel"
 	"hplsim/internal/mpi"
 	"hplsim/internal/noise"
+	"hplsim/internal/perf"
 	"hplsim/internal/sched"
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
@@ -28,6 +29,7 @@ type report struct {
 	obs       []rankObs // indexed by workload
 	domViol   []string  // class-priority dominance violations
 	migViol   []string  // fork-time-only migration violations
+	perf      perf.Counters
 }
 
 // recorder implements kernel.Tracer and kernel.KindTracer: it probes the
@@ -128,7 +130,12 @@ func kernelConfig(s Scenario, rec *recorder) kernel.Config {
 
 // runOnce simulates the scenario with workload assign[slot] running in fork
 // slot `slot` (nil means identity) and reports observables and violations.
-func runOnce(s Scenario, assign []int) report {
+func runOnce(s Scenario, assign []int) report { return runMode(s, assign, false) }
+
+// runMode is runOnce with an explicit tick mode: fastForward selects the
+// kernel's virtual-time fast-forward, which the equivalence oracle compares
+// against the step-every-tick baseline.
+func runMode(s Scenario, assign []int, fastForward bool) report {
 	if assign == nil {
 		assign = make([]int, len(s.Ranks))
 		for i := range assign {
@@ -136,7 +143,9 @@ func runOnce(s Scenario, assign []int) report {
 		}
 	}
 	rec := newRecorder(s.Scheme)
-	k := kernel.New(kernelConfig(s, rec))
+	cfg := kernelConfig(s, rec)
+	cfg.FastForward = fastForward
+	k := kernel.New(cfg)
 	rec.k = k
 	k.Eng.Observer = rec.observe
 
@@ -201,6 +210,7 @@ func runOnce(s Scenario, assign []int) report {
 		obs:       make([]rankObs, len(s.Ranks)),
 		domViol:   rec.domViol,
 		migViol:   rec.migViol,
+		perf:      k.Perf,
 	}
 	for wl, t := range tasks {
 		if t == nil {

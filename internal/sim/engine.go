@@ -37,6 +37,12 @@ func (h EventRef) Cancelled() bool { return !h.Pending() }
 // meaningful while the event is pending.
 func (h EventRef) When() Time { return h.ev.when }
 
+// timerLane is one registered periodic-timer slot (see Engine.NewLane).
+type timerLane struct {
+	when Time // Infinity while disarmed
+	fn   func()
+}
+
 // Engine is a deterministic discrete-event simulator. It is not safe for
 // concurrent use; the simulation model is single-threaded by design so that
 // runs are exactly reproducible. Concurrency lives a level up: independent
@@ -45,19 +51,42 @@ func (h EventRef) When() Time { return h.ev.when }
 // The event queue is an inlined binary heap ordered by (when, seq), and
 // fired or cancelled events are recycled through a per-engine free list, so
 // steady-state scheduling (After/Step cycles) does not allocate.
+//
+// Alongside the heap the engine carries a small set of timer lanes: one
+// re-armable timer slot per registered lane, held outside the heap and
+// outside the main sequence space. Lanes model periodic hardware timers
+// (the kernel's per-CPU tick): arming one is a single field write, and
+// because lane firings consume no sequence numbers, eliding or re-arming
+// them never perturbs the FIFO ordering of ordinary events — the property
+// the fast-forward mode's trace-equivalence proof rests on.
 type Engine struct {
 	now     Time
 	queue   []*Event
 	free    []*Event
+	lanes   []timerLane
 	seq     uint64
 	stopped bool
-	// Dispatched counts events that have fired, for diagnostics and tests.
+	// Dispatched counts heap events that have fired, for diagnostics and
+	// tests. Lane firings are counted separately in LaneFires.
 	Dispatched uint64
-	// Observer, if non-nil, is invoked at every dispatch after the clock
-	// advances and before the callback runs. The schedcheck harness hashes
-	// the (when, seq) stream through it to fingerprint a run. Observers
-	// must not schedule, cancel, or otherwise touch the engine.
+	// LaneFires counts timer-lane firings.
+	LaneFires uint64
+	// Observer, if non-nil, is invoked at every heap-event dispatch after
+	// the clock advances and before the callback runs. The schedcheck
+	// harness hashes the (when, seq) stream through it to fingerprint a
+	// run. Timer-lane firings are not observed: they are exactly the
+	// events the fast-forward mode elides, so keeping them out of the
+	// fingerprint makes the two modes directly comparable. Observers must
+	// not schedule, cancel, or otherwise touch the engine.
 	Observer func(at Time, seq uint64)
+	// BeforeEvent, if non-nil, runs immediately before each heap-event
+	// dispatch in Run, with the event's time (the clock has not advanced
+	// yet). Unlike Observer it may mutate the engine — shift or cancel
+	// pending events, arm lanes — as long as every mutation targets times
+	// >= at; Run re-evaluates what fires next afterwards. The kernel's
+	// fast-forward mode uses it to settle elided-tick accounting before
+	// any event can observe stale per-CPU state.
+	BeforeEvent func(at Time)
 }
 
 // NewEngine returns an Engine with the clock at zero.
@@ -137,14 +166,77 @@ func (e *Engine) Reschedule(h EventRef, t Time) {
 	e.push(ev)
 }
 
+// Shift moves a pending event to a new time while preserving its sequence
+// number, unlike Reschedule (which re-sequences behind newly created
+// events). Shifting models a cost displacing an already-scheduled outcome —
+// the tick stealing time from a projected completion — where the event's
+// identity, and hence its FIFO rank among same-instant peers, must not
+// change. Because no sequence number is consumed, shifting an event one
+// time or many times to the same final instant leaves the engine in an
+// identical state, which is what lets fast-forward batch per-tick cost
+// theft into a single shift. Shifting a fired or cancelled event panics.
+func (e *Engine) Shift(h EventRef, t Time) {
+	if !h.Pending() {
+		panic("sim: shifting a fired or cancelled event")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: shifting event to %v before now %v", t, e.now))
+	}
+	ev := h.ev
+	e.remove(ev.index)
+	ev.when = t
+	e.push(ev)
+}
+
+// NewLane registers a timer lane firing fn and returns its id. Lanes start
+// disarmed. Lane ids are dense and stable for the engine's lifetime.
+func (e *Engine) NewLane(fn func()) int {
+	e.lanes = append(e.lanes, timerLane{when: Infinity, fn: fn})
+	return len(e.lanes) - 1
+}
+
+// ArmLane sets the lane's next firing time. Arming an armed lane simply
+// moves it; arming in the past panics. The lane disarms itself when it
+// fires; the callback re-arms it for periodic behaviour.
+func (e *Engine) ArmLane(id int, t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: arming lane %d at %v before now %v", id, t, e.now))
+	}
+	e.lanes[id].when = t
+}
+
+// DisarmLane stops the lane from firing until re-armed.
+func (e *Engine) DisarmLane(id int) { e.lanes[id].when = Infinity }
+
+// LaneWhen reports the lane's next firing time, Infinity if disarmed.
+func (e *Engine) LaneWhen(id int) Time { return e.lanes[id].when }
+
+// nextLane returns the earliest armed lane and its time. Ties between lanes
+// break to the lowest id (part of the determinism contract).
+func (e *Engine) nextLane() (id int, when Time) {
+	id, when = -1, Infinity
+	for i := range e.lanes {
+		if e.lanes[i].when < when {
+			id, when = i, e.lanes[i].when
+		}
+	}
+	return id, when
+}
+
 // Stop makes the current Run call return after the in-flight event.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending reports the number of queued events.
+// Stopped reports whether the last Run call exited because of Stop rather
+// than by draining the queue or reaching its limit.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending reports the number of queued heap events (armed lanes excluded).
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// Step dispatches the single earliest event. It reports false if the queue
-// is empty.
+// Step dispatches the single earliest heap event, ignoring lanes and the
+// BeforeEvent hook. It reports false if the queue is empty. It exists for
+// microbenchmarks and engine tests; simulations that use lanes must be
+// driven through Run.
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
@@ -168,20 +260,53 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run dispatches events in order until the queue drains, Stop is called, or
-// the next event lies beyond limit. It returns the virtual time at exit.
-// Pass Infinity to run to completion.
+// Run dispatches heap events and lane firings in time order until the queue
+// drains (with every lane disarmed), Stop is called, or the next dispatch
+// lies beyond limit. At equal times lanes fire before heap events (and
+// lower lane ids before higher): a timer interrupt pre-empts whatever else
+// was due at the same instant. It returns the virtual time at exit. Pass
+// Infinity to run to completion.
 func (e *Engine) Run(limit Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
+		li, lt := e.nextLane()
+		ht := Infinity
+		if len(e.queue) > 0 {
+			ht = e.queue[0].when
+		}
+		if lt == Infinity && ht == Infinity {
 			break
 		}
-		if e.queue[0].when > limit {
+		if lt > limit && ht > limit {
 			// Advance the clock to the limit so callers observe a
 			// consistent "simulated until" time.
 			e.now = limit
 			break
+		}
+		if lt <= ht {
+			e.now = lt
+			e.lanes[li].when = Infinity
+			e.LaneFires++
+			e.lanes[li].fn()
+			continue
+		}
+		if e.BeforeEvent != nil {
+			e.BeforeEvent(ht)
+			if e.stopped {
+				break
+			}
+			// The hook may have shifted the front event later or armed a
+			// lane: if what fires next changed, re-evaluate; otherwise
+			// fall through and dispatch (the hook is idempotent at a
+			// given instant, so it is not re-run).
+			_, lt2 := e.nextLane()
+			ht2 := Infinity
+			if len(e.queue) > 0 {
+				ht2 = e.queue[0].when
+			}
+			if lt2 <= ht2 || ht2 != ht {
+				continue
+			}
 		}
 		e.Step()
 	}

@@ -1,0 +1,165 @@
+package sim
+
+import "testing"
+
+// Regression tests for engine edge cases: free-list recycling versus stale
+// refs, heap removal at the boundary slots, the fired/cancelled contracts of
+// Reschedule and Shift, and the determinism contract for same-instant
+// dispatch (FIFO by sequence number; lanes before heap events, lower lane
+// ids first).
+
+func TestEngineCancelLastHeapElement(t *testing.T) {
+	// Cancelling the only queued event must leave an empty, runnable
+	// engine (remove(0) of a one-element heap).
+	e := NewEngine()
+	only := e.After(Millisecond, func() { t.Fatal("cancelled event fired") })
+	e.Cancel(only)
+	if e.Pending() != 0 {
+		t.Fatalf("queue holds %d events after cancelling the only one", e.Pending())
+	}
+	e.Run(Infinity)
+
+	// Cancelling the event in the last heap slot exercises the remove
+	// path that pops the tail without sifting. Ascending insertion times
+	// keep the heap array in insertion order, so the last insert occupies
+	// the last slot.
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.After(Duration(i+1)*Millisecond, func() { got = append(got, i) })
+	}
+	last := e.After(9*Millisecond, func() { t.Fatal("cancelled tail event fired") })
+	e.Cancel(last)
+	e.Run(Infinity)
+	if len(got) != 8 {
+		t.Fatalf("dispatched %d of 8 surviving events: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("dispatch order disturbed by tail cancel: %v", got)
+		}
+	}
+}
+
+func TestEngineRescheduleFiredPanics(t *testing.T) {
+	// Reschedule and Shift require a pending event: using a ref whose
+	// event fired (or was cancelled) must panic rather than corrupt the
+	// queue — the generation stamp detects it even after the Event object
+	// has been recycled into a new scheduling.
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+
+	e := NewEngine()
+	fired := e.After(Millisecond, func() {})
+	e.Run(Infinity)
+	// Recycle the fired event's object into a live scheduling: the stale
+	// ref must still be rejected by its generation, not resolve to the
+	// new tenant.
+	fresh := e.After(Millisecond, func() {})
+	mustPanic("Reschedule(fired)", func() { e.Reschedule(fired, e.Now().Add(Millisecond)) })
+	mustPanic("Shift(fired)", func() { e.Shift(fired, e.Now().Add(Millisecond)) })
+	if !fresh.Pending() {
+		t.Fatal("stale Reschedule/Shift disturbed the recycled event's new scheduling")
+	}
+
+	cancelled := e.After(2*Millisecond, func() {})
+	e.Cancel(cancelled)
+	mustPanic("Reschedule(cancelled)", func() { e.Reschedule(cancelled, e.Now().Add(Millisecond)) })
+	mustPanic("Shift(cancelled)", func() { e.Shift(cancelled, e.Now().Add(Millisecond)) })
+	e.Run(Infinity)
+}
+
+func TestEngineTieBreakRescheduleVsShift(t *testing.T) {
+	// The determinism contract for same-instant events is FIFO by
+	// sequence number. Reschedule consumes a fresh sequence number, so a
+	// rescheduled event goes behind existing same-instant peers; Shift
+	// preserves the sequence number, so a shifted event keeps its rank.
+	at := Time(10 * Millisecond)
+	var got []string
+
+	e := NewEngine()
+	moved := e.At(Time(Millisecond), func() { got = append(got, "moved") })
+	e.At(at, func() { got = append(got, "a") })
+	e.At(at, func() { got = append(got, "b") })
+	e.Reschedule(moved, at)
+	e.Run(Infinity)
+	if want := "a,b,moved"; join(got) != want {
+		t.Fatalf("Reschedule tie-break: dispatched %q, want %q", join(got), want)
+	}
+
+	got = nil
+	e = NewEngine()
+	shifted := e.At(Time(Millisecond), func() { got = append(got, "shifted") })
+	e.At(at, func() { got = append(got, "a") })
+	e.At(at, func() { got = append(got, "b") })
+	e.Shift(shifted, at)
+	e.Run(Infinity)
+	if want := "shifted,a,b"; join(got) != want {
+		t.Fatalf("Shift tie-break: dispatched %q, want %q", join(got), want)
+	}
+
+	// Shifting in several hops or one hop must land in the same state:
+	// fast-forward relies on batching per-tick shifts into one.
+	got = nil
+	e = NewEngine()
+	hop := e.At(Time(Millisecond), func() { got = append(got, "hop") })
+	e.At(at, func() { got = append(got, "a") })
+	e.Shift(hop, Time(4*Millisecond))
+	e.Shift(hop, Time(7*Millisecond))
+	e.Shift(hop, at)
+	e.Run(Infinity)
+	if want := "hop,a"; join(got) != want {
+		t.Fatalf("chained Shift tie-break: dispatched %q, want %q", join(got), want)
+	}
+}
+
+func TestEngineLaneOrdering(t *testing.T) {
+	// At one instant: every armed lane fires before any heap event, and
+	// lanes fire lowest id first regardless of arming order.
+	e := NewEngine()
+	var got []string
+	l0 := e.NewLane(func() { got = append(got, "lane0") })
+	l1 := e.NewLane(func() { got = append(got, "lane1") })
+	at := Time(3 * Millisecond)
+	e.At(at, func() { got = append(got, "event") })
+	e.ArmLane(l1, at) // armed first, still fires second
+	e.ArmLane(l0, at)
+	e.Run(Infinity)
+	if want := "lane0,lane1,event"; join(got) != want {
+		t.Fatalf("same-instant order %q, want %q", join(got), want)
+	}
+	if e.LaneFires != 2 {
+		t.Fatalf("LaneFires = %d, want 2", e.LaneFires)
+	}
+
+	// A lane consumes no sequence number: heap FIFO order across a lane
+	// firing is undisturbed, and the lane disarms itself after firing.
+	if e.LaneWhen(l0) != Infinity || e.LaneWhen(l1) != Infinity {
+		t.Fatal("fired lanes did not disarm")
+	}
+	got = nil
+	e.At(e.Now().Add(Millisecond), func() { got = append(got, "x") })
+	e.ArmLane(l0, e.Now().Add(Millisecond))
+	e.At(e.Now().Add(Millisecond), func() { got = append(got, "y") })
+	e.Run(Infinity)
+	if want := "lane0,x,y"; join(got) != want {
+		t.Fatalf("lane between schedulings: %q, want %q", join(got), want)
+	}
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
