@@ -13,14 +13,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
 	"testing"
 
 	"hplsim/internal/experiments"
+	"hplsim/internal/kernel"
 	"hplsim/internal/nas"
+	"hplsim/internal/schedstat"
 	"hplsim/internal/sim"
+	"hplsim/internal/task"
 	"hplsim/internal/walltime"
 )
 
@@ -82,6 +86,29 @@ type FFReport struct {
 	Rows       []FastForwardBench `json:"rows"`
 }
 
+// SchedstatBench is one tracer-mode row of the observability-overhead
+// comparison: the same sequential replication workload with no tracer,
+// with the streaming JSONL writer, and with the accounting ledger.
+type SchedstatBench struct {
+	Mode        string  `json:"mode"`
+	Seconds     float64 `json:"seconds"`
+	OverheadPct float64 `json:"overhead_pct_vs_none"`
+}
+
+// SchedstatReport is the BENCH_schedstat.json record: the writer hot-path
+// microbenchmarks (the encode buffer is reused, so allocs/op must be 0)
+// plus the end-to-end cost of leaving a tracer attached.
+type SchedstatReport struct {
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	GoVersion  string           `json:"go_version"`
+	Profile    string           `json:"profile"`
+	Scheme     string           `json:"scheme"`
+	Reps       int              `json:"reps"`
+	Writer     []EngineBench    `json:"writer"`
+	Modes      []SchedstatBench `json:"modes"`
+}
+
 func engineBench(name string, fn func(b *testing.B)) EngineBench {
 	r := testing.Benchmark(fn)
 	return EngineBench{
@@ -93,9 +120,11 @@ func engineBench(name string, fn func(b *testing.B)) EngineBench {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_parallel.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_parallel.json", "output file ('' to skip, '-' for stdout)")
 	ffOut := flag.String("ff-out", "BENCH_fastforward.json",
 		"fast-forward comparison output file ('' to skip, '-' for stdout)")
+	statOut := flag.String("stat-out", "BENCH_schedstat.json",
+		"schedstat tracer-overhead output file ('' to skip, '-' for stdout)")
 	reps := flag.Int("reps", 32, "replications per worker-count measurement")
 	bench := flag.String("bench", "ep", "NAS benchmark for the RunMany measurement")
 	class := flag.String("class", "A", "NAS class: A or B")
@@ -171,18 +200,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "run_many workers=%-2d %7.3fs  speedup=%.2fx\n", w, sec, speedup)
 	}
 
-	writeJSON(*out, rep)
-
-	if *ffOut == "" {
-		return
+	if *out != "" {
+		writeJSON(*out, rep)
 	}
+
+	if *ffOut != "" {
+		runFastForward(*ffOut, prof, *reps)
+	}
+	if *statOut != "" {
+		runSchedstat(*statOut, prof, *reps)
+	}
+}
+
+func runFastForward(out string, prof nas.Profile, reps int) {
 	ffRep := FFReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 		Profile:    prof.Name(),
 		Ranks:      prof.Ranks,
-		Reps:       *reps,
+		Reps:       reps,
 	}
 	// Std-versus-fast-forward on the sequential replication harness, per
 	// scheme and tick rate: the saving is proportional to the tick share
@@ -196,7 +233,7 @@ func main() {
 			for _, ff := range []bool{false, true} {
 				o := experiments.Options{Profile: prof, Scheme: scheme, Seed: 1, HZ: hz, FastForward: ff}
 				sw := walltime.Start()
-				experiments.RunManyOpt(o, *reps, 1)
+				experiments.RunManyOpt(o, reps, 1)
 				sec := sw.Seconds()
 				if !ff {
 					stdSec = sec
@@ -222,7 +259,78 @@ func main() {
 			}
 		}
 	}
-	writeJSON(*ffOut, ffRep)
+	writeJSON(out, ffRep)
+}
+
+func runSchedstat(out string, prof nas.Profile, reps int) {
+	statRep := SchedstatReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Profile:    prof.Name(),
+		Scheme:     experiments.HPL.String(),
+		Reps:       reps,
+	}
+	// The streaming writer's hot path: one canonical JSONL encode per trace
+	// event into a reused buffer (allocs/op must stay 0), and the same
+	// through the buffered Writer front end.
+	swEv := schedstat.NewSwitchEvent(sim.Time(123456789), 3,
+		&task.Task{ID: 17, Name: "rank3", State: task.Runnable},
+		&task.Task{ID: 12, Name: "ksoftirqd"})
+	statRep.Writer = append(statRep.Writer,
+		engineBench("AppendJSONL", func(b *testing.B) {
+			buf := make([]byte, 0, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = swEv.AppendJSONL(buf[:0])
+			}
+			_ = buf
+		}),
+		engineBench("WriterSwitch", func(b *testing.B) {
+			w := schedstat.NewWriter(io.Discard)
+			prev := &task.Task{ID: 17, Name: "rank3", State: task.Runnable}
+			next := &task.Task{ID: 12, Name: "ksoftirqd"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Switch(sim.Time(i), 3, prev, next)
+			}
+		}),
+	)
+	// End-to-end tracer cost: identical sequential replications with no
+	// tracer, with the JSONL stream going to io.Discard, and with the
+	// accounting ledger. A fresh tracer per replication, as real use would.
+	statModes := []struct {
+		name   string
+		tracer func() kernel.Tracer
+	}{
+		{"none", func() kernel.Tracer { return nil }},
+		{"jsonl", func() kernel.Tracer { return schedstat.NewWriter(io.Discard) }},
+		{"accounting", func() kernel.Tracer { return schedstat.NewAccounting() }},
+	}
+	var noneSec float64
+	for _, m := range statModes {
+		o := experiments.Options{Profile: prof, Scheme: experiments.HPL, Seed: 1}
+		sw := walltime.Start()
+		for r := 0; r < reps; r++ {
+			o.Seed = uint64(r + 1)
+			o.Tracer = m.tracer()
+			experiments.Run(o)
+		}
+		sec := sw.Seconds()
+		if m.name == "none" {
+			noneSec = sec
+		}
+		overhead := 0.0
+		if noneSec > 0 {
+			overhead = 100 * (sec - noneSec) / noneSec
+		}
+		statRep.Modes = append(statRep.Modes, SchedstatBench{
+			Mode: m.name, Seconds: sec, OverheadPct: overhead})
+		fmt.Fprintf(os.Stderr, "schedstat mode=%-10s %7.3fs  overhead=%+.1f%%\n", m.name, sec, overhead)
+	}
+	writeJSON(out, statRep)
 }
 
 func writeJSON(path string, v any) {

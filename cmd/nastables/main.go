@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	nastables -table 1a|1b|2|all [-reps 1000] [-seed 1]
+//	nastables -table 1a|1b|2|sched|all [-reps 1000] [-seed 1]
+//
+// Table "sched" is not from the paper: it reports the schedstat view of one
+// run per scheme — total and worst per-rank scheduling latency, involuntary
+// preemptions, and migrations (see internal/schedstat).
 //
 // The paper uses 1000 repetitions per configuration; the default here is
 // 200, which reproduces every min/avg trend and most tails in seconds of
@@ -18,16 +22,28 @@ import (
 	"os"
 
 	"hplsim/internal/experiments"
+	"hplsim/internal/nas"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to produce: 1a, 1b, 2, all")
+	table := flag.String("table", "all", "which table to produce: 1a, 1b, 2, sched, all")
 	reps := flag.Int("reps", 200, "repetitions per configuration (paper: 1000)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	workers := flag.Int("workers", 0, "replication worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	bench := flag.String("bench", "is", "NAS benchmark for -table sched")
+	class := flag.String("class", "A", "NAS class for -table sched")
 	flag.Parse()
 
 	switch *table {
+	case "sched":
+		prof, err := nas.Get(*bench, (*class)[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(experiments.FormatTableSchedstat(prof.Name(),
+			experiments.TableSchedstat(prof,
+				[]experiments.Scheme{experiments.Std, experiments.HPL}, *seed)))
 	case "1a":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
@@ -49,7 +65,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers)))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown table %q (want 1a, 1b, 2, all)\n", *table)
+		fmt.Fprintf(os.Stderr, "unknown table %q (want 1a, 1b, 2, sched, all)\n", *table)
 		os.Exit(2)
 	}
 }

@@ -136,6 +136,7 @@ var deterministicPkgs = []string{
 	"internal/cluster",
 	"internal/experiments",
 	"internal/schedcheck",
+	"internal/schedstat",
 }
 
 // pkgScope classifies a target package for rule selection.

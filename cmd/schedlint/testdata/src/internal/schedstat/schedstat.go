@@ -1,0 +1,44 @@
+// Package schedstat is a fixture: the observability layer runs inside the
+// simulation (its events feed trace fingerprints and golden files), so the
+// core-scoped determinism rules apply — encoding order, table order, and
+// aggregation must be pure functions of the event stream.
+package schedstat
+
+import (
+	"sort"
+	"time"
+)
+
+// Ledger is a minimal stand-in for the real accounting ledger.
+type Ledger struct {
+	Waits  map[int]int64
+	Names  []string
+	Stamps []int64
+}
+
+// TotalWait folds the per-task map in iteration order: the float/ordering
+// of any downstream formatting becomes nondeterministic.
+func TotalWait(l Ledger) int64 {
+	var total int64
+	for id, w := range l.Waits { // want `\[maprange\] range over map\[int\]int64`
+		total += w + int64(id)
+	}
+	return total
+}
+
+// SortRows orders table rows without a tiebreak: tasks with equal waits
+// render in nondeterministic order, so golden tables drift run to run.
+func SortRows(waits []int64) {
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] }) // want `\[sortslice\] sort\.Slice is unstable`
+}
+
+// SortNames is allowed: names are unique, so the order is deterministic.
+func SortNames(l Ledger) {
+	// Keys are unique task names, so the order is deterministic.
+	sort.Slice(l.Names, func(i, j int) bool { return l.Names[i] < l.Names[j] })
+}
+
+// StampNow leaks the host clock into a trace record.
+func StampNow(l *Ledger) {
+	l.Stamps = append(l.Stamps, time.Now().UnixNano()) // want `\[walltime\] call to time\.Now`
+}

@@ -72,6 +72,19 @@ type KindTracer interface {
 	MigrateK(now sim.Time, t *task.Task, from, to int, kind MigrateKind)
 }
 
+// TaskTracer is an optional extension of Tracer: implementations also
+// observe task lifecycle edges. Fork reports a freshly created task being
+// enqueued for the first time, after fork placement chose cpu and before
+// the enqueue (mirroring Wake's ordering, so runqueue counts read by the
+// tracer are the tasks ahead of it). Exit reports the running task leaving
+// the system. The schedstat accounting layer uses the pair to open the
+// first runnable-wait ledger of a task and to close its books.
+type TaskTracer interface {
+	Tracer
+	Fork(now sim.Time, t *task.Task, cpu int)
+	Exit(now sim.Time, t *task.Task)
+}
+
 // Config parameterises a simulated node.
 type Config struct {
 	// Topo is the machine topology; defaults to the paper's POWER6.
@@ -323,6 +336,27 @@ func (k *Kernel) traceMigrate(t *task.Task, from, to int, kind MigrateKind) {
 		kt.MigrateK(k.Eng.Now(), t, from, to, kind)
 	}
 	k.Cfg.Tracer.Migrate(k.Eng.Now(), t, from, to)
+}
+
+// traceFork reports a fork-time first enqueue to the tracer, if it wants
+// lifecycle events.
+func (k *Kernel) traceFork(t *task.Task, cpu int) {
+	if k.Cfg.Tracer == nil {
+		return
+	}
+	if tt, ok := k.Cfg.Tracer.(TaskTracer); ok {
+		tt.Fork(k.now(), t, cpu)
+	}
+}
+
+// traceExit reports a task exit to the tracer, if it wants lifecycle events.
+func (k *Kernel) traceExit(t *task.Task) {
+	if k.Cfg.Tracer == nil {
+		return
+	}
+	if tt, ok := k.Cfg.Tracer.(TaskTracer); ok {
+		tt.Exit(k.now(), t)
+	}
 }
 
 // Now reports the current virtual time.

@@ -71,6 +71,7 @@ func (k *Kernel) Spawn(parent *task.Task, attr Attr, start func(p *Proc)) *task.
 		k.traceMigrate(t, origin, cpu, MigrateFork)
 	}
 	t.State = task.Runnable
+	k.traceFork(t, cpu)
 	k.Sched.Enqueue(cpu, t, sched.EnqueueFork)
 	return t
 }
@@ -134,6 +135,7 @@ func (k *Kernel) exit(t *task.Task) {
 	t.Exited = k.Eng.Now()
 	t.Work = 0
 	t.OnDone = nil
+	k.traceExit(t)
 	k.Sched.TaskGone(t.Policy)
 	if p := t.Parent; p != nil {
 		p.LiveChildren--

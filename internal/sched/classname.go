@@ -1,0 +1,48 @@
+package sched
+
+import "hplsim/internal/task"
+
+// Class accounting buckets, in the priority order of the standard chain
+// (RT > HPC > CFS > Idle). They give observability layers a dense index for
+// per-class counters without holding a Scheduler, and their names match the
+// Class.Name() strings of the standard classes.
+const (
+	ClassRT = iota
+	ClassHPC
+	ClassCFS
+	ClassIdle
+	NumClasses
+)
+
+// ClassIndexFor maps a task policy to its accounting bucket.
+func ClassIndexFor(p task.Policy) int {
+	switch p {
+	case task.FIFO, task.RR:
+		return ClassRT
+	case task.HPC:
+		return ClassHPC
+	case task.Idle:
+		return ClassIdle
+	default:
+		return ClassCFS
+	}
+}
+
+// ClassName reports the canonical name of an accounting bucket.
+func ClassName(i int) string {
+	switch i {
+	case ClassRT:
+		return "rt"
+	case ClassHPC:
+		return "hpc"
+	case ClassCFS:
+		return "cfs"
+	case ClassIdle:
+		return "idle"
+	default:
+		return "?"
+	}
+}
+
+// ClassNameFor reports the canonical class name for a policy.
+func ClassNameFor(p task.Policy) string { return ClassName(ClassIndexFor(p)) }

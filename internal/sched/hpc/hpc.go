@@ -91,13 +91,16 @@ func (c *Class) ExecCharge(s *sched.Scheduler, cpu int, t *task.Task, delta sim.
 	t.HPC.Slice -= delta
 }
 
-// Tick implements sched.Class: rotate only when a peer is waiting.
+// Tick implements sched.Class: rotate only when a peer is waiting. The
+// chaos override suppresses the rotation (slice refills, nobody yields) so
+// the property harness can prove the schedstat wait-latency oracle detects
+// a class that starves its own queue.
 func (c *Class) Tick(s *sched.Scheduler, cpu int, t *task.Task) {
 	if t.HPC.Slice > 0 {
 		return
 	}
 	t.HPC.Slice = Timeslice
-	if len(c.rqs[cpu]) > 0 {
+	if len(c.rqs[cpu]) > 0 && !s.ChaosHPCNoRotate() {
 		s.Resched(cpu)
 	}
 }

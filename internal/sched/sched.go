@@ -151,6 +151,11 @@ type Chaos struct {
 	// while HPC tasks are alive under BalanceHPL, breaking the paper's
 	// fork-time-only placement guarantee on purpose.
 	HPCMigration bool
+	// HPCNoRotate makes the HPC class refill an expired timeslice without
+	// rescheduling, so a queued HPC peer waits until the running task
+	// blocks or exits. It breaks the round-robin wait bound the schedstat
+	// latency oracle checks.
+	HPCNoRotate bool
 }
 
 func (p BalancePolicy) String() string {
@@ -268,6 +273,10 @@ func (s *Scheduler) Policy() BalancePolicy { return s.policy }
 // ChaosHPCMigration reports whether the HPC-migration fault injection is
 // armed (see Chaos).
 func (s *Scheduler) ChaosHPCMigration() bool { return s.chaos.HPCMigration }
+
+// ChaosHPCNoRotate reports whether the rotation-suppression fault injection
+// is armed (see Chaos).
+func (s *Scheduler) ChaosHPCNoRotate() bool { return s.chaos.HPCNoRotate }
 
 // Curr reports the task running on cpu (possibly the idle task).
 func (s *Scheduler) Curr(cpu int) *task.Task { return s.curr[cpu] }

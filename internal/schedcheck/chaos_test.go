@@ -156,3 +156,48 @@ func TestCommittedRepros(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// noRotateScenario is an oversubscribed single-CPU scenario with the
+// rotation-suppression fault switched on: the HPC class refills an expired
+// timeslice without rescheduling, so the queued peer waits far beyond the
+// round-robin bound the latency oracle enforces.
+func noRotateScenario() Scenario {
+	return Scenario{
+		Seed:    11,
+		Topo:    TopoSpec{Chips: 1, Cores: 1, Threads: 1},
+		Physics: PhysicsIdeal,
+		Scheme:  SchemeHPL,
+		HZ:      250,
+		Ranks: []RankSpec{
+			{Phases: []Phase{{Compute: 400 * sim.Millisecond, Iters: 1}}},
+			{Phases: []Phase{{Compute: 10 * sim.Millisecond, Iters: 1}}},
+		},
+		Horizon: sim.Duration(sim.Second),
+		Chaos:   ChaosSpec{HPCNoRotate: true},
+	}
+}
+
+// TestChaosNoRotateCaught: suppressed round-robin rotation must be caught
+// by the runnable-wait latency oracle. rank1 forks behind one running HPC
+// peer, so its bound is one timeslice plus a tick (104ms at HZ 250); with
+// rotation suppressed it waits the peer's full 400ms compute.
+func TestChaosNoRotateCaught(t *testing.T) {
+	f := Check(noRotateScenario())
+	if f == nil {
+		t.Fatal("no-rotate chaos passed all oracles; the latency oracle is dead")
+	}
+	if f.Oracle != OracleLatency {
+		t.Fatalf("no-rotate chaos caught by %v, want %s", f, OracleLatency)
+	}
+	t.Logf("chaos caught: %v", f)
+}
+
+// TestChaosNoRotateOffIsClean: the fault-free twin must satisfy the
+// latency bound — rotation puts rank1 on CPU within timeslice + tick.
+func TestChaosNoRotateOffIsClean(t *testing.T) {
+	s := noRotateScenario()
+	s.Chaos = ChaosSpec{}
+	if f := Check(s); f != nil {
+		t.Fatalf("fault-free twin of the no-rotate scenario fails: %v", f)
+	}
+}

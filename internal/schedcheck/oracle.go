@@ -12,6 +12,7 @@ const (
 	OracleInvalid     = "invalid"
 	OracleDominance   = "dominance"
 	OracleMigration   = "hpc-migration"
+	OracleLatency     = "hpc-wait-latency"
 	OracleDeterminism = "determinism"
 	OracleFastForward = "fast-forward"
 	OracleNoise       = "noise-insulation"
@@ -168,6 +169,9 @@ func violationFailure(r report) *Failure {
 	}
 	if len(r.migViol) > 0 {
 		return &Failure{Oracle: OracleMigration, Detail: summarize(r.migViol)}
+	}
+	if len(r.latViol) > 0 {
+		return &Failure{Oracle: OracleLatency, Detail: summarize(r.latViol)}
 	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"hplsim/internal/noise"
 	"hplsim/internal/perf"
 	"hplsim/internal/sched"
+	"hplsim/internal/sched/hpc"
+	"hplsim/internal/schedstat"
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
 	"hplsim/internal/topo"
@@ -29,12 +31,15 @@ type report struct {
 	obs       []rankObs // indexed by workload
 	domViol   []string  // class-priority dominance violations
 	migViol   []string  // fork-time-only migration violations
+	latViol   []string  // runnable-wait latency-bound violations
 	perf      perf.Counters
 }
 
-// recorder implements kernel.Tracer and kernel.KindTracer: it probes the
-// scheduler at every context switch and migration, and fingerprints the
-// engine's dispatch stream through the Observer hook.
+// recorder implements kernel.Tracer, kernel.KindTracer, and
+// kernel.TaskTracer: it probes the scheduler at every context switch and
+// migration, fingerprints the engine's dispatch stream through the Observer
+// hook, and feeds a schedstat accounting ledger whose wait measurements the
+// latency oracle checks against the round-robin bound.
 type recorder struct {
 	k      *kernel.Kernel
 	scheme string
@@ -42,16 +47,81 @@ type recorder struct {
 	hash      uint64
 	domViol   []string
 	migViol   []string
+	latViol   []string
 	forkMoves []int // per task ID, count of fork-placement migrations
+
+	acct *schedstat.Accounting
+	// latOn arms the runnable-wait latency oracle: under ideal HPL physics
+	// with no RT noise and no migration chaos, an HPC task made runnable
+	// behind `ahead` same-class tasks waits at most ahead*(timeslice +
+	// tick period) — each task ahead runs one full quantum plus the tick
+	// granularity at which slice expiry is detected.
+	latOn     bool
+	slicePlus sim.Duration   // hpc.Timeslice + tick period, the per-ahead-task budget
+	bounds    []sim.Duration // per task ID; noBound when unarmed
 }
+
+// noBound marks a task with no armed wait bound (an ahead count of zero is
+// a legitimate bound, so the sentinel is negative).
+const noBound = sim.Duration(-1)
 
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
 )
 
-func newRecorder(scheme string) *recorder {
-	return &recorder{scheme: scheme, hash: fnvOffset}
+func newRecorder(s Scenario) *recorder {
+	r := &recorder{
+		scheme: s.Scheme,
+		hash:   fnvOffset,
+		acct:   schedstat.NewAccounting(),
+		latOn: s.Physics == PhysicsIdeal && s.Scheme == SchemeHPL &&
+			len(s.RTNoise) == 0 && !s.Chaos.HPCMigration,
+		slicePlus: hpc.Timeslice + sim.Duration(int64(sim.Second)/int64(s.HZ)),
+	}
+	r.acct.OnWait = r.checkWait
+	return r
+}
+
+// armBound records that t became runnable behind `ahead` HPC tasks on its
+// CPU; its next on-CPU latency must not exceed ahead*slicePlus.
+func (r *recorder) armBound(t *task.Task, ahead int) {
+	for len(r.bounds) <= t.ID {
+		r.bounds = append(r.bounds, noBound)
+	}
+	r.bounds[t.ID] = sim.Duration(ahead) * r.slicePlus
+}
+
+// disarmBound forgets t's bound (migration moves it to a queue whose ahead
+// count was not observed).
+func (r *recorder) disarmBound(id int) {
+	if id < len(r.bounds) {
+		r.bounds[id] = noBound
+	}
+}
+
+// hpcAhead counts the HPC tasks already committed to cpu: the queued ones
+// plus a currently running one.
+func (r *recorder) hpcAhead(cpu int) int {
+	ahead := r.k.Sched.QueuedOf("hpc", cpu)
+	if c := r.k.Sched.Curr(cpu); c != nil && c.Policy == task.HPC {
+		ahead++
+	}
+	return ahead
+}
+
+// checkWait is the accounting ledger's OnWait hook: it fires when a task
+// goes on CPU, with the runnable-wait it just served.
+func (r *recorder) checkWait(now sim.Time, t *task.Task, cpu int, wait sim.Duration) {
+	if !r.latOn || t.Policy != task.HPC || t.ID >= len(r.bounds) {
+		return
+	}
+	b := r.bounds[t.ID]
+	r.bounds[t.ID] = noBound
+	if b >= 0 && wait > b {
+		r.latViol = append(r.latViol, fmt.Sprintf(
+			"t=%v cpu%d: HPC task %q waited %v for the CPU, bound %v", now, cpu, t.Name, wait, b))
+	}
 }
 
 // observe folds every event dispatch into an FNV-style fingerprint. Two
@@ -66,6 +136,19 @@ func (r *recorder) observe(at sim.Time, seq uint64) {
 // CPU, so observing a Normal task switched in with a non-empty HPC queue is
 // a scheduler bug, whatever the configuration.
 func (r *recorder) Switch(now sim.Time, cpu int, prev, next *task.Task) {
+	r.acct.Switch(now, cpu, prev, next)
+	if r.latOn && prev.Policy == task.HPC && prev.State == task.Runnable {
+		// prev was preempted and requeued: it is already counted in
+		// QueuedOf, and next (just picked, off the queue) goes ahead of it
+		// when it is also HPC.
+		ahead := r.k.Sched.QueuedOf("hpc", cpu) - 1
+		if next.Policy == task.HPC {
+			ahead++
+		}
+		if ahead >= 0 {
+			r.armBound(prev, ahead)
+		}
+	}
 	if next.Policy != task.Normal {
 		return
 	}
@@ -78,6 +161,8 @@ func (r *recorder) Switch(now sim.Time, cpu int, prev, next *task.Task) {
 // MigrateK implements kernel.KindTracer: the fork-time-only probe. Under
 // the HPL scheme an HPC task may migrate exactly once, at fork placement.
 func (r *recorder) MigrateK(now sim.Time, t *task.Task, from, to int, kind kernel.MigrateKind) {
+	r.acct.MigrateK(now, t, from, to, kind)
+	r.disarmBound(t.ID)
 	if t.Policy != task.HPC || r.scheme != SchemeHPL {
 		return
 	}
@@ -99,11 +184,32 @@ func (r *recorder) MigrateK(now sim.Time, t *task.Task, from, to int, kind kerne
 // Migrate implements kernel.Tracer (kinds arrive through MigrateK).
 func (r *recorder) Migrate(now sim.Time, t *task.Task, from, to int) {}
 
-// Wake implements kernel.Tracer.
-func (r *recorder) Wake(now sim.Time, t *task.Task, cpu int) {}
+// Wake implements kernel.Tracer. The wake hook fires before the enqueue,
+// so the queue census counts exactly the tasks ahead of t.
+func (r *recorder) Wake(now sim.Time, t *task.Task, cpu int) {
+	r.acct.Wake(now, t, cpu)
+	if r.latOn && t.Policy == task.HPC {
+		r.armBound(t, r.hpcAhead(cpu))
+	}
+}
 
 // Mark implements kernel.Tracer.
-func (r *recorder) Mark(now sim.Time, t *task.Task, label string) {}
+func (r *recorder) Mark(now sim.Time, t *task.Task, label string) {
+	r.acct.Mark(now, t, label)
+}
+
+// Fork implements kernel.TaskTracer; like Wake it fires pre-enqueue.
+func (r *recorder) Fork(now sim.Time, t *task.Task, cpu int) {
+	r.acct.Fork(now, t, cpu)
+	if r.latOn && t.Policy == task.HPC {
+		r.armBound(t, r.hpcAhead(cpu))
+	}
+}
+
+// Exit implements kernel.TaskTracer.
+func (r *recorder) Exit(now sim.Time, t *task.Task) {
+	r.acct.Exit(now, t)
+}
 
 // kernelConfig maps a scenario onto a kernel configuration. Ideal physics
 // zeroes every source of friction so the metamorphic oracles hold exactly;
@@ -114,7 +220,10 @@ func kernelConfig(s Scenario, rec *recorder) kernel.Config {
 		HZ:     s.HZ,
 		Seed:   s.Seed,
 		Tracer: rec,
-		Chaos:  sched.Chaos{HPCMigration: s.Chaos.HPCMigration},
+		Chaos: sched.Chaos{
+			HPCMigration: s.Chaos.HPCMigration,
+			HPCNoRotate:  s.Chaos.HPCNoRotate,
+		},
 	}
 	if s.Scheme == SchemeStandard {
 		cfg.Balance = sched.BalanceStandard
@@ -142,7 +251,7 @@ func runMode(s Scenario, assign []int, fastForward bool) report {
 			assign[i] = i
 		}
 	}
-	rec := newRecorder(s.Scheme)
+	rec := newRecorder(s)
 	cfg := kernelConfig(s, rec)
 	cfg.FastForward = fastForward
 	k := kernel.New(cfg)
@@ -210,6 +319,7 @@ func runMode(s Scenario, assign []int, fastForward bool) report {
 		obs:       make([]rankObs, len(s.Ranks)),
 		domViol:   rec.domViol,
 		migViol:   rec.migViol,
+		latViol:   rec.latViol,
 		perf:      k.Perf,
 	}
 	for wl, t := range tasks {

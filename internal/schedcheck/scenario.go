@@ -122,6 +122,7 @@ type RTSpec struct {
 // ChaosSpec mirrors sched.Chaos in the scenario schema.
 type ChaosSpec struct {
 	HPCMigration bool `json:",omitempty"`
+	HPCNoRotate  bool `json:",omitempty"`
 }
 
 // Scenario is one self-contained, seeded simulation setup. It serializes to

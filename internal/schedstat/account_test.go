@@ -1,0 +1,154 @@
+package schedstat
+
+import (
+	"strings"
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+func at(ms int64) sim.Time { return sim.Time(ms) * sim.Time(sim.Millisecond) }
+
+// driveLedger plays a small hand-written schedule into a sink implementing
+// the full tracer surface. Timeline on cpu0:
+//
+//	t=0    rank forks (wait opens)
+//	t=2ms  rank switches in (wait 2ms)
+//	t=10ms daemon wakes
+//	t=10ms rank preempted by daemon (run 8ms, wait reopens)
+//	t=11ms daemon blocks, rank back in (wait 1ms, daemon run 1ms)
+//	t=20ms rank exits, idle in (run 9ms)
+type tracerSink interface {
+	Switch(now sim.Time, cpu int, prev, next *task.Task)
+	Wake(now sim.Time, t *task.Task, cpu int)
+	Fork(now sim.Time, t *task.Task, cpu int)
+	Exit(now sim.Time, t *task.Task)
+}
+
+func driveLedger(s tracerSink) {
+	idle := &task.Task{ID: 0, Name: "swapper/0", Policy: task.Idle, State: task.Runnable}
+	rank := &task.Task{ID: 1, Name: "rank0", Policy: task.HPC}
+	daemon := &task.Task{ID: 2, Name: "daemon", Policy: task.Normal}
+
+	s.Fork(at(0), rank, 0)
+	s.Switch(at(2), 0, idle, rank)
+	s.Wake(at(10), daemon, 0)
+	rank.State = task.Runnable
+	s.Switch(at(10), 0, rank, daemon)
+	daemon.State = task.Sleeping
+	s.Switch(at(11), 0, daemon, rank)
+	rank.State = task.Dead
+	s.Exit(at(20), rank)
+	s.Switch(at(20), 0, rank, idle)
+}
+
+func TestAccountingLedger(t *testing.T) {
+	a := NewAccounting()
+	driveLedger(a)
+	a.Finish()
+
+	rank := a.Tasks[1]
+	if rank == nil || rank.Name != "rank0" || rank.Class != sched.ClassHPC {
+		t.Fatalf("rank ledger = %+v", rank)
+	}
+	if rank.Run != 17*sim.Millisecond {
+		t.Errorf("rank run = %v, want 17ms", rank.Run)
+	}
+	if rank.Wait != 3*sim.Millisecond || rank.WaitMax != 2*sim.Millisecond {
+		t.Errorf("rank wait = %v max %v, want 3ms max 2ms", rank.Wait, rank.WaitMax)
+	}
+	if rank.Preempt != 1 || rank.Slices != 2 || !rank.Dead {
+		t.Errorf("rank counters = %+v", rank)
+	}
+
+	d := a.Tasks[2]
+	if d.Run != sim.Millisecond || d.Yields != 1 || d.Wakeups != 1 || d.Wait != 0 {
+		t.Errorf("daemon ledger = %+v", d)
+	}
+
+	c := a.CPUs[0]
+	if c.Switches != 4 {
+		t.Errorf("cpu switches = %d, want 4", c.Switches)
+	}
+	if c.ClassTime[sched.ClassHPC] != 17*sim.Millisecond ||
+		c.ClassTime[sched.ClassCFS] != sim.Millisecond ||
+		c.ClassTime[sched.ClassIdle] != 2*sim.Millisecond {
+		t.Errorf("cpu class occupancy = %v", c.ClassTime)
+	}
+	if c.Busy() != 18*sim.Millisecond {
+		t.Errorf("cpu busy = %v, want 18ms", c.Busy())
+	}
+}
+
+func TestAccountingOnWaitHook(t *testing.T) {
+	a := NewAccounting()
+	var waits []sim.Duration
+	a.OnWait = func(now sim.Time, tk *task.Task, cpu int, wait sim.Duration) {
+		if tk.Name == "rank0" {
+			waits = append(waits, wait)
+		}
+	}
+	driveLedger(a)
+	if len(waits) != 2 || waits[0] != 2*sim.Millisecond || waits[1] != sim.Millisecond {
+		t.Fatalf("OnWait waits = %v, want [2ms 1ms]", waits)
+	}
+}
+
+// TestReplayMatchesLive: tabulating a recorded stream offline must agree
+// with the live ledger — same events, same tables.
+func TestReplayMatchesLive(t *testing.T) {
+	live := NewAccounting()
+	col := NewCollector()
+	driveLedger(live)
+	driveLedger(col)
+	live.Finish()
+
+	replayed := NewAccounting()
+	replayed.Replay(col.Events)
+	replayed.Finish()
+
+	if got, want := replayed.TaskTable(), live.TaskTable(); got != want {
+		t.Fatalf("replayed task table differs:\n%s\nvs live:\n%s", got, want)
+	}
+	if got, want := replayed.CPUTable(), live.CPUTable(); got != want {
+		t.Fatalf("replayed cpu table differs:\n%s\nvs live:\n%s", got, want)
+	}
+}
+
+func TestFinishIdempotentAndAggregate(t *testing.T) {
+	a := NewAccounting()
+	driveLedger(a)
+	a.Finish()
+	run := a.Tasks[1].Run
+	a.Finish()
+	if a.Tasks[1].Run != run {
+		t.Fatal("second Finish re-settled spans")
+	}
+	agg := a.Aggregate("rank")
+	if agg.N != 1 || agg.Run != run || agg.Preempt != 1 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if a.End() != at(20) {
+		t.Fatalf("End = %v, want 20ms", a.End())
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	a := NewAccounting()
+	driveLedger(a)
+	a.Finish()
+	tt := a.TaskTable()
+	if !strings.Contains(tt, "rank0") || !strings.Contains(tt, "dead") ||
+		strings.Contains(tt, "swapper") {
+		t.Fatalf("task table:\n%s", tt)
+	}
+	ct := a.CPUTable()
+	if !strings.Contains(ct, "cpu0") || !strings.Contains(ct, "BUSY%") {
+		t.Fatalf("cpu table:\n%s", ct)
+	}
+	if !strings.Contains(a.WaitHistTable(), "runnable-wait latency") {
+		t.Fatalf("hist table:\n%s", a.WaitHistTable())
+	}
+}

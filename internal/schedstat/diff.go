@@ -1,0 +1,47 @@
+package schedstat
+
+import "fmt"
+
+// Diff compares two event streams record by record and returns up to limit
+// human-readable mismatch lines ("" slice means identical). Index-aligned
+// comparison is the right shape for this format: traces of the same
+// scenario are bitwise identical, so the first divergence, not a minimal
+// edit script, is what a regression hunt needs.
+func Diff(a, b []Event, limit int) []string {
+	if limit <= 0 {
+		limit = 20
+	}
+	var out []string
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n && len(out) < limit; i++ {
+		if a[i] != b[i] {
+			out = append(out,
+				fmt.Sprintf("event %d:\n  a: %s\n  b: %s", i, a[i], b[i]))
+		}
+	}
+	if len(a) != len(b) && len(out) < limit {
+		extra, side := a, "a"
+		if len(b) > len(a) {
+			extra, side = b, "b"
+		}
+		out = append(out, fmt.Sprintf("length differs: a has %d events, b has %d; first extra in %s: %s",
+			len(a), len(b), side, extra[n]))
+	}
+	return out
+}
+
+// DiffFiles diffs two JSONL trace files by path.
+func DiffFiles(pathA, pathB string, limit int) ([]string, error) {
+	a, err := ReadTraceFile(pathA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ReadTraceFile(pathB)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(a, b, limit), nil
+}

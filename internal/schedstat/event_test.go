@@ -1,0 +1,127 @@
+package schedstat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// sampleEvents covers every kind with representative field values.
+func sampleEvents() []Event {
+	prev := &task.Task{ID: 3, Name: "rank0", State: task.Runnable}
+	next := &task.Task{ID: 4, Name: "rank1"}
+	t := &task.Task{ID: 5, Name: "daemon", Policy: task.Normal}
+	return []Event{
+		NewForkEvent(0, &task.Task{ID: 3, Name: "rank0", Policy: task.HPC}, 1),
+		NewWakeEvent(sim.Time(sim.Millisecond), t, 0),
+		NewSwitchEvent(sim.Time(2*sim.Millisecond), 0, prev, next),
+		NewMigrateEvent(sim.Time(3*sim.Millisecond), t, 0, 2, 1),
+		NewMarkEvent(sim.Time(4*sim.Millisecond), t, "arrive:0"),
+		NewExitEvent(sim.Time(5*sim.Millisecond), t),
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	in := sampleEvents()
+	data := Marshal(in)
+	got, err := ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("read %d events, wrote %d", len(got), len(in))
+	}
+	again := Marshal(got)
+	if !bytes.Equal(data, again) {
+		t.Fatalf("write∘read∘write not byte-stable:\n%s\nvs\n%s", data, again)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	data := []byte("\n" + NewExitEvent(1, &task.Task{ID: 1, Name: "a"}).String() + "\n\n")
+	evs, err := ReadTrace(bytes.NewReader(data))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("evs=%v err=%v", evs, err)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"malformed JSON":  "{not json}\n",
+		"unknown kind":    `{"ev":"nap","t":1}` + "\n",
+		"non-integer t":   `{"ev":"exit","t":1.5,"task":"a","tid":1}` + "\n",
+		"wrong type":      `{"ev":"wake","t":"soon","task":"a","tid":1,"cpu":0}` + "\n",
+		"bare array":      "[1,2,3]\n",
+		"truncated":       `{"ev":"exit"`,
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestNormalizeDropsForeignFields(t *testing.T) {
+	// A wake event carrying switch-only fields must canonicalise to the
+	// wake field set, so the re-encoding is independent of junk input.
+	in := `{"ev":"wake","t":7,"task":"a","tid":1,"cpu":2,"prev":"x","pid":9,"label":"junk"}` + "\n"
+	evs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	want := Event{Ev: KindWake, T: 7, Task: "a", TID: 1, CPU: 2}
+	if evs[0] != want {
+		t.Fatalf("normalize kept foreign fields: %+v", evs[0])
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	e := NewMarkEvent(1, &task.Task{ID: 1, Name: "a\"b\\c"}, "tab\there\nnewline\x01ctl")
+	line := e.AppendJSONL(nil)
+	evs, err := ReadTrace(bytes.NewReader(line))
+	if err != nil {
+		t.Fatalf("ReadTrace of escaped line %q: %v", line, err)
+	}
+	if evs[0].Task != "a\"b\\c" || evs[0].Label != "tab\there\nnewline\x01ctl" {
+		t.Fatalf("escaping lost content: %+v", evs[0])
+	}
+	if bytes.ContainsAny(bytes.TrimSuffix(line, []byte("\n")), "\n\t") {
+		t.Fatalf("raw control bytes leaked into the line: %q", line)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := sampleEvents()
+	if d := Diff(a, sampleEvents(), 10); len(d) != 0 {
+		t.Fatalf("identical traces diff: %v", d)
+	}
+	b := sampleEvents()
+	b[2].CPU = 7
+	d := Diff(a, b, 10)
+	if len(d) != 1 || !strings.Contains(d[0], "event 2") {
+		t.Fatalf("single-field drift diff = %v", d)
+	}
+	d = Diff(a, a[:4], 10)
+	if len(d) == 0 || !strings.Contains(strings.Join(d, " "), "a has 6 events, b has 4") {
+		t.Fatalf("length drift diff = %v", d)
+	}
+}
+
+func TestCollectorWindow(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 5; i++ {
+		c.Exit(sim.Time(i)*sim.Time(sim.Millisecond), &task.Task{ID: i, Name: "a"})
+	}
+	w := c.Window(sim.Time(sim.Millisecond), sim.Time(3*sim.Millisecond))
+	if len(w) != 2 || w[0].TID != 1 || w[1].TID != 2 {
+		t.Fatalf("window [1ms,3ms) = %+v", w)
+	}
+}

@@ -1,0 +1,38 @@
+package schedstat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace drives the reader with arbitrary bytes. Two properties:
+// the reader never panics, and any stream it accepts is a fixed point of
+// the canonical encoding — write(read(x)) == write(read(write(read(x)))).
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte(Marshal(sampleEvents())))
+	f.Add([]byte(`{"ev":"switch","t":0,"cpu":0,"prev":"a","pid":1,"pstate":"runnable","next":"b","nid":2}` + "\n"))
+	f.Add([]byte(`{"ev":"wake","t":-5,"task":"x","tid":0,"cpu":99}` + "\n"))
+	f.Add([]byte(`{"ev":"mark","t":1,"task":"\u00e9","tid":1,"label":"\\\""}` + "\n"))
+	f.Add([]byte(`{"ev":"nap","t":1}` + "\n"))
+	f.Add([]byte("{not json}\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n'})
+	f.Add([]byte(`{"ev":"exit","t":9223372036854775807,"task":"` + strings.Repeat("q", 300) + `","tid":1}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		once := Marshal(evs)
+		evs2, err := ReadTrace(bytes.NewReader(once))
+		if err != nil {
+			t.Fatalf("canonical output rejected on re-read: %v\n%q", err, once)
+		}
+		twice := Marshal(evs2)
+		if !bytes.Equal(once, twice) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%q\nvs\n%q", once, twice)
+		}
+	})
+}

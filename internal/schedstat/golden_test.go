@@ -1,0 +1,189 @@
+package schedstat_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hplsim/internal/experiments"
+	"hplsim/internal/nas"
+	"hplsim/internal/noise"
+	"hplsim/internal/schedstat"
+	"hplsim/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// collect runs one experiment with an in-memory collector attached and
+// returns its full event stream.
+func collect(opt experiments.Options) []schedstat.Event {
+	col := schedstat.NewCollector()
+	opt.Tracer = col
+	experiments.Run(opt)
+	return col.Events
+}
+
+func isA(t *testing.T) nas.Profile {
+	t.Helper()
+	prof, err := nas.Get("is", 'A')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// window clips a stream to [lo, hi) so the committed goldens stay a few
+// hundred lines while still covering a representative slice of the run.
+func window(evs []schedstat.Event, lo, hi sim.Duration) []schedstat.Event {
+	var out []schedstat.Event
+	for _, e := range evs {
+		if e.T >= int64(lo) && e.T < int64(hi) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// onlyKinds keeps the listed event kinds, preserving order.
+func onlyKinds(evs []schedstat.Event, kinds ...string) []schedstat.Event {
+	keep := func(k string) bool {
+		for _, want := range kinds {
+			if k == want {
+				return true
+			}
+		}
+		return false
+	}
+	var out []schedstat.Event
+	for _, e := range evs {
+		if keep(e.Ev) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// goldenCases are the three canonical scenarios of the regression suite.
+// Each generator takes the tick mode so the suite can assert bitwise
+// fast-forward equivalence on exactly the committed streams.
+func goldenCases(t *testing.T) []struct {
+	name string
+	gen  func(fastForward bool) []schedstat.Event
+} {
+	prof := isA(t)
+	return []struct {
+		name string
+		gen  func(fastForward bool) []schedstat.Event
+	}{
+		{
+			// IS.A under the standard scheduler: daemons preempt ranks and
+			// the balancer migrates them mid-run.
+			name: "is_a_std",
+			gen: func(ff bool) []schedstat.Event {
+				evs := collect(experiments.Options{
+					Profile: prof, Scheme: experiments.Std, Seed: 1, FastForward: ff})
+				return window(evs, 150*sim.Millisecond, 550*sim.Millisecond)
+			},
+		},
+		{
+			// The same slice under HPL: ranks hold their CPUs, daemons
+			// queue behind them.
+			name: "is_a_hpl",
+			gen: func(ff bool) []schedstat.Event {
+				evs := collect(experiments.Options{
+					Profile: prof, Scheme: experiments.HPL, Seed: 1, FastForward: ff})
+				return window(evs, 150*sim.Millisecond, 550*sim.Millisecond)
+			},
+		},
+		{
+			// Ferreira-style injected noise under HPL: FIFO injectors
+			// preempt the ranks at 100 Hz.
+			name: "noise_injection",
+			gen: func(ff bool) []schedstat.Event {
+				evs := collect(experiments.Options{
+					Profile: prof, Scheme: experiments.HPL, Seed: 1, FastForward: ff,
+					Inject: noise.Injection{Frequency: 100, Duration: 250 * sim.Microsecond}})
+				return window(evs, 150*sim.Millisecond, 350*sim.Millisecond)
+			},
+		},
+		{
+			// The task lifecycle view of an HPL run: every fork with its
+			// placement migration (one per rank, spread over the topology)
+			// and every exit.
+			name: "fork_placement",
+			gen: func(ff bool) []schedstat.Event {
+				evs := collect(experiments.Options{
+					Profile: prof, Scheme: experiments.HPL, Seed: 1, FastForward: ff,
+					NoStorms: true})
+				return onlyKinds(evs, schedstat.KindFork, schedstat.KindMigrate, schedstat.KindExit)
+			},
+		},
+	}
+}
+
+// TestGoldenTraces pins the canonical JSONL streams byte for byte. On
+// drift it prints the structured diff; regenerate deliberately with
+// `go test ./internal/schedstat -run TestGoldenTraces -update`.
+func TestGoldenTraces(t *testing.T) {
+	for _, c := range goldenCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join("testdata", c.name+".jsonl")
+			got := schedstat.Marshal(c.gen(false))
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				wantEvs, rerr := schedstat.ReadTrace(bytes.NewReader(want))
+				if rerr != nil {
+					t.Fatalf("golden drifted and the committed file does not parse: %v", rerr)
+				}
+				gotEvs, _ := schedstat.ReadTrace(bytes.NewReader(got))
+				diffs := schedstat.Diff(wantEvs, gotEvs, 10)
+				t.Fatalf("trace drifted from golden %s (-update to accept):\n%s",
+					path, strings.Join(diffs, "\n"))
+			}
+
+			// The committed stream must be a fixed point of the canonical
+			// encoding: read it back and re-marshal.
+			evs, err := schedstat.ReadTrace(bytes.NewReader(want))
+			if err != nil {
+				t.Fatalf("golden does not parse: %v", err)
+			}
+			if again := schedstat.Marshal(evs); !bytes.Equal(again, want) {
+				t.Fatal("golden is not canonical: read∘write changed bytes")
+			}
+		})
+	}
+}
+
+// TestGoldenTracesFastForward asserts the tentpole equivalence claim on
+// the committed scenarios: eliding quiescent ticks must not move, add, or
+// drop a single trace event.
+func TestGoldenTracesFastForward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs every golden scenario in both tick modes")
+	}
+	for _, c := range goldenCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			std := schedstat.Marshal(c.gen(false))
+			ff := schedstat.Marshal(c.gen(true))
+			if !bytes.Equal(std, ff) {
+				stdEvs, _ := schedstat.ReadTrace(bytes.NewReader(std))
+				ffEvs, _ := schedstat.ReadTrace(bytes.NewReader(ff))
+				t.Fatalf("fast-forward changed the trace:\n%s",
+					strings.Join(schedstat.Diff(stdEvs, ffEvs, 10), "\n"))
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package schedstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// pfArgs is the args payload of a metadata record.
+type pfArgs struct {
+	Name string `json:"name"`
+}
+
+// pfEvent is one Chrome trace_event record. Field order is fixed by the
+// struct, so the export is deterministic.
+type pfEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"` // microseconds
+	Dur  float64 `json:"dur,omitempty"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+	Args *pfArgs `json:"args,omitempty"`
+}
+
+// pfTrace is the top-level trace_event JSON object.
+type pfTrace struct {
+	TraceEvents     []pfEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+func usec(tns int64) float64 { return float64(tns) / 1e3 }
+
+// pfOpen tracks the task occupying one CPU between switch events.
+type pfOpen struct {
+	name  string
+	id    int
+	start int64
+	live  bool
+}
+
+// WritePerfetto converts an event stream to Chrome/Perfetto trace_event
+// JSON: one thread per CPU under pid 0, "X" complete events for run spans
+// (idle swapper spans are left blank), and "i" instant events for wakes,
+// migrations, forks, exits, and marks. The output loads directly in
+// https://ui.perfetto.dev or chrome://tracing.
+func WritePerfetto(w io.Writer, evs []Event) error {
+	var out []pfEvent
+	var open []pfOpen // indexed by CPU
+	grow := func(cpu int) {
+		for len(open) <= cpu {
+			open = append(open, pfOpen{})
+		}
+	}
+	isIdle := func(name string) bool { return strings.HasPrefix(name, "swapper") }
+	closeSpan := func(cpu int, end int64) {
+		o := open[cpu]
+		if !o.live || isIdle(o.name) || end <= o.start {
+			return
+		}
+		out = append(out, pfEvent{
+			Name: o.name, Ph: "X", TS: usec(o.start), Dur: usec(end) - usec(o.start),
+			PID: 0, TID: cpu,
+		})
+	}
+	// tidOf places a per-task instant on the CPU currently running the
+	// task, if a switch has shown us where that is.
+	tidOf := func(id int) int {
+		for cpu := range open {
+			if open[cpu].live && open[cpu].id == id {
+				return cpu
+			}
+		}
+		return 0
+	}
+	instant := func(name string, t int64, tid int) pfEvent {
+		return pfEvent{Name: name, Ph: "i", TS: usec(t), PID: 0, TID: tid, S: "t"}
+	}
+
+	var maxT int64
+	for _, e := range evs {
+		if e.T > maxT {
+			maxT = e.T
+		}
+		switch e.Ev {
+		case KindSwitch:
+			grow(e.CPU)
+			closeSpan(e.CPU, e.T)
+			open[e.CPU] = pfOpen{name: e.Next, id: e.NID, start: e.T, live: true}
+		case KindWake:
+			grow(e.CPU)
+			out = append(out, instant(fmt.Sprintf("wake %s", e.Task), e.T, e.CPU))
+		case KindMigrate:
+			grow(e.To)
+			out = append(out, instant(
+				fmt.Sprintf("migrate %s cpu%d->cpu%d (%s)", e.Task, e.From, e.To, e.Kind), e.T, e.To))
+		case KindFork:
+			grow(e.CPU)
+			out = append(out, instant(fmt.Sprintf("fork %s", e.Task), e.T, e.CPU))
+		case KindExit:
+			out = append(out, instant(fmt.Sprintf("exit %s", e.Task), e.T, tidOf(e.TID)))
+		case KindMark:
+			out = append(out, instant(fmt.Sprintf("mark %s %s", e.Task, e.Label), e.T, tidOf(e.TID)))
+		}
+	}
+	for cpu := range open {
+		closeSpan(cpu, maxT)
+	}
+
+	meta := []pfEvent{{
+		Name: "process_name", Ph: "M", PID: 0, TID: 0, Args: &pfArgs{Name: "hplsim"},
+	}}
+	for cpu := range open {
+		meta = append(meta, pfEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: cpu,
+			Args: &pfArgs{Name: fmt.Sprintf("cpu%d", cpu)},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(pfTrace{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,60 @@
+package schedstat
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWritePerfetto(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, sampleEvents()); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	var spans, instants, meta int
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Errorf("complete event %q has non-positive dur %v", e.Name, e.Dur)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	// sampleEvents switches rank1 in at 2ms and never out: one closed span
+	// at the trace end, plus the wake/migrate/mark/exit/fork instants.
+	if spans == 0 || instants == 0 || meta == 0 {
+		t.Fatalf("span/instant/meta counts = %d/%d/%d, want all > 0\n%s",
+			spans, instants, meta, buf.String())
+	}
+}
+
+func TestWritePerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil); err != nil {
+		t.Fatalf("WritePerfetto(nil): %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty trace is invalid JSON: %s", buf.Bytes())
+	}
+}

@@ -1,0 +1,49 @@
+package schedstat
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadTrace parses a JSONL trace stream. Events are normalized to their
+// canonical field sets, so Marshal(ReadTrace(x)) is byte-stable: feeding
+// the output back through ReadTrace reproduces it exactly. Malformed input
+// returns an error (with its line number); it never panics. Blank lines are
+// permitted and skipped.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var evs []Event
+	for line := 1; sc.Scan(); line++ {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("schedstat: line %d: %v", line, err)
+		}
+		if err := e.normalize(); err != nil {
+			return nil, fmt.Errorf("schedstat: line %d: %v", line, err)
+		}
+		evs = append(evs, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("schedstat: %v", err)
+	}
+	return evs, nil
+}
+
+// ReadTraceFile reads a JSONL trace from disk.
+func ReadTraceFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

@@ -72,7 +72,10 @@ func (r *Recorder) Mark(now sim.Time, t *task.Task, label string) {
 	r.Evs = append(r.Evs, Event{At: now, Task: t.Name, Kind: "mark", Label: label})
 }
 
-// Close flushes still-open spans at the given end time.
+// Close flushes still-open spans at the given end time. A span whose start
+// is not strictly before now would render as a zero-length (or, if the
+// caller passes a stale timestamp, negative) phantom; those are dropped
+// rather than recorded.
 func (r *Recorder) Close(now sim.Time) {
 	cpus := make([]int, 0, len(r.open))
 	for cpu := range r.open {
@@ -81,6 +84,9 @@ func (r *Recorder) Close(now sim.Time) {
 	sort.Ints(cpus)
 	for _, cpu := range cpus {
 		o := r.open[cpu]
+		if o.start >= now {
+			continue
+		}
 		r.Spans = append(r.Spans, Span{CPU: cpu, Task: o.name, Start: o.start, End: now})
 	}
 	r.open = make(map[int]openSpan)
@@ -180,7 +186,17 @@ func (r *Recorder) TaskSpans(name string) []Span {
 			out = append(out, s)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	// Tiebreak on (End, CPU) so equal-start spans — e.g. the same task
+	// bouncing between CPUs at one instant — sort deterministically.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].CPU < out[j].CPU
+	})
 	return out
 }
 

@@ -115,3 +115,75 @@ func TestSwitchOpensNewSpanPerCPU(t *testing.T) {
 		t.Fatal("per-CPU spans wrong")
 	}
 }
+
+func TestCloseDropsZeroLengthSpans(t *testing.T) {
+	r := NewRecorder()
+	a := mk("a")
+	r.Switch(0, 0, mk("swapper/0"), a)
+	// A switch at the exact close instant leaves a span opened at t=now;
+	// Close must not emit it as a zero-length phantom.
+	now := sim.Time(10 * sim.Millisecond)
+	r.Switch(now, 0, a, mk("b"))
+	r.Close(now)
+	if len(r.Spans) != 1 {
+		t.Fatalf("spans = %+v, want only a's real span", r.Spans)
+	}
+	if r.Spans[0].Task != "a" || r.Spans[0].End != now {
+		t.Fatalf("surviving span = %+v", r.Spans[0])
+	}
+	for _, s := range r.Spans {
+		if s.End <= s.Start {
+			t.Fatalf("phantom span after Close: %+v", s)
+		}
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	r := NewRecorder()
+	r.Switch(0, 0, mk("swapper/0"), mk("a"))
+	r.Close(sim.Time(5 * sim.Millisecond))
+	n := len(r.Spans)
+	r.Close(sim.Time(9 * sim.Millisecond))
+	if len(r.Spans) != n {
+		t.Fatalf("second Close added spans: %d -> %d", n, len(r.Spans))
+	}
+}
+
+func TestTaskSpansDeterministicOrder(t *testing.T) {
+	r := NewRecorder()
+	// Two equal-start spans for the same task on different CPUs, inserted
+	// in descending CPU order; the sort tiebreak must normalise them.
+	r.Spans = []Span{
+		{CPU: 3, Task: "a", Start: 0, End: sim.Time(2 * sim.Millisecond)},
+		{CPU: 1, Task: "a", Start: 0, End: sim.Time(2 * sim.Millisecond)},
+		{CPU: 2, Task: "a", Start: 0, End: sim.Time(sim.Millisecond)},
+	}
+	got := r.TaskSpans("a")
+	if got[0].CPU != 2 || got[1].CPU != 1 || got[2].CPU != 3 {
+		t.Fatalf("tiebreak order wrong: %+v", got)
+	}
+}
+
+func TestTaskSpansOverlappingWindows(t *testing.T) {
+	r := NewRecorder()
+	a, b := mk("a"), mk("b")
+	// a runs [0,10ms) on cpu0 while also appearing on cpu1 [5ms,15ms) —
+	// impossible in the kernel but the recorder is a passive sink and must
+	// report both spans faithfully, in deterministic order.
+	r.Switch(0, 0, mk("swapper/0"), a)
+	r.Switch(sim.Time(5*sim.Millisecond), 1, mk("swapper/1"), a)
+	r.Switch(sim.Time(10*sim.Millisecond), 0, a, b)
+	r.Switch(sim.Time(15*sim.Millisecond), 1, a, mk("swapper/1"))
+	r.Close(sim.Time(20 * sim.Millisecond))
+
+	got := r.TaskSpans("a")
+	if len(got) != 2 {
+		t.Fatalf("a spans = %+v, want 2", got)
+	}
+	if got[0].CPU != 0 || got[0].Start != 0 || got[0].End != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("first overlapping span = %+v", got[0])
+	}
+	if got[1].CPU != 1 || got[1].Start != sim.Time(5*sim.Millisecond) || got[1].End != sim.Time(15*sim.Millisecond) {
+		t.Fatalf("second overlapping span = %+v", got[1])
+	}
+}
