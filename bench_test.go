@@ -18,6 +18,7 @@ import (
 	"hplsim/internal/cluster"
 	"hplsim/internal/experiments"
 	"hplsim/internal/nas"
+	"hplsim/internal/topo"
 )
 
 // benchReps is the per-configuration repetition count used by the bench
@@ -100,7 +101,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkTableIa(b *testing.B) {
 	var rows []experiments.TableIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableI(experiments.Std, benchReps, 5, 0)
+		rows = experiments.TableI(experiments.Std, benchReps, 5, 0, topo.Topology{})
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableI("Table Ia: scheduler OS noise (standard Linux)", rows))
@@ -110,7 +111,7 @@ func BenchmarkTableIa(b *testing.B) {
 func BenchmarkTableIb(b *testing.B) {
 	var rows []experiments.TableIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableI(experiments.HPL, benchReps, 6, 0)
+		rows = experiments.TableI(experiments.HPL, benchReps, 6, 0, topo.Topology{})
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableI("Table Ib: scheduler OS noise (HPL)", rows))
@@ -120,7 +121,7 @@ func BenchmarkTableIb(b *testing.B) {
 func BenchmarkTableII(b *testing.B) {
 	var rows []experiments.TableIIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableII(benchReps, 7, 0)
+		rows = experiments.TableII(benchReps, 7, 0, topo.Topology{})
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableII(rows))

@@ -17,6 +17,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"hplsim/internal/experiments"
@@ -25,6 +26,7 @@ import (
 	"hplsim/internal/schedstat"
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
+	"hplsim/internal/topo"
 	"hplsim/internal/walltime"
 )
 
@@ -86,6 +88,36 @@ type FFReport struct {
 	Rows       []FastForwardBench `json:"rows"`
 }
 
+// ScaleBench is one (topology, implementation) cell of the wide-node
+// scaling study: the same HPL replication workload on a growing machine,
+// with the kernel's optimized hot paths versus its naive reference scans
+// (kernel.Config.Naive). Both runs replay identical seeds and produce
+// identical traces; the ratio is pure host cost.
+type ScaleBench struct {
+	Topo             string  `json:"topo"`
+	CPUs             int     `json:"cpus"`
+	Naive            bool    `json:"naive"`
+	Seconds          float64 `json:"seconds"`
+	EventsDispatched uint64  `json:"events_dispatched"`
+	LaneFires        uint64  `json:"lane_fires"`
+	VirtualSec       float64 `json:"virtual_sec"`
+	EventsPerSec     float64 `json:"events_per_host_sec"`
+	NsPerSimMs       float64 `json:"ns_per_simulated_ms"`
+	SpeedupVsNaive   float64 `json:"speedup_vs_naive"`
+}
+
+// ScaleReport is the BENCH_scale.json record: events/sec and ns per
+// simulated millisecond across node widths, naive versus optimized.
+type ScaleReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	GoVersion  string       `json:"go_version"`
+	Profile    string       `json:"profile"`
+	Scheme     string       `json:"scheme"`
+	Reps       int          `json:"reps"`
+	Rows       []ScaleBench `json:"rows"`
+}
+
 // SchedstatBench is one tracer-mode row of the observability-overhead
 // comparison: the same sequential replication workload with no tracer,
 // with the streaming JSONL writer, and with the accounting ledger.
@@ -125,6 +157,11 @@ func main() {
 		"fast-forward comparison output file ('' to skip, '-' for stdout)")
 	statOut := flag.String("stat-out", "BENCH_schedstat.json",
 		"schedstat tracer-overhead output file ('' to skip, '-' for stdout)")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json",
+		"wide-node scaling output file ('' to skip, '-' for stdout)")
+	scaleTopos := flag.String("scale-topos", "2x2x2,2x16x2,2x64x2,4x128x2",
+		"comma-separated topologies for the scaling study")
+	scaleReps := flag.Int("scale-reps", 16, "replications per scaling-study cell")
 	reps := flag.Int("reps", 32, "replications per worker-count measurement")
 	bench := flag.String("bench", "ep", "NAS benchmark for the RunMany measurement")
 	class := flag.String("class", "A", "NAS class: A or B")
@@ -210,6 +247,72 @@ func main() {
 	if *statOut != "" {
 		runSchedstat(*statOut, prof, *reps)
 	}
+	if *scaleOut != "" {
+		runScale(*scaleOut, prof, *scaleTopos, *scaleReps)
+	}
+}
+
+func runScale(out string, prof nas.Profile, topos string, reps int) {
+	scaleRep := ScaleReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Profile:    prof.Name(),
+		Scheme:     experiments.HPL.String(),
+		Reps:       reps,
+	}
+	// The same HPL replication workload on a growing node, naive scans
+	// versus the word-scan hot paths, sequentially so the ratio is clean.
+	// Fast-forward is on in both rows — it is the shipping configuration,
+	// and the naive switch also covers its per-CPU catch-up loop. The event
+	// counters come from a single representative run (deterministic per
+	// seed); the wall clock covers all reps.
+	for _, spec := range strings.Split(topos, ",") {
+		machine, err := topo.Parse(strings.TrimSpace(spec))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var naiveSec float64
+		for _, naive := range []bool{true, false} {
+			o := experiments.Options{
+				Profile: prof, Scheme: experiments.HPL, Seed: 1,
+				Topo: machine, FastForward: true, Naive: naive,
+			}
+			sw := walltime.Start()
+			experiments.RunManyOpt(o, reps, 1)
+			sec := sw.Seconds()
+			if naive {
+				naiveSec = sec
+			}
+			speedup := naiveSec / sec
+			if math.IsNaN(speedup) || math.IsInf(speedup, 0) {
+				speedup = 0
+			}
+			probe := experiments.Run(o)
+			virt := probe.VirtualSec * float64(reps)
+			row := ScaleBench{
+				Topo:             strings.TrimSpace(spec),
+				CPUs:             machine.NumCPUs(),
+				Naive:            naive,
+				Seconds:          sec,
+				EventsDispatched: probe.EventsDispatched,
+				LaneFires:        probe.LaneFires,
+				VirtualSec:       probe.VirtualSec,
+				SpeedupVsNaive:   speedup,
+			}
+			if sec > 0 {
+				row.EventsPerSec = float64(probe.EventsDispatched+probe.LaneFires) * float64(reps) / sec
+			}
+			if virt > 0 {
+				row.NsPerSimMs = sec * 1e9 / (virt * 1e3)
+			}
+			scaleRep.Rows = append(scaleRep.Rows, row)
+			fmt.Fprintf(os.Stderr, "scale topo=%-8s cpus=%-5d naive=%-5v %7.3fs  ns/sim-ms=%-9.0f speedup=%.2fx\n",
+				row.Topo, row.CPUs, naive, sec, row.NsPerSimMs, speedup)
+		}
+	}
+	writeJSON(out, scaleRep)
 }
 
 func runFastForward(out string, prof nas.Profile, reps int) {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hplsim -bench ep -class A -sched hpl [-reps 10] [-seed 1] [-hz 250]
-//	       [-no-daemons] [-no-storms] [-spin 20ms] [-v]
+//	       [-topo 2x2x2] [-no-daemons] [-no-storms] [-spin 20ms] [-v]
 //
 // Schemes: std (CFS), rt (SCHED_RR), hpl (the paper's scheduler),
 // hpl-dynamic and hpl-naive (ablations), pinned (static affinity),
@@ -21,6 +21,7 @@ import (
 	"hplsim/internal/nas"
 	"hplsim/internal/sim"
 	"hplsim/internal/stats"
+	"hplsim/internal/topo"
 	"hplsim/internal/walltime"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	reps := flag.Int("reps", 10, "number of repetitions")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	hz := flag.Int("hz", 0, "timer tick frequency (0 = default 250)")
+	topoSpec := flag.String("topo", "", "machine topology as chips x cores x threads, e.g. 4x128x2 (default: the paper's 2x2x2)")
 	noDaemons := flag.Bool("no-daemons", false, "disable the background daemon population")
 	noStorms := flag.Bool("no-storms", false, "disable heavy maintenance storms")
 	spin := flag.Duration("spin", 0, "MPI spin window before blocking (0 = default 20ms)")
@@ -78,11 +80,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schedName)
 		os.Exit(2)
 	}
+	var machine topo.Topology
+	if *topoSpec != "" {
+		var err error
+		machine, err = topo.Parse(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	opt := experiments.Options{
 		Profile:       prof,
 		Scheme:        scheme,
 		Seed:          *seed,
+		Topo:          machine,
 		HZ:            *hz,
 		NoDaemons:     *noDaemons,
 		NoStorms:      *noStorms,

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nastables -table 1a|1b|2|sched|all [-reps 1000] [-seed 1]
+//	nastables -table 1a|1b|2|sched|all [-reps 1000] [-seed 1] [-topo 2x2x2]
 //
 // Table "sched" is not from the paper: it reports the schedstat view of one
 // run per scheme — total and worst per-rank scheduling latency, involuntary
@@ -23,6 +23,7 @@ import (
 
 	"hplsim/internal/experiments"
 	"hplsim/internal/nas"
+	"hplsim/internal/topo"
 )
 
 func main() {
@@ -32,7 +33,18 @@ func main() {
 	workers := flag.Int("workers", 0, "replication worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	bench := flag.String("bench", "is", "NAS benchmark for -table sched")
 	class := flag.String("class", "A", "NAS class for -table sched")
+	topoSpec := flag.String("topo", "", "machine topology as chips x cores x threads, e.g. 4x128x2 (default: the paper's 2x2x2)")
 	flag.Parse()
+
+	var machine topo.Topology
+	if *topoSpec != "" {
+		var err error
+		machine, err = topo.Parse(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	switch *table {
 	case "sched":
@@ -43,27 +55,27 @@ func main() {
 		}
 		fmt.Print(experiments.FormatTableSchedstat(prof.Name(),
 			experiments.TableSchedstat(prof,
-				[]experiments.Scheme{experiments.Std, experiments.HPL}, *seed)))
+				[]experiments.Scheme{experiments.Std, experiments.HPL}, *seed, machine)))
 	case "1a":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
-			experiments.TableI(experiments.Std, *reps, *seed, *workers)))
+			experiments.TableI(experiments.Std, *reps, *seed, *workers, machine)))
 	case "1b":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ib: Scheduler OS noise for NAS (HPL)",
-			experiments.TableI(experiments.HPL, *reps, *seed, *workers)))
+			experiments.TableI(experiments.HPL, *reps, *seed, *workers, machine)))
 	case "2":
-		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers)))
+		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers, machine)))
 	case "all":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
-			experiments.TableI(experiments.Std, *reps, *seed, *workers)))
+			experiments.TableI(experiments.Std, *reps, *seed, *workers, machine)))
 		fmt.Println()
 		fmt.Print(experiments.FormatTableI(
 			"Table Ib: Scheduler OS noise for NAS (HPL)",
-			experiments.TableI(experiments.HPL, *reps, *seed, *workers)))
+			experiments.TableI(experiments.HPL, *reps, *seed, *workers, machine)))
 		fmt.Println()
-		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers)))
+		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers, machine)))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q (want 1a, 1b, 2, sched, all)\n", *table)
 		os.Exit(2)

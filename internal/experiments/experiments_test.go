@@ -6,6 +6,7 @@ import (
 
 	"hplsim/internal/nas"
 	"hplsim/internal/stats"
+	"hplsim/internal/topo"
 )
 
 // gather runs a profile under a scheme and summarises times/migrations/
@@ -164,7 +165,7 @@ func TestFigure3Correlation(t *testing.T) {
 }
 
 func TestTablesRender(t *testing.T) {
-	rows := TableI(HPL, 3, 51, 0)
+	rows := TableI(HPL, 3, 51, 0, topo.Topology{})
 	if len(rows) != 12 {
 		t.Fatalf("Table I rows = %d, want 12", len(rows))
 	}

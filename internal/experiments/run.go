@@ -25,6 +25,7 @@ import (
 	"hplsim/internal/sched"
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
+	"hplsim/internal/topo"
 )
 
 // Scheme selects the scheduler configuration of a run.
@@ -94,6 +95,11 @@ type Options struct {
 	Profile nas.Profile
 	Scheme  Scheme
 	Seed    uint64
+	// Topo overrides the machine topology (zero value = the paper's
+	// POWER6 2x2x2). Wide nodes (e.g. 4x128x2) are fully supported; the
+	// rank count still comes from the NAS profile, so oversubscription
+	// or undersubscription follows from the topology choice.
+	Topo topo.Topology
 	// HZ overrides the tick frequency (0 = default 250).
 	HZ int
 	// AdaptiveTick enables the NETTICK-style housekeeping tick for lone
@@ -105,6 +111,12 @@ type Options struct {
 	// fast-forward oracle enforces it); changes only wall-clock cost and
 	// the engine traffic metrics.
 	FastForward bool
+	// Naive selects the kernel's reference implementations of the wide-node
+	// hot paths (linear lane scans, full-topology balance sweeps, per-CPU
+	// tick catch-up): scheduling behaviour is identical, only the host cost
+	// changes. It exists so BENCH_scale.json can record the pre-optimization
+	// baseline alongside the optimized runs.
+	Naive bool
 	// NoDaemons suppresses the background daemon population.
 	NoDaemons bool
 	// NoStorms suppresses the heavy-storm process.
@@ -194,11 +206,13 @@ func Run(opt Options) Result {
 	}
 
 	k := kernel.New(kernel.Config{
+		Topo:              opt.Topo,
 		HZ:                opt.HZ,
 		Balance:           balance,
 		HPCNaivePlacement: opt.Scheme == HPLNaive,
 		AdaptiveTick:      opt.AdaptiveTick,
 		FastForward:       opt.FastForward,
+		Naive:             opt.Naive,
 		Seed:              opt.Seed,
 		Tracer:            opt.Tracer,
 	})

@@ -6,6 +6,7 @@ import (
 
 	"hplsim/internal/nas"
 	"hplsim/internal/schedstat"
+	"hplsim/internal/topo"
 )
 
 // RunStat is Run with the schedstat accounting ledger attached: the same
@@ -36,11 +37,12 @@ type SchedstatRow struct {
 }
 
 // TableSchedstat runs the profile once per scheme and tabulates the ranks'
-// schedstat aggregates.
-func TableSchedstat(prof nas.Profile, schemes []Scheme, seed uint64) []SchedstatRow {
+// schedstat aggregates. machine overrides the topology (zero value = the
+// paper's POWER6).
+func TableSchedstat(prof nas.Profile, schemes []Scheme, seed uint64, machine topo.Topology) []SchedstatRow {
 	rows := make([]SchedstatRow, 0, len(schemes))
 	for _, sc := range schemes {
-		r, acct := RunStat(Options{Profile: prof, Scheme: sc, Seed: seed})
+		r, acct := RunStat(Options{Profile: prof, Scheme: sc, Seed: seed, Topo: machine})
 		agg := acct.Aggregate("rank")
 		rows = append(rows, SchedstatRow{
 			Scheme:       sc,

@@ -6,6 +6,7 @@ import (
 
 	"hplsim/internal/nas"
 	"hplsim/internal/stats"
+	"hplsim/internal/topo"
 )
 
 // TableIRow is one row of the paper's Table I: scheduler OS noise (CPU
@@ -19,10 +20,11 @@ type TableIRow struct {
 // TableI reproduces Table Ia (scheme Std) or Ib (scheme HPL): for every NAS
 // configuration, the min/avg/max of CPU migrations and context switches
 // over reps runs. workers bounds the replication pool (0 = GOMAXPROCS).
-func TableI(scheme Scheme, reps int, seed uint64, workers int) []TableIRow {
+// machine overrides the topology (zero value = the paper's POWER6).
+func TableI(scheme Scheme, reps int, seed uint64, workers int, machine topo.Topology) []TableIRow {
 	var rows []TableIRow
 	for _, prof := range nas.All() {
-		rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps, workers)
+		rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed, Topo: machine}, reps, workers)
 		mig := make([]float64, len(rs))
 		ctx := make([]float64, len(rs))
 		for i, r := range rs {
@@ -63,13 +65,14 @@ type TableIIRow struct {
 }
 
 // TableII reproduces Table II: execution time min/avg/max and Var% for
-// every NAS configuration under Std and HPL.
-func TableII(reps int, seed uint64, workers int) []TableIIRow {
+// every NAS configuration under Std and HPL. machine overrides the topology
+// (zero value = the paper's POWER6).
+func TableII(reps int, seed uint64, workers int, machine topo.Topology) []TableIIRow {
 	var rows []TableIIRow
 	for _, prof := range nas.All() {
 		row := TableIIRow{Bench: prof.Name()}
 		for _, scheme := range []Scheme{Std, HPL} {
-			rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed}, reps, workers)
+			rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed, Topo: machine}, reps, workers)
 			el := make([]float64, len(rs))
 			for i, r := range rs {
 				el[i] = r.ElapsedSec

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"math"
+	"math/bits"
 
 	"hplsim/internal/invariant"
 	"hplsim/internal/sim"
@@ -57,12 +58,14 @@ func (k *Kernel) armTick(c *cpuState) {
 		return
 	}
 	c.tickNext = k.now().Add(k.tickPeriodFor(c))
+	k.ticking[c.id>>6] |= 1 << uint(c.id&63)
 	k.armLane(c)
 }
 
 func (k *Kernel) cancelTick(c *cpuState) {
 	k.Eng.DisarmLane(c.lane)
 	c.tickNext = 0
+	k.ticking[c.id>>6] &^= 1 << uint(c.id&63)
 }
 
 // armLane points c's timer lane at the next tick that must actually be
@@ -243,26 +246,45 @@ func (k *Kernel) replayBatch(c *cpuState, m int64) bool {
 // and falls back to tick-by-tick replay otherwise (typically just the
 // first tick after an event, which realigns the span to the grid).
 func (k *Kernel) catchUp(at sim.Time, tieID int) {
-	for _, c := range k.cpus {
-		if c.tickNext == 0 {
-			continue
-		}
-		var theft sim.Duration
-		for c.tickNext < at || (c.tickNext == at && c.id < tieID) {
-			bound := at
-			if c.id >= tieID {
-				bound-- // ticks strictly before the event instant
-			}
-			m := int64(bound.Sub(c.tickNext))/int64(k.tickPeriodFor(c)) + 1
-			if k.replayBatch(c, m) {
-				theft += sim.Duration(m) * k.Cfg.TickCost
+	if k.Cfg.Naive {
+		for _, c := range k.cpus {
+			if c.tickNext == 0 {
 				continue
 			}
-			theft += k.replayTick(c)
+			k.catchUpCPU(c, at, tieID)
 		}
-		if theft > 0 && c.completion.Pending() {
-			k.Eng.Shift(c.completion, c.completion.When().Add(theft))
+		return
+	}
+	// Walk only CPUs with a live tick grid. Replay never arms or cancels
+	// ticks (Resched and timers panic during replay), so the bitmap is
+	// stable while we iterate; the ascending bit order matches the
+	// ascending k.cpus order of the full loop, and the skipped CPUs are
+	// exactly those the full loop would have `continue`d over.
+	for w, word := range k.ticking {
+		for v := word; v != 0; v &= v - 1 {
+			k.catchUpCPU(k.cpus[w*64+bits.TrailingZeros64(v)], at, tieID)
 		}
+	}
+}
+
+// catchUpCPU replays one CPU's elided ticks up to `at` (see catchUp for the
+// tie rules).
+func (k *Kernel) catchUpCPU(c *cpuState, at sim.Time, tieID int) {
+	var theft sim.Duration
+	for c.tickNext < at || (c.tickNext == at && c.id < tieID) {
+		bound := at
+		if c.id >= tieID {
+			bound-- // ticks strictly before the event instant
+		}
+		m := int64(bound.Sub(c.tickNext))/int64(k.tickPeriodFor(c)) + 1
+		if k.replayBatch(c, m) {
+			theft += sim.Duration(m) * k.Cfg.TickCost
+			continue
+		}
+		theft += k.replayTick(c)
+	}
+	if theft > 0 && c.completion.Pending() {
+		k.Eng.Shift(c.completion, c.completion.When().Add(theft))
 	}
 }
 
@@ -277,14 +299,17 @@ func (k *Kernel) beforeEvent(at sim.Time) {
 }
 
 // smtFactor reports the throughput factor of cpu given how many of its SMT
-// siblings are currently busy.
+// siblings are currently busy. Sibling CPU numbers are contiguous, so the
+// hottest accounting path iterates a plain integer range instead of
+// materialising a mask.
 func (k *Kernel) smtFactor(cpu int) float64 {
 	busy := 0
-	k.Topo.SiblingsOf(cpu).ForEach(func(sib int) {
+	base := k.Topo.CoreOf(cpu) * k.Topo.ThreadsPerCore
+	for sib := base; sib < base+k.Topo.ThreadsPerCore; sib++ {
 		if sib != cpu && !k.IdleOn(sib) {
 			busy++
 		}
-	})
+	}
 	f := k.Cfg.SMTFactors
 	if busy >= len(f) {
 		busy = len(f) - 1
@@ -508,28 +533,30 @@ func (k *Kernel) StealTime(cpu int, d sim.Duration) {
 // syncSiblings settles the running spans of the busy SMT siblings of cpu
 // (their throughput is about to change).
 func (k *Kernel) syncSiblings(cpu int) {
-	k.Topo.SiblingsOf(cpu).ForEach(func(sib int) {
+	base := k.Topo.CoreOf(cpu) * k.Topo.ThreadsPerCore
+	for sib := base; sib < base+k.Topo.ThreadsPerCore; sib++ {
 		if sib == cpu {
-			return
+			continue
 		}
 		sc := k.cpus[sib]
 		if sc.curr != sc.idle {
 			k.syncProgress(sc)
 		}
-	})
+	}
 }
 
 // reprojectSiblings recomputes the completion events of busy SMT siblings
 // after an occupancy change.
 func (k *Kernel) reprojectSiblings(cpu int) {
-	k.Topo.SiblingsOf(cpu).ForEach(func(sib int) {
+	base := k.Topo.CoreOf(cpu) * k.Topo.ThreadsPerCore
+	for sib := base; sib < base+k.Topo.ThreadsPerCore; sib++ {
 		if sib == cpu {
-			return
+			continue
 		}
 		sc := k.cpus[sib]
 		if sc.curr == sc.idle {
-			return
+			continue
 		}
 		k.project(sc)
-	})
+	}
 }

@@ -137,6 +137,12 @@ type Config struct {
 	NoOverheads bool
 	// Chaos enables scheduler fault injection for the property harness.
 	Chaos sched.Chaos
+	// Naive reverts every wide-node optimisation to the pre-optimisation
+	// linear scans — full-span balancing, all-CPU tick catch-up, O(#lanes)
+	// engine timer lookup — while keeping identical scheduling behaviour.
+	// The scale benchmark uses it to record the naive wide-mask baseline
+	// that BENCH_scale.json speedups are measured against.
+	Naive bool
 }
 
 func (c Config) withDefaults() Config {
@@ -221,6 +227,12 @@ type Kernel struct {
 	cores []*coreState
 	idle  *idleclass.Class
 
+	// ticking is a per-word CPU bitmap of CPUs with a live tick grid
+	// (tickNext != 0), maintained by armTick/cancelTick. Fast-forward
+	// catch-up walks only these bits, so a fully idle socket costs
+	// nothing per event.
+	ticking []uint64
+
 	tasks  []*task.Task
 	nextID int
 
@@ -248,13 +260,15 @@ func New(cfg Config) *Kernel {
 	}
 	n := cfg.Topo.NumCPUs()
 	k := &Kernel{
-		Eng:   sim.NewEngine(),
-		Cfg:   cfg,
-		Topo:  cfg.Topo,
-		cpus:  make([]*cpuState, n),
-		cores: make([]*coreState, cfg.Topo.NumCores()),
-		rng:   sim.NewRNG(cfg.Seed),
+		Eng:     sim.NewEngine(),
+		Cfg:     cfg,
+		Topo:    cfg.Topo,
+		cpus:    make([]*cpuState, n),
+		cores:   make([]*coreState, cfg.Topo.NumCores()),
+		ticking: make([]uint64, (n+63)/64),
+		rng:     sim.NewRNG(cfg.Seed),
 	}
+	k.Eng.NaiveLanes = cfg.Naive
 	k.energy = newEnergyState(cfg.Topo.NumCores(), n)
 	k.idle = idleclass.New(n)
 	hpcClass := hpc.New(n)
@@ -267,12 +281,13 @@ func New(cfg Config) *Kernel {
 	}
 	k.ff = cfg.FastForward
 	k.Sched = sched.New(sched.Config{
-		Topo:    cfg.Topo,
-		Classes: classes,
-		Hooks:   (*hooks)(k),
-		Policy:  cfg.Balance,
-		RNG:     k.rng.Split(0xba1a), // load-balancer tie-break stream
-		Now:     k.now,
+		Topo:      cfg.Topo,
+		Classes:   classes,
+		Hooks:     (*hooks)(k),
+		Policy:    cfg.Balance,
+		NaiveScan: cfg.Naive,
+		RNG:       k.rng.Split(0xba1a), // load-balancer tie-break stream
+		Now:       k.now,
 		Timer: func(d sim.Duration, fn func()) {
 			if k.replaying {
 				// A class arming a timer at an elided tick means the

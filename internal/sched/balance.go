@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math/bits"
+
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
 	"hplsim/internal/topo"
@@ -105,11 +107,26 @@ func (s *Scheduler) pushToIdle(cpu int, dom topo.Domain) bool {
 		return false
 	}
 	target := -1
-	dom.Span.ForEach(func(other int) {
-		if target < 0 && other != cpu && s.NrRunnable(other) == 0 {
-			target = other
+	if s.naiveScan {
+		dom.Span.ForEach(func(other int) {
+			if target < 0 && other != cpu && s.NrRunnable(other) == 0 {
+				target = other
+			}
+		})
+	} else {
+		// The busy bitmap inverts to exactly the NrRunnable==0 set, so the
+		// first idle CPU falls out of a word scan: O(words), not O(span).
+		for w, nw := 0, dom.Span.NumWords(); w < nw; w++ {
+			v := dom.Span.Word(w) &^ s.busy[w]
+			if w == cpu>>6 {
+				v &^= 1 << uint(cpu&63)
+			}
+			if v != 0 {
+				target = w*64 + bits.TrailingZeros64(v)
+				break
+			}
 		}
-	})
+	}
 	if target < 0 {
 		return false
 	}
@@ -137,15 +154,34 @@ func (s *Scheduler) IdleBalance(cpu int) bool {
 func (s *Scheduler) balanceDomain(cpu int, dom topo.Domain, idle bool) bool {
 	myLoad := s.NrRunnable(cpu)
 	busiest, busiestLoad := -1, myLoad
-	dom.Span.ForEach(func(other int) {
-		if other == cpu {
-			return
+	if s.naiveScan {
+		dom.Span.ForEach(func(other int) {
+			if other == cpu {
+				return
+			}
+			load := s.NrRunnable(other)
+			if load > busiestLoad {
+				busiest, busiestLoad = other, load
+			}
+		})
+	} else {
+		// Only busy CPUs can win the argmax: an idle CPU has load 0, and
+		// the strict > against busiestLoad >= myLoad >= 0 rejects it. So
+		// scanning span∩busy visits exactly the candidates the full-span
+		// scan would have picked from, in the same ascending order.
+		for w, nw := 0, dom.Span.NumWords(); w < nw; w++ {
+			for v := dom.Span.Word(w) & s.busy[w]; v != 0; v &= v - 1 {
+				other := w*64 + bits.TrailingZeros64(v)
+				if other == cpu {
+					continue
+				}
+				load := s.NrRunnable(other)
+				if load > busiestLoad {
+					busiest, busiestLoad = other, load
+				}
+			}
 		}
-		load := s.NrRunnable(other)
-		if load > busiestLoad {
-			busiest, busiestLoad = other, load
-		}
-	})
+	}
 	if busiest < 0 {
 		return false
 	}
@@ -191,6 +227,11 @@ func (s *Scheduler) completeMove(c Class, t *task.Task, from, to int) {
 	s.hooks.Migrated(t, from, to)
 	c.Enqueue(s, to, t, EnqueueMove)
 	t.OnRq = true
+	// The class mutated both queues directly (StealFrom/Dequeue at the
+	// source, Enqueue at the destination), bypassing the scheduler's
+	// wrappers — refresh both sides' bitmap bits here.
+	s.refreshCPU(from)
+	s.refreshCPU(to)
 	s.checkPreemptWakeup(to, t)
 	s.tickAdjusted(to)
 }

@@ -16,7 +16,6 @@ import (
 	"hplsim/internal/sched"
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
-	"hplsim/internal/topo"
 )
 
 // nice -20 .. +19 mapped to load weights; nice 0 = 1024. This is the
@@ -380,20 +379,14 @@ func (c *Class) selectWake(s *sched.Scheduler, t *task.Task, prev int) int {
 	if s.NrRunnable(prev) == 0 {
 		return prev
 	}
-	spans := []topo.CPUMask{
-		s.Topo.SiblingsOf(prev),
-		s.Topo.ChipMask(s.Topo.ChipOf(prev)),
+	// The spans are cached on the scheduler and the idle lookup is a word
+	// scan over the busy bitmap, so a wakeup on a wide node costs O(words),
+	// not O(chip size), and allocates nothing.
+	if cpu := s.FirstIdleIn(s.SiblingSpan(prev), t.Affinity, prev); cpu >= 0 {
+		return cpu
 	}
-	for _, span := range spans {
-		found := -1
-		span.ForEach(func(cpu int) {
-			if found < 0 && cpu != prev && t.Affinity.Has(cpu) && s.NrRunnable(cpu) == 0 {
-				found = cpu
-			}
-		})
-		if found >= 0 {
-			return found
-		}
+	if cpu := s.FirstIdleIn(s.ChipSpan(prev), t.Affinity, prev); cpu >= 0 {
+		return cpu
 	}
 	return prev
 }

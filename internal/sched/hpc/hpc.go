@@ -215,25 +215,27 @@ func (c *Class) loadAt(s *sched.Scheduler, cpu int, t *task.Task) int {
 // least-loaded core of that chip, then the least-loaded hardware thread of
 // that core. With eight ranks on the paper's 2x2x2 machine this yields one
 // rank per hardware thread; with four ranks, one per core.
+//
+// CPU numbering is contiguous per chip and per core, so the scan walks
+// plain integer ranges: no per-fork slice, no mask intersections.
 func (c *Class) place(s *sched.Scheduler, t *task.Task) int {
 	tp := s.Topo
-	perCPU := make([]int, tp.NumCPUs())
-	for cpu := 0; cpu < tp.NumCPUs(); cpu++ {
-		perCPU[cpu] = c.loadAt(s, cpu, t)
-	}
-	sum := func(mask interface{ ForEach(func(int)) }) int {
-		total := 0
-		mask.ForEach(func(cpu int) { total += perCPU[cpu] })
-		return total
-	}
+	const maxInt = int(^uint(0) >> 1)
+	perChip := tp.CoresPerChip * tp.ThreadsPerCore
 
-	// Least-loaded chip with an allowed CPU.
-	bestChip, bestChipLoad := -1, int(^uint(0)>>1)
+	// Least-loaded chip with an allowed CPU (chip load counts every CPU
+	// of the chip; affinity only gates eligibility).
+	bestChip, bestChipLoad := -1, maxInt
 	for chip := 0; chip < tp.Chips; chip++ {
-		if tp.ChipMask(chip).And(t.Affinity).Empty() {
-			continue
+		base := chip * perChip
+		allowed, load := false, 0
+		for cpu := base; cpu < base+perChip; cpu++ {
+			load += c.loadAt(s, cpu, t)
+			if t.Affinity.Has(cpu) {
+				allowed = true
+			}
 		}
-		if load := sum(tp.ChipMask(chip)); load < bestChipLoad {
+		if allowed && load < bestChipLoad {
 			bestChip, bestChipLoad = chip, load
 		}
 	}
@@ -241,22 +243,30 @@ func (c *Class) place(s *sched.Scheduler, t *task.Task) int {
 		return t.Affinity.First()
 	}
 	// Least-loaded core of that chip.
-	bestCore, bestCoreLoad := -1, int(^uint(0)>>1)
+	bestCore, bestCoreLoad := -1, maxInt
 	for i := 0; i < tp.CoresPerChip; i++ {
 		core := bestChip*tp.CoresPerChip + i
-		if tp.CoreMask(core).And(t.Affinity).Empty() {
-			continue
+		base := core * tp.ThreadsPerCore
+		allowed, load := false, 0
+		for cpu := base; cpu < base+tp.ThreadsPerCore; cpu++ {
+			load += c.loadAt(s, cpu, t)
+			if t.Affinity.Has(cpu) {
+				allowed = true
+			}
 		}
-		if load := sum(tp.CoreMask(core)); load < bestCoreLoad {
+		if allowed && load < bestCoreLoad {
 			bestCore, bestCoreLoad = core, load
 		}
 	}
 	// Least-loaded allowed hardware thread of that core.
-	bestCPU, bestCPULoad := -1, int(^uint(0)>>1)
-	tp.CoreMask(bestCore).And(t.Affinity).ForEach(func(cpu int) {
-		if perCPU[cpu] < bestCPULoad {
-			bestCPU, bestCPULoad = cpu, perCPU[cpu]
+	bestCPU, bestCPULoad := -1, maxInt
+	for cpu := bestCore * tp.ThreadsPerCore; cpu < (bestCore+1)*tp.ThreadsPerCore; cpu++ {
+		if !t.Affinity.Has(cpu) {
+			continue
 		}
-	})
+		if load := c.loadAt(s, cpu, t); load < bestCPULoad {
+			bestCPU, bestCPULoad = cpu, load
+		}
+	}
 	return bestCPU
 }

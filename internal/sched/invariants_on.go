@@ -26,4 +26,22 @@ func (s *Scheduler) CheckInvariants() {
 	}
 	invariant.Check(s.classes[len(s.classes)-1].Handles(task.Idle),
 		"sched: last class %q does not handle the idle policy", s.classes[len(s.classes)-1].Name())
+
+	// The busy/queued occupancy bitmaps must agree with a from-scratch
+	// recomputation: every word scan in the balancing hot paths trusts
+	// them, so a stale bit would silently change scheduling decisions.
+	for cpu := range s.curr {
+		w, bit := cpu>>6, uint64(1)<<uint(cpu&63)
+		q := s.NrQueued(cpu)
+		invariant.Check(s.queued[w]&bit != 0 == (q > 0),
+			"sched: queued bitmap stale on cpu %d: bit=%v, NrQueued=%d",
+			cpu, s.queued[w]&bit != 0, q)
+		r := q
+		if c := s.curr[cpu]; c != nil && c.Policy != task.Idle {
+			r++
+		}
+		invariant.Check(s.busy[w]&bit != 0 == (r > 0),
+			"sched: busy bitmap stale on cpu %d: bit=%v, runnable=%d",
+			cpu, s.busy[w]&bit != 0, r)
+	}
 }

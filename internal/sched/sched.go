@@ -10,6 +10,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hplsim/internal/sim"
 	"hplsim/internal/task"
@@ -190,6 +191,23 @@ type Scheduler struct {
 	// domains caches the per-CPU scheduling-domain chains.
 	domains [][]topo.Domain
 
+	// sibSpan and chipSpan cache per-CPU topology spans so hot wakeup
+	// paths never rebuild masks.
+	sibSpan  []topo.CPUMask
+	chipSpan []topo.CPUMask
+
+	// busy and queued are per-word CPU bitmaps kept in lockstep with the
+	// runqueues: bit cpu of busy is set iff NrRunnable(cpu) >= 1, bit cpu
+	// of queued iff NrQueued(cpu) >= 1. They are refreshed at every
+	// queue or curr mutation (refreshCPU), which lets the balancer scan
+	// only active CPUs instead of whole domain spans.
+	busy   []uint64
+	queued []uint64
+
+	// naiveScan forces the pre-optimisation full-span linear scans; the
+	// scale benchmark uses it to record the naive wide-mask baseline.
+	naiveScan bool
+
 	// nextBalance is the per-CPU, per-domain-level next balance time.
 	nextBalance [][]sim.Time
 	// backoff is the per-CPU, per-domain balance interval multiplier.
@@ -218,22 +236,30 @@ type Config struct {
 	Timer func(d sim.Duration, fn func())
 	// Chaos enables fault injection for the property harness.
 	Chaos Chaos
+	// NaiveScan disables the O(active-CPU) balancer scans in favour of
+	// full-span iteration (benchmark baseline only).
+	NaiveScan bool
 }
 
 // New builds a scheduler core from the class chain.
 func New(cfg Config) *Scheduler {
 	n := cfg.Topo.NumCPUs()
 	s := &Scheduler{
-		Topo:    cfg.Topo,
-		classes: cfg.Classes,
-		hooks:   cfg.Hooks,
-		policy:  cfg.Policy,
-		chaos:   cfg.Chaos,
-		curr:    make([]*task.Task, n),
-		domains: make([][]topo.Domain, n),
-		rng:     cfg.RNG,
-		now:     cfg.Now,
-		timer:   cfg.Timer,
+		Topo:      cfg.Topo,
+		classes:   cfg.Classes,
+		hooks:     cfg.Hooks,
+		policy:    cfg.Policy,
+		chaos:     cfg.Chaos,
+		curr:      make([]*task.Task, n),
+		domains:   make([][]topo.Domain, n),
+		sibSpan:   make([]topo.CPUMask, n),
+		chipSpan:  make([]topo.CPUMask, n),
+		busy:      make([]uint64, (n+63)/64),
+		queued:    make([]uint64, (n+63)/64),
+		naiveScan: cfg.NaiveScan,
+		rng:       cfg.RNG,
+		now:       cfg.Now,
+		timer:     cfg.Timer,
 	}
 	if ta, ok := cfg.Hooks.(TickAdjuster); ok {
 		s.tickAdjust = ta.TickAdjust
@@ -242,6 +268,8 @@ func New(cfg Config) *Scheduler {
 	s.backoff = make([][]sim.Duration, n)
 	for cpu := 0; cpu < n; cpu++ {
 		s.domains[cpu] = cfg.Topo.Domains(cpu)
+		s.sibSpan[cpu] = cfg.Topo.SiblingsOf(cpu)
+		s.chipSpan[cpu] = cfg.Topo.ChipMask(cfg.Topo.ChipOf(cpu))
 		s.nextBalance[cpu] = make([]sim.Time, len(s.domains[cpu]))
 		s.backoff[cpu] = make([]sim.Duration, len(s.domains[cpu]))
 		for i := range s.backoff[cpu] {
@@ -283,7 +311,64 @@ func (s *Scheduler) Curr(cpu int) *task.Task { return s.curr[cpu] }
 
 // SetCurr records that t is now running on cpu. The kernel calls this from
 // its context-switch path.
-func (s *Scheduler) SetCurr(cpu int, t *task.Task) { s.curr[cpu] = t }
+func (s *Scheduler) SetCurr(cpu int, t *task.Task) {
+	s.curr[cpu] = t
+	s.refreshCPU(cpu)
+}
+
+// refreshCPU recomputes cpu's bits in the busy and queued bitmaps. Queued
+// counts are O(1) per class, so recomputing on every mutation is cheap and
+// immune to classes moving tasks internally (PickNext, StealFrom).
+func (s *Scheduler) refreshCPU(cpu int) {
+	w, bit := cpu>>6, uint64(1)<<uint(cpu&63)
+	q := s.NrQueued(cpu)
+	if q > 0 {
+		s.queued[w] |= bit
+	} else {
+		s.queued[w] &^= bit
+	}
+	r := q
+	if c := s.curr[cpu]; c != nil && c.Policy != task.Idle {
+		r++
+	}
+	if r > 0 {
+		s.busy[w] |= bit
+	} else {
+		s.busy[w] &^= bit
+	}
+}
+
+// SiblingSpan reports the cached SMT-sibling mask of cpu (including cpu).
+func (s *Scheduler) SiblingSpan(cpu int) topo.CPUMask { return s.sibSpan[cpu] }
+
+// ChipSpan reports the cached mask of all CPUs on cpu's chip.
+func (s *Scheduler) ChipSpan(cpu int) topo.CPUMask { return s.chipSpan[cpu] }
+
+// FirstIdleIn returns the lowest-numbered CPU of span∩affinity with no
+// runnable task (NrRunnable == 0), excluding exclude, or -1 if there is
+// none. With the busy bitmap this is a word scan, independent of how many
+// CPUs the span covers.
+func (s *Scheduler) FirstIdleIn(span, affinity topo.CPUMask, exclude int) int {
+	if s.naiveScan {
+		found := -1
+		span.ForEach(func(cpu int) {
+			if found < 0 && cpu != exclude && affinity.Has(cpu) && s.NrRunnable(cpu) == 0 {
+				found = cpu
+			}
+		})
+		return found
+	}
+	for w, nw := 0, span.NumWords(); w < nw; w++ {
+		v := span.Word(w) & affinity.Word(w) &^ s.busy[w]
+		if w == exclude>>6 {
+			v &^= 1 << uint(exclude&63)
+		}
+		if v != 0 {
+			return w*64 + bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
 
 // ClassOf returns the class handling the task's policy.
 func (s *Scheduler) ClassOf(t *task.Task) Class {
@@ -374,6 +459,7 @@ func (s *Scheduler) Enqueue(cpu int, t *task.Task, kind WakeKind) {
 	c.Enqueue(s, cpu, t, kind)
 	t.OnRq = true
 	t.CPU = cpu
+	s.refreshCPU(cpu)
 	if kind == EnqueuePutPrev {
 		return // the core is already rescheduling this CPU
 	}
@@ -391,6 +477,7 @@ func (s *Scheduler) Dequeue(t *task.Task) {
 	}
 	s.ClassOf(t).Dequeue(s, t.CPU, t)
 	t.OnRq = false
+	s.refreshCPU(t.CPU)
 }
 
 // checkPreemptWakeup decides whether the wakeup of t on cpu should preempt
@@ -424,6 +511,7 @@ func (s *Scheduler) PickNext(cpu int) *task.Task {
 	for _, c := range s.classes {
 		if t := c.PickNext(s, cpu); t != nil {
 			t.OnRq = false
+			s.refreshCPU(cpu)
 			return t
 		}
 	}

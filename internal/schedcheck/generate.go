@@ -18,6 +18,17 @@ func Generate(seed uint64) Scenario {
 		},
 		HZ: []int{100, 250, 1000}[rng.Intn(3)],
 	}
+	// Occasionally draw a wide node (up to 4x16x2 = 128 CPUs) so the oracles
+	// run on topologies whose CPU masks span multiple words. The draw is
+	// taken unconditionally to keep the RNG stream aligned across seeds.
+	wideTopo := TopoSpec{
+		Chips:   2 + rng.Intn(3),
+		Cores:   8 + rng.Intn(9),
+		Threads: 1 + rng.Intn(2),
+	}
+	if rng.Float64() < 0.15 {
+		s.Topo = wideTopo
+	}
 	if rng.Float64() < 0.7 {
 		s.Physics = PhysicsIdeal
 	} else {
@@ -31,10 +42,17 @@ func Generate(seed uint64) Scenario {
 
 	nCPU := s.Topo.NumCPUs()
 	// Mostly at most one rank per CPU (where the paper's exactness claims
-	// live), sometimes oversubscribed to exercise the round-robin path.
-	ranks := 1 + rng.Intn(nCPU)
+	// live), sometimes oversubscribed to exercise the round-robin path. On
+	// wide nodes the rank count is capped so corpus runtime stays bounded:
+	// the interesting part of a 128-CPU scenario is the mask width, not
+	// simulating 128 concurrent ranks.
+	maxRanks := min(nCPU, 24)
+	ranks := 1 + rng.Intn(maxRanks)
 	if rng.Float64() < 0.25 {
 		ranks = nCPU + 1 + rng.Intn(3)
+		if ranks > maxRanks+3 {
+			ranks = maxRanks + 3
+		}
 	}
 
 	s.Barrier = ranks >= 2 && rng.Float64() < 0.5

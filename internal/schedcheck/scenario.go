@@ -1,7 +1,7 @@
 // Package schedcheck is a property-based testing harness for the simulated
 // scheduler. It generates randomized-but-seeded scenarios (HPC rank mixes,
 // NAS-like phase patterns, daemon noise schedules, topologies from 1x1x1 up
-// to the paper's 2x2x2 POWER6 shape) and checks metamorphic and invariant
+// to wide 4x16x2 multi-word nodes) and checks metamorphic and invariant
 // oracles over full simulation traces:
 //
 //   - determinism: the same scenario replayed twice yields an identical
@@ -53,8 +53,9 @@ const (
 	SchemeStandard = "standard"
 )
 
-// TopoSpec is a serializable topology: chips x cores x threads, each 1 or 2
-// (the harness explores 1x1x1 up to the paper's 2x2x2).
+// TopoSpec is a serializable topology: chips x cores x threads. The harness
+// explores 1x1x1 up to 4x16x2 (128 CPUs — wide enough that CPU masks span
+// multiple words), with the paper's 2x2x2 POWER6 shape in the common range.
 type TopoSpec struct {
 	Chips   int
 	Cores   int
@@ -159,8 +160,8 @@ func (s Scenario) Validate() error {
 	if err := s.Topo.Topology().Validate(); err != nil {
 		return err
 	}
-	if s.Topo.Chips > 2 || s.Topo.Cores > 2 || s.Topo.Threads > 2 {
-		return fmt.Errorf("schedcheck: topology %v exceeds the 2x2x2 envelope", s.Topo)
+	if s.Topo.Chips > 4 || s.Topo.Cores > 16 || s.Topo.Threads > 2 {
+		return fmt.Errorf("schedcheck: topology %v exceeds the 4x16x2 envelope", s.Topo)
 	}
 	if s.Physics != PhysicsIdeal && s.Physics != PhysicsRealistic {
 		return fmt.Errorf("schedcheck: unknown physics %q", s.Physics)

@@ -151,7 +151,7 @@ func TestValidateRejects(t *testing.T) {
 		name string
 		s    Scenario
 	}{
-		{"huge topology", mut(func(s *Scenario) { s.Topo.Chips = 3 })},
+		{"huge topology", mut(func(s *Scenario) { s.Topo.Chips = 5 })},
 		{"zero HZ", mut(func(s *Scenario) { s.HZ = 0 })},
 		{"bad physics", mut(func(s *Scenario) { s.Physics = "quantum" })},
 		{"bad scheme", mut(func(s *Scenario) { s.Scheme = "fifo" })},

@@ -91,20 +91,23 @@ func candidates(s Scenario) []Scenario {
 		}
 	}
 
-	// Shrink the topology one dimension at a time.
-	if s.Topo.Threads == 2 {
+	// Shrink the topology one dimension at a time, halving so wide nodes
+	// (up to 4x16x2) converge in a few steps. Candidates that strand an
+	// RT-pinned CPU outside the smaller topology fail Validate and are
+	// skipped by the caller.
+	if s.Topo.Threads > 1 {
 		c := s.clone()
-		c.Topo.Threads = 1
+		c.Topo.Threads /= 2
 		out = append(out, c)
 	}
-	if s.Topo.Cores == 2 {
+	if s.Topo.Cores > 1 {
 		c := s.clone()
-		c.Topo.Cores = 1
+		c.Topo.Cores /= 2
 		out = append(out, c)
 	}
-	if s.Topo.Chips == 2 {
+	if s.Topo.Chips > 1 {
 		c := s.clone()
-		c.Topo.Chips = 1
+		c.Topo.Chips /= 2
 		out = append(out, c)
 	}
 

@@ -55,12 +55,12 @@ func TestReadTraceSkipsBlankLines(t *testing.T) {
 
 func TestReadTraceErrors(t *testing.T) {
 	cases := map[string]string{
-		"malformed JSON":  "{not json}\n",
-		"unknown kind":    `{"ev":"nap","t":1}` + "\n",
-		"non-integer t":   `{"ev":"exit","t":1.5,"task":"a","tid":1}` + "\n",
-		"wrong type":      `{"ev":"wake","t":"soon","task":"a","tid":1,"cpu":0}` + "\n",
-		"bare array":      "[1,2,3]\n",
-		"truncated":       `{"ev":"exit"`,
+		"malformed JSON": "{not json}\n",
+		"unknown kind":   `{"ev":"nap","t":1}` + "\n",
+		"non-integer t":  `{"ev":"exit","t":1.5,"task":"a","tid":1}` + "\n",
+		"wrong type":     `{"ev":"wake","t":"soon","task":"a","tid":1,"cpu":0}` + "\n",
+		"bare array":     "[1,2,3]\n",
+		"truncated":      `{"ev":"exit"`,
 	}
 	for name, in := range cases {
 		if _, err := ReadTrace(strings.NewReader(in)); err == nil {

@@ -41,6 +41,7 @@ func (h EventRef) When() Time { return h.ev.when }
 type timerLane struct {
 	when Time // Infinity while disarmed
 	fn   func()
+	pos  int // index in laneHeap, -1 while disarmed
 }
 
 // Engine is a deterministic discrete-event simulator. It is not safe for
@@ -60,12 +61,20 @@ type timerLane struct {
 // them never perturbs the FIFO ordering of ordinary events — the property
 // the fast-forward mode's trace-equivalence proof rests on.
 type Engine struct {
-	now     Time
-	queue   []*Event
-	free    []*Event
-	lanes   []timerLane
-	seq     uint64
-	stopped bool
+	now   Time
+	queue []*Event
+	free  []*Event
+	lanes []timerLane
+	// laneHeap indexes the armed lanes ordered by (when, id), so finding
+	// the next lane firing is O(1) regardless of how many lanes (CPUs)
+	// exist — the linear scan it replaces dominated wide-node runs.
+	laneHeap []int
+	seq      uint64
+	stopped  bool
+	// NaiveLanes restores the O(#lanes) linear scan for the next armed
+	// lane (benchmark baseline only). It must be set before any lane is
+	// armed and never changed afterwards.
+	NaiveLanes bool
 	// Dispatched counts heap events that have fired, for diagnostics and
 	// tests. Lane firings are counted separately in LaneFires.
 	Dispatched uint64
@@ -191,7 +200,7 @@ func (e *Engine) Shift(h EventRef, t Time) {
 // NewLane registers a timer lane firing fn and returns its id. Lanes start
 // disarmed. Lane ids are dense and stable for the engine's lifetime.
 func (e *Engine) NewLane(fn func()) int {
-	e.lanes = append(e.lanes, timerLane{when: Infinity, fn: fn})
+	e.lanes = append(e.lanes, timerLane{when: Infinity, fn: fn, pos: -1})
 	return len(e.lanes) - 1
 }
 
@@ -202,25 +211,122 @@ func (e *Engine) ArmLane(id int, t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: arming lane %d at %v before now %v", id, t, e.now))
 	}
-	e.lanes[id].when = t
+	l := &e.lanes[id]
+	l.when = t
+	if e.NaiveLanes {
+		return
+	}
+	if l.pos >= 0 {
+		if !e.laneDown(l.pos) {
+			e.laneUp(l.pos)
+		}
+		return
+	}
+	l.pos = len(e.laneHeap)
+	e.laneHeap = append(e.laneHeap, id)
+	e.laneUp(l.pos)
 }
 
 // DisarmLane stops the lane from firing until re-armed.
-func (e *Engine) DisarmLane(id int) { e.lanes[id].when = Infinity }
+func (e *Engine) DisarmLane(id int) {
+	l := &e.lanes[id]
+	l.when = Infinity
+	if e.NaiveLanes || l.pos < 0 {
+		return
+	}
+	e.laneRemove(l.pos)
+}
 
 // LaneWhen reports the lane's next firing time, Infinity if disarmed.
 func (e *Engine) LaneWhen(id int) Time { return e.lanes[id].when }
 
 // nextLane returns the earliest armed lane and its time. Ties between lanes
-// break to the lowest id (part of the determinism contract).
+// break to the lowest id (part of the determinism contract); the heap
+// comparator orders by (when, id), so its root is exactly what the linear
+// scan would have found.
 func (e *Engine) nextLane() (id int, when Time) {
-	id, when = -1, Infinity
-	for i := range e.lanes {
-		if e.lanes[i].when < when {
-			id, when = i, e.lanes[i].when
+	if e.NaiveLanes {
+		id, when = -1, Infinity
+		for i := range e.lanes {
+			if e.lanes[i].when < when {
+				id, when = i, e.lanes[i].when
+			}
+		}
+		return id, when
+	}
+	if len(e.laneHeap) == 0 {
+		return -1, Infinity
+	}
+	id = e.laneHeap[0]
+	return id, e.lanes[id].when
+}
+
+// laneLess orders armed lanes by (when, id).
+func (e *Engine) laneLess(i, j int) bool {
+	a, b := e.laneHeap[i], e.laneHeap[j]
+	if e.lanes[a].when != e.lanes[b].when {
+		return e.lanes[a].when < e.lanes[b].when
+	}
+	return a < b
+}
+
+func (e *Engine) laneSwap(i, j int) {
+	h := e.laneHeap
+	h[i], h[j] = h[j], h[i]
+	e.lanes[h[i]].pos = i
+	e.lanes[h[j]].pos = j
+}
+
+// laneRemove deletes the lane at heap index i and marks it disarmed.
+func (e *Engine) laneRemove(i int) {
+	h := e.laneHeap
+	n := len(h) - 1
+	id := h[i]
+	if i != n {
+		e.laneSwap(i, n)
+	}
+	e.laneHeap = h[:n]
+	if i != n {
+		if !e.laneDown(i) {
+			e.laneUp(i)
 		}
 	}
-	return id, when
+	e.lanes[id].pos = -1
+}
+
+// laneUp sifts the heap entry at index i toward the root.
+func (e *Engine) laneUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.laneLess(i, parent) {
+			break
+		}
+		e.laneSwap(i, parent)
+		i = parent
+	}
+}
+
+// laneDown sifts the heap entry at index i toward the leaves; it reports
+// whether the entry moved.
+func (e *Engine) laneDown(i int) bool {
+	n := len(e.laneHeap)
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.laneLess(right, left) {
+			least = right
+		}
+		if !e.laneLess(least, i) {
+			break
+		}
+		e.laneSwap(i, least)
+		i = least
+	}
+	return i != start
 }
 
 // Stop makes the current Run call return after the in-flight event.
@@ -285,7 +391,7 @@ func (e *Engine) Run(limit Time) Time {
 		}
 		if lt <= ht {
 			e.now = lt
-			e.lanes[li].when = Infinity
+			e.DisarmLane(li)
 			e.LaneFires++
 			e.lanes[li].fn()
 			continue

@@ -6,59 +6,213 @@ import (
 	"strings"
 )
 
-// CPUMask is a set of logical CPUs, limited to 64 — plenty for a node-level
-// scheduler study (the paper's machine has 8 hardware threads).
-type CPUMask uint64
+// CPUMask is an immutable set of logical CPUs of any width. The zero value
+// is the empty set.
+//
+// Bit i of word w covers cpu = w*64 + i. Word 0 lives inline in lo, so
+// masks confined to CPUs 0..63 — every topology up to 64 CPUs — never
+// allocate; wider masks spill words 1.. into hi. hi is kept canonical
+// (no trailing zero words), so set equality is representation equality,
+// and because masks are values whose operations copy-on-write, hi slices
+// are shared freely and never mutated in place. Compare masks with Equal,
+// not ==: the slice field makes CPUMask non-comparable.
+type CPUMask struct {
+	lo uint64
+	hi []uint64
+}
 
-// MaskAll returns a mask with CPUs 0..n-1 set.
-func MaskAll(n int) CPUMask {
-	if n >= 64 {
-		return ^CPUMask(0)
+// trimmed returns hi with trailing zero words dropped (nil if all zero).
+func trimmed(hi []uint64) []uint64 {
+	n := len(hi)
+	for n > 0 && hi[n-1] == 0 {
+		n--
 	}
-	return CPUMask(1)<<uint(n) - 1
+	if n == 0 {
+		return nil
+	}
+	return hi[:n]
+}
+
+// MaskAll returns a mask with CPUs 0..n-1 set, exact for any n.
+func MaskAll(n int) CPUMask { return MaskRange(0, n) }
+
+// MaskRange returns a mask with CPUs lo..hi-1 set (half-open interval).
+func MaskRange(lo, hi int) CPUMask {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return CPUMask{}
+	}
+	last := (hi - 1) >> 6
+	var m CPUMask
+	if last > 0 {
+		m.hi = make([]uint64, last)
+	}
+	for w := lo >> 6; w <= last; w++ {
+		word := ^uint64(0)
+		if w == lo>>6 {
+			word &= ^uint64(0) << uint(lo&63)
+		}
+		if w == last && hi&63 != 0 {
+			word &= 1<<uint(hi&63) - 1
+		}
+		if w == 0 {
+			m.lo = word
+		} else {
+			m.hi[w-1] = word
+		}
+	}
+	return m
 }
 
 // MaskOf returns a mask containing exactly the given CPUs.
 func MaskOf(cpus ...int) CPUMask {
 	var m CPUMask
 	for _, c := range cpus {
-		m |= 1 << uint(c)
+		m = m.Add(c)
 	}
 	return m
 }
 
 // Has reports whether cpu is in the mask.
-func (m CPUMask) Has(cpu int) bool { return m&(1<<uint(cpu)) != 0 }
+func (m CPUMask) Has(cpu int) bool {
+	if cpu < 0 {
+		return false
+	}
+	w := cpu >> 6
+	if w == 0 {
+		return m.lo&(1<<uint(cpu&63)) != 0
+	}
+	if w-1 >= len(m.hi) {
+		return false
+	}
+	return m.hi[w-1]&(1<<uint(cpu&63)) != 0
+}
 
 // Add returns the mask with cpu added.
-func (m CPUMask) Add(cpu int) CPUMask { return m | 1<<uint(cpu) }
+func (m CPUMask) Add(cpu int) CPUMask {
+	if cpu < 0 {
+		panic(fmt.Sprintf("topo: Add of negative cpu %d", cpu))
+	}
+	w, bit := cpu>>6, uint64(1)<<uint(cpu&63)
+	if w == 0 {
+		m.lo |= bit
+		return m
+	}
+	if w-1 < len(m.hi) && m.hi[w-1]&bit != 0 {
+		return m
+	}
+	hi := make([]uint64, max(len(m.hi), w))
+	copy(hi, m.hi)
+	hi[w-1] |= bit
+	m.hi = hi
+	return m
+}
 
 // Remove returns the mask with cpu removed.
-func (m CPUMask) Remove(cpu int) CPUMask { return m &^ (1 << uint(cpu)) }
+func (m CPUMask) Remove(cpu int) CPUMask {
+	if cpu < 0 {
+		return m
+	}
+	w, bit := cpu>>6, uint64(1)<<uint(cpu&63)
+	if w == 0 {
+		m.lo &^= bit
+		return m
+	}
+	if w-1 >= len(m.hi) || m.hi[w-1]&bit == 0 {
+		return m
+	}
+	hi := make([]uint64, len(m.hi))
+	copy(hi, m.hi)
+	hi[w-1] &^= bit
+	m.hi = trimmed(hi)
+	return m
+}
 
 // And returns the intersection of the two masks.
-func (m CPUMask) And(o CPUMask) CPUMask { return m & o }
+func (m CPUMask) And(o CPUMask) CPUMask {
+	out := CPUMask{lo: m.lo & o.lo}
+	n := min(len(m.hi), len(o.hi))
+	top := 0
+	for i := n - 1; i >= 0; i-- {
+		if m.hi[i]&o.hi[i] != 0 {
+			top = i + 1
+			break
+		}
+	}
+	if top > 0 {
+		out.hi = make([]uint64, top)
+		for i := range out.hi {
+			out.hi[i] = m.hi[i] & o.hi[i]
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two masks contain the same CPUs.
+func (m CPUMask) Equal(o CPUMask) bool {
+	if m.lo != o.lo || len(m.hi) != len(o.hi) {
+		return false
+	}
+	for i, w := range m.hi {
+		if w != o.hi[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Count reports the number of CPUs in the mask.
-func (m CPUMask) Count() int { return bits.OnesCount64(uint64(m)) }
+func (m CPUMask) Count() int {
+	n := bits.OnesCount64(m.lo)
+	for _, w := range m.hi {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // Empty reports whether the mask has no CPUs.
-func (m CPUMask) Empty() bool { return m == 0 }
+func (m CPUMask) Empty() bool { return m.lo == 0 && len(m.hi) == 0 }
 
 // First returns the lowest-numbered CPU in the mask, or -1 if empty.
 func (m CPUMask) First() int {
-	if m == 0 {
-		return -1
+	if m.lo != 0 {
+		return bits.TrailingZeros64(m.lo)
 	}
-	return bits.TrailingZeros64(uint64(m))
+	for i, w := range m.hi {
+		if w != 0 {
+			return (i+1)*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NumWords reports how many 64-bit words the mask spans (at least 1).
+func (m CPUMask) NumWords() int { return len(m.hi) + 1 }
+
+// Word returns the i-th 64-bit word of the mask (covering CPUs
+// i*64..i*64+63). Indices beyond the mask's width yield 0.
+func (m CPUMask) Word(i int) uint64 {
+	if i == 0 {
+		return m.lo
+	}
+	if i-1 < len(m.hi) {
+		return m.hi[i-1]
+	}
+	return 0
 }
 
 // ForEach calls fn for every CPU in the mask, in ascending order.
 func (m CPUMask) ForEach(fn func(cpu int)) {
-	for v := uint64(m); v != 0; {
-		c := bits.TrailingZeros64(v)
-		fn(c)
-		v &^= 1 << uint(c)
+	for v := m.lo; v != 0; v &= v - 1 {
+		fn(bits.TrailingZeros64(v))
+	}
+	for i, w := range m.hi {
+		base := (i + 1) * 64
+		for v := w; v != 0; v &= v - 1 {
+			fn(base + bits.TrailingZeros64(v))
+		}
 	}
 }
 

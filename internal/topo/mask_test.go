@@ -1,0 +1,266 @@
+package topo
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// maskModel is the reference implementation the bitset is checked against:
+// a plain set of CPU numbers.
+type maskModel map[int]bool
+
+func (mm maskModel) cpus() []int {
+	out := make([]int, 0, len(mm))
+	for c := range mm {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkAgainstModel verifies every observer of m against the model.
+func checkAgainstModel(t *testing.T, m CPUMask, mm maskModel, probe []int) {
+	t.Helper()
+	if m.Count() != len(mm) {
+		t.Fatalf("Count = %d, model has %d", m.Count(), len(mm))
+	}
+	if m.Empty() != (len(mm) == 0) {
+		t.Fatalf("Empty = %v, model has %d members", m.Empty(), len(mm))
+	}
+	want := mm.cpus()
+	got := m.CPUs()
+	if len(got) != len(want) {
+		t.Fatalf("CPUs = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("CPUs = %v, want %v (ForEach order broken at %d)", got, want, i)
+		}
+	}
+	first := -1
+	if len(want) > 0 {
+		first = want[0]
+	}
+	if m.First() != first {
+		t.Fatalf("First = %d, want %d", m.First(), first)
+	}
+	for _, c := range probe {
+		if m.Has(c) != mm[c] {
+			t.Fatalf("Has(%d) = %v, model says %v", c, m.Has(c), mm[c])
+		}
+	}
+	// Word/NumWords agree with membership.
+	for w := 0; w < m.NumWords()+1; w++ {
+		word := m.Word(w)
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 != mm[w*64+b] {
+				t.Fatalf("Word(%d) bit %d disagrees with model", w, b)
+			}
+		}
+	}
+}
+
+// boundaryCPUs are the widths the issue calls out: around one-, two-, and
+// many-word boundaries.
+var boundaryCPUs = []int{0, 1, 62, 63, 64, 65, 126, 127, 128, 129, 1022, 1023, 1024}
+
+func TestMaskModelBoundaries(t *testing.T) {
+	for _, n := range boundaryCPUs {
+		m := MaskAll(n)
+		mm := maskModel{}
+		for c := 0; c < n; c++ {
+			mm[c] = true
+		}
+		checkAgainstModel(t, m, mm, boundaryCPUs)
+		if n > 0 {
+			m2 := m.Remove(n - 1).Remove(0)
+			mm2 := maskModel{}
+			for c := 1; c < n-1; c++ {
+				mm2[c] = true
+			}
+			checkAgainstModel(t, m2, mm2, boundaryCPUs)
+		}
+	}
+}
+
+func TestMaskModelRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := CPUMask{}
+		mm := maskModel{}
+		width := boundaryCPUs[rng.Intn(len(boundaryCPUs))] + 1
+		for op := 0; op < 300; op++ {
+			c := rng.Intn(width)
+			switch rng.Intn(3) {
+			case 0:
+				m = m.Add(c)
+				mm[c] = true
+			case 1:
+				m = m.Remove(c)
+				delete(mm, c)
+			case 2:
+				if m.Has(c) != mm[c] {
+					t.Fatalf("Has(%d) diverged", c)
+				}
+			}
+		}
+		checkAgainstModel(t, m, mm, []int{0, 63, 64, 127, 128, width - 1, width})
+	}
+}
+
+func TestMaskModelAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		width := boundaryCPUs[rng.Intn(len(boundaryCPUs))] + 1
+		a, b := CPUMask{}, CPUMask{}
+		am, bm := maskModel{}, maskModel{}
+		for i := 0; i < 100; i++ {
+			c := rng.Intn(width)
+			if rng.Intn(2) == 0 {
+				a = a.Add(c)
+				am[c] = true
+			} else {
+				b = b.Add(c)
+				bm[c] = true
+			}
+			if rng.Intn(4) == 0 {
+				c2 := rng.Intn(width)
+				a = a.Add(c2)
+				am[c2] = true
+				b = b.Add(c2)
+				bm[c2] = true
+			}
+		}
+		want := maskModel{}
+		for c := range am {
+			if bm[c] {
+				want[c] = true
+			}
+		}
+		checkAgainstModel(t, a.And(b), want, []int{0, 63, 64, 127, 128, width - 1})
+		if !a.And(b).Equal(b.And(a)) {
+			t.Fatal("And not commutative")
+		}
+	}
+}
+
+func TestMaskImmutability(t *testing.T) {
+	// Add/Remove on a multi-word mask must not mutate the receiver's
+	// shared words.
+	base := MaskOf(1, 70, 200)
+	snapshot := base.CPUs()
+	_ = base.Add(300)
+	_ = base.Add(71)
+	_ = base.Remove(70)
+	_ = base.And(MaskOf(70))
+	got := base.CPUs()
+	if len(got) != len(snapshot) {
+		t.Fatalf("base mutated: %v -> %v", snapshot, got)
+	}
+	for i := range got {
+		if got[i] != snapshot[i] {
+			t.Fatalf("base mutated: %v -> %v", snapshot, got)
+		}
+	}
+}
+
+func TestMaskCanonical(t *testing.T) {
+	// Removing all high bits must restore representation equality with a
+	// never-widened mask, and Empty must hold for a fully drained mask.
+	m := MaskOf(3, 900).Remove(900)
+	if !m.Equal(MaskOf(3)) {
+		t.Fatalf("not canonical after Remove: %v", m)
+	}
+	if !MaskOf(900).Remove(900).Empty() {
+		t.Fatal("drained mask not empty")
+	}
+	if !MaskAll(1024).And(CPUMask{}).Empty() {
+		t.Fatal("And with empty not empty")
+	}
+	if !MaskAll(1024).And(MaskOf(5)).Equal(MaskOf(5)) {
+		t.Fatal("And did not canonicalize")
+	}
+}
+
+func TestMaskRange(t *testing.T) {
+	cases := []struct{ lo, hi int }{
+		{0, 0}, {0, 1}, {0, 64}, {0, 65}, {63, 65}, {64, 128},
+		{100, 100}, {5, 3}, {130, 1024}, {0, 1024},
+	}
+	for _, c := range cases {
+		m := MaskRange(c.lo, c.hi)
+		mm := maskModel{}
+		for i := c.lo; i < c.hi; i++ {
+			mm[i] = true
+		}
+		checkAgainstModel(t, m, mm, []int{c.lo - 1, c.lo, c.hi - 1, c.hi})
+	}
+}
+
+// parseMaskString inverts CPUMask.String for the round-trip check.
+func parseMaskString(t *testing.T, s string) CPUMask {
+	t.Helper()
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		t.Fatalf("bad mask string %q", s)
+	}
+	body := s[1 : len(s)-1]
+	m := CPUMask{}
+	if body == "" {
+		return m
+	}
+	for _, f := range strings.Split(body, ",") {
+		c, err := strconv.Atoi(f)
+		if err != nil {
+			t.Fatalf("bad mask string %q: %v", s, err)
+		}
+		m = m.Add(c)
+	}
+	return m
+}
+
+func TestMaskStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		m := CPUMask{}
+		for i := 0; i < rng.Intn(40); i++ {
+			m = m.Add(rng.Intn(1025))
+		}
+		if got := parseMaskString(t, m.String()); !got.Equal(m) {
+			t.Fatalf("round trip %v -> %q -> %v", m, m.String(), got)
+		}
+	}
+}
+
+// FuzzMaskOps drives the bitset and the model with the same random
+// operation tape and cross-checks every observer.
+func FuzzMaskOps(f *testing.F) {
+	f.Add([]byte{0, 63, 1, 64, 0, 65, 2, 64})
+	f.Add([]byte{0, 255, 0, 254, 1, 255, 0, 0})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		m := CPUMask{}
+		mm := maskModel{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			// Two tape bytes give cpu in [0, 2048).
+			c := int(tape[i+1]) | int(tape[i]&0x7)<<8
+			switch tape[i] % 3 {
+			case 0:
+				m = m.Add(c)
+				mm[c] = true
+			case 1:
+				m = m.Remove(c)
+				delete(mm, c)
+			case 2:
+				if m.Has(c) != mm[c] {
+					t.Fatalf("Has(%d) diverged", c)
+				}
+			}
+		}
+		checkAgainstModel(t, m, mm, []int{0, 63, 64, 127, 128, 1024, 2047})
+		if got := parseMaskString(t, m.String()); !got.Equal(m) {
+			t.Fatalf("string round trip failed for %v", m)
+		}
+	})
+}

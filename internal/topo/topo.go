@@ -69,16 +69,27 @@ func (t Topology) NumCPUs() int { return t.Chips * t.CoresPerChip * t.ThreadsPer
 // NumCores reports the number of physical cores.
 func (t Topology) NumCores() int { return t.Chips * t.CoresPerChip }
 
-// Validate reports an error if any dimension is non-positive or the CPU
-// count exceeds the 64-CPU mask limit.
+// Validate reports an error if any dimension is non-positive. There is no
+// upper bound: CPUMask is variable-width, so topologies of any size are
+// representable.
 func (t Topology) Validate() error {
 	if t.Chips <= 0 || t.CoresPerChip <= 0 || t.ThreadsPerCore <= 0 {
 		return fmt.Errorf("topo: non-positive dimension in %+v", t)
 	}
-	if t.NumCPUs() > 64 {
-		return fmt.Errorf("topo: %d CPUs exceeds the 64-CPU limit", t.NumCPUs())
-	}
 	return nil
+}
+
+// Parse parses a "CxKxT" topology spec (chips x cores-per-chip x
+// threads-per-core), e.g. "4x128x2", and validates it.
+func Parse(spec string) (Topology, error) {
+	var t Topology
+	if _, err := fmt.Sscanf(spec, "%dx%dx%d", &t.Chips, &t.CoresPerChip, &t.ThreadsPerCore); err != nil {
+		return Topology{}, fmt.Errorf("topo: bad spec %q (want CxKxT, e.g. 2x2x2): %v", spec, err)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
 }
 
 // ChipOf reports the chip (socket) index of a logical CPU.
@@ -100,30 +111,18 @@ func (t Topology) CPUOf(chip, core, thread int) int {
 // SiblingsOf returns the mask of SMT siblings of cpu (including cpu).
 func (t Topology) SiblingsOf(cpu int) CPUMask {
 	base := t.CoreOf(cpu) * t.ThreadsPerCore
-	var m CPUMask
-	for i := 0; i < t.ThreadsPerCore; i++ {
-		m = m.Add(base + i)
-	}
-	return m
+	return MaskRange(base, base+t.ThreadsPerCore)
 }
 
 // ChipMask returns the mask of all CPUs on the given chip.
 func (t Topology) ChipMask(chip int) CPUMask {
 	per := t.CoresPerChip * t.ThreadsPerCore
-	var m CPUMask
-	for i := 0; i < per; i++ {
-		m = m.Add(chip*per + i)
-	}
-	return m
+	return MaskRange(chip*per, (chip+1)*per)
 }
 
 // CoreMask returns the mask of all CPUs on the given global core.
 func (t Topology) CoreMask(core int) CPUMask {
-	var m CPUMask
-	for i := 0; i < t.ThreadsPerCore; i++ {
-		m = m.Add(core*t.ThreadsPerCore + i)
-	}
-	return m
+	return MaskRange(core*t.ThreadsPerCore, (core+1)*t.ThreadsPerCore)
 }
 
 // AllMask returns the mask of every CPU in the node.
@@ -145,7 +144,7 @@ func (t Topology) Domains(cpu int) []Domain {
 		if span.Count() <= 1 {
 			return
 		}
-		if len(out) > 0 && out[len(out)-1].Span == span {
+		if len(out) > 0 && out[len(out)-1].Span.Equal(span) {
 			return
 		}
 		out = append(out, Domain{Level: level, Span: span})

@@ -23,23 +23,26 @@ func TestMaskBasics(t *testing.T) {
 	if got := m.Add(7).CPUs(); len(got) != 3 || got[2] != 7 {
 		t.Fatalf("CPUs = %v", got)
 	}
-	if CPUMask(0).First() != -1 {
+	if (CPUMask{}).First() != -1 {
 		t.Fatal("empty First != -1")
 	}
-	if !CPUMask(0).Empty() {
+	if !(CPUMask{}).Empty() {
 		t.Fatal("zero mask not empty")
 	}
-	if MaskAll(8) != CPUMask(0xff) {
-		t.Fatalf("MaskAll(8) = %x", uint64(MaskAll(8)))
+	if !MaskAll(8).Equal(MaskOf(0, 1, 2, 3, 4, 5, 6, 7)) {
+		t.Fatalf("MaskAll(8) = %v", MaskAll(8))
 	}
-	if MaskAll(64) != ^CPUMask(0) {
+	if MaskAll(64).Count() != 64 || MaskAll(64).Has(64) {
 		t.Fatal("MaskAll(64) wrong")
+	}
+	if MaskAll(65).Count() != 65 || !MaskAll(65).Has(64) {
+		t.Fatal("MaskAll(65) wrong")
 	}
 }
 
 func TestMaskAnd(t *testing.T) {
 	a, b := MaskOf(1, 2, 3), MaskOf(2, 3, 4)
-	if got := a.And(b); got != MaskOf(2, 3) {
+	if got := a.And(b); !got.Equal(MaskOf(2, 3)) {
 		t.Fatalf("And = %v", got)
 	}
 }
@@ -48,7 +51,7 @@ func TestMaskString(t *testing.T) {
 	if s := MaskOf(0, 2).String(); s != "{0,2}" {
 		t.Fatalf("String = %q", s)
 	}
-	if s := CPUMask(0).String(); s != "{}" {
+	if s := (CPUMask{}).String(); s != "{}" {
 		t.Fatalf("empty String = %q", s)
 	}
 }
@@ -107,10 +110,10 @@ func TestCPUOfRoundTrip(t *testing.T) {
 
 func TestSiblings(t *testing.T) {
 	p6 := POWER6()
-	if p6.SiblingsOf(0) != MaskOf(0, 1) {
+	if !p6.SiblingsOf(0).Equal(MaskOf(0, 1)) {
 		t.Fatalf("SiblingsOf(0) = %v", p6.SiblingsOf(0))
 	}
-	if p6.SiblingsOf(5) != MaskOf(4, 5) {
+	if !p6.SiblingsOf(5).Equal(MaskOf(4, 5)) {
 		t.Fatalf("SiblingsOf(5) = %v", p6.SiblingsOf(5))
 	}
 	if !p6.SharesCore(6, 7) || p6.SharesCore(1, 2) {
@@ -123,16 +126,16 @@ func TestSiblings(t *testing.T) {
 
 func TestChipAndCoreMasks(t *testing.T) {
 	p6 := POWER6()
-	if p6.ChipMask(0) != MaskOf(0, 1, 2, 3) {
+	if !p6.ChipMask(0).Equal(MaskOf(0, 1, 2, 3)) {
 		t.Fatalf("ChipMask(0) = %v", p6.ChipMask(0))
 	}
-	if p6.ChipMask(1) != MaskOf(4, 5, 6, 7) {
+	if !p6.ChipMask(1).Equal(MaskOf(4, 5, 6, 7)) {
 		t.Fatalf("ChipMask(1) = %v", p6.ChipMask(1))
 	}
-	if p6.CoreMask(2) != MaskOf(4, 5) {
+	if !p6.CoreMask(2).Equal(MaskOf(4, 5)) {
 		t.Fatalf("CoreMask(2) = %v", p6.CoreMask(2))
 	}
-	if p6.AllMask() != MaskAll(8) {
+	if !p6.AllMask().Equal(MaskAll(8)) {
 		t.Fatal("AllMask wrong")
 	}
 }
@@ -143,13 +146,13 @@ func TestDomainsPOWER6(t *testing.T) {
 	if len(d) != 3 {
 		t.Fatalf("domains = %v, want 3 levels", d)
 	}
-	if d[0].Level != SMTLevel || d[0].Span != MaskOf(0, 1) {
+	if d[0].Level != SMTLevel || !d[0].Span.Equal(MaskOf(0, 1)) {
 		t.Fatalf("SMT domain = %+v", d[0])
 	}
-	if d[1].Level != CoreLevel || d[1].Span != MaskOf(0, 1, 2, 3) {
+	if d[1].Level != CoreLevel || !d[1].Span.Equal(MaskOf(0, 1, 2, 3)) {
 		t.Fatalf("core domain = %+v", d[1])
 	}
-	if d[2].Level != SystemLevel || d[2].Span != MaskAll(8) {
+	if d[2].Level != SystemLevel || !d[2].Span.Equal(MaskAll(8)) {
 		t.Fatalf("system domain = %+v", d[2])
 	}
 }
@@ -161,7 +164,7 @@ func TestDomainsDegenerate(t *testing.T) {
 	if len(d) != 1 {
 		t.Fatalf("domains = %+v, want 1 level", d)
 	}
-	if d[0].Span != MaskAll(4) {
+	if !d[0].Span.Equal(MaskAll(4)) {
 		t.Fatalf("span = %v", d[0].Span)
 	}
 
@@ -176,12 +179,12 @@ func TestDomainsNested(t *testing.T) {
 	// Property: domain spans are nested and all contain the owning CPU.
 	p6 := POWER6()
 	for cpu := 0; cpu < p6.NumCPUs(); cpu++ {
-		prev := CPUMask(0)
+		prev := CPUMask{}
 		for _, d := range p6.Domains(cpu) {
 			if !d.Span.Has(cpu) {
 				t.Fatalf("domain %v does not contain cpu %d", d, cpu)
 			}
-			if prev != 0 && d.Span.And(prev) != prev {
+			if !prev.Empty() && !d.Span.And(prev).Equal(prev) {
 				t.Fatalf("domain %v not a superset of inner %v", d.Span, prev)
 			}
 			prev = d.Span
@@ -193,8 +196,24 @@ func TestValidate(t *testing.T) {
 	if err := (Topology{Chips: 0, CoresPerChip: 1, ThreadsPerCore: 1}).Validate(); err == nil {
 		t.Fatal("zero chips validated")
 	}
-	if err := (Topology{Chips: 80, CoresPerChip: 1, ThreadsPerCore: 1}).Validate(); err == nil {
-		t.Fatal(">64 CPUs validated")
+	// The 64-CPU cap is gone: wide nodes validate.
+	if err := (Topology{Chips: 4, CoresPerChip: 128, ThreadsPerCore: 2}).Validate(); err != nil {
+		t.Fatalf("1024-CPU topology rejected: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	tp, err := Parse("4x128x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumCPUs() != 1024 {
+		t.Fatalf("Parse(4x128x2).NumCPUs = %d", tp.NumCPUs())
+	}
+	for _, bad := range []string{"", "4x128", "axbxc", "0x1x1", "-1x2x2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
 	}
 }
 
