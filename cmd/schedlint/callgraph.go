@@ -1,0 +1,433 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The call graph underpins the interprocedural passes (taint, invcheck).
+// Nodes are module-local function and method declarations; edges are
+// statically resolvable calls — package-level functions and methods on
+// concrete receivers, including calls made inside function literals
+// (attributed to the enclosing declaration, since the literal's body is
+// code the declaration can cause to run). Calls through interface values
+// and bare function values are opaque: they produce no edge. That makes
+// the reachability analysis conservative-but-incomplete in the usual
+// direction for a linter — it never invents an edge that cannot exist,
+// and the dynamic-dispatch blind spot is covered by the per-file rules,
+// which see every package's source directly.
+
+// taintSource is one directly nondeterministic operation inside a
+// function body.
+type taintSource struct {
+	desc string // "time.Now", "go statement", "map range", ...
+	pos  token.Position
+}
+
+// callEdge is one statically resolved call site.
+type callEdge struct {
+	callee string // funcKey of the callee
+	pos    token.Position
+}
+
+// funcNode is one declared function or method in the module.
+type funcNode struct {
+	key      string // "pkg/path.Func" or "pkg/path.(*Recv).Method"
+	short    string // "base.Func" / "base.(*Recv).Method" for path rendering
+	pkgRel   string // module-relative package path
+	relFile  string // module-relative declaring file
+	declBase string // base name of the declaring file
+	declLine int
+	name     string // bare identifier
+	recvType string // receiver base type name, "" for functions
+	recvPtr  bool
+	exported bool
+
+	sources []taintSource
+	calls   []callEdge
+	mutates bool // direct mutation of receiver/same-package state
+}
+
+// callGraph accumulates nodes package by package as Run type-checks the
+// module, then answers reachability queries for the interprocedural
+// passes.
+type callGraph struct {
+	modPath string
+	root    string
+	nodes   map[string]*funcNode
+	order   []string // insertion order: file order within package order
+}
+
+func newCallGraph(modPath, root string) *callGraph {
+	return &callGraph{modPath: modPath, root: root, nodes: make(map[string]*funcNode)}
+}
+
+// funcKey builds the stable cross-package identity of a function object:
+// both the declaring package (type-checked from source) and an importing
+// package (type-checked against export data) arrive at the same string.
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		ptr := ""
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			ptr = "*"
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return "" // interface or other unnamed receiver: no concrete decl
+		}
+		if types.IsInterface(named) {
+			return "" // interface method: dynamic dispatch, no static edge
+		}
+		return fn.Pkg().Path() + ".(" + ptr + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// shortName renders a node for taint-path reporting: package base name
+// plus receiver-qualified method name, e.g. "kernel.(*Kernel).Tick" or
+// "walltime.Start".
+func shortName(pkgPath, recvType string, recvPtr bool, name string) string {
+	base := path.Base(pkgPath)
+	if recvType == "" {
+		return base + "." + name
+	}
+	ptr := ""
+	if recvPtr {
+		ptr = "*"
+	}
+	return base + ".(" + ptr + recvType + ")." + name
+}
+
+// sourceOfCall classifies a call to a standard-library function as a
+// nondeterminism source. These are exactly the operations the per-file
+// rules ban at their call or import site; here they seed the transitive
+// analysis so a helper wrapping one of them taints every caller.
+func sourceOfCall(pkgPath, name string) string {
+	switch pkgPath {
+	case "time":
+		if name == "Now" || name == "Since" {
+			return "time." + name
+		}
+	case "os":
+		if name == "Getenv" || name == "LookupEnv" || name == "Environ" {
+			return "os." + name
+		}
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		return pkgPath
+	}
+	return ""
+}
+
+// addPackage scans one type-checked module package into the graph.
+func (g *callGraph) addPackage(fset *token.FileSet, files []*ast.File, info *types.Info) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g.addFunc(fset, fd, info)
+		}
+	}
+}
+
+func (g *callGraph) relPos(fset *token.FileSet, pos token.Pos) token.Position {
+	p := fset.Position(pos)
+	if rel, err := filepath.Rel(g.root, p.Filename); err == nil {
+		p.Filename = filepath.ToSlash(rel)
+	}
+	return p
+}
+
+func (g *callGraph) addFunc(fset *token.FileSet, fd *ast.FuncDecl, info *types.Info) {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	key := funcKey(obj)
+	if key == "" {
+		return
+	}
+	pos := g.relPos(fset, fd.Pos())
+	pkgPath := obj.Pkg().Path()
+	n := &funcNode{
+		key:      key,
+		pkgRel:   strings.TrimPrefix(strings.TrimPrefix(pkgPath, g.modPath), "/"),
+		relFile:  pos.Filename,
+		declBase: path.Base(pos.Filename),
+		declLine: pos.Line,
+		name:     fd.Name.Name,
+		exported: fd.Name.IsExported(),
+	}
+	var recvObj types.Object
+	if sig := obj.Type().(*types.Signature); sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			n.recvPtr = true
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			n.recvType = named.Obj().Name()
+		}
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			recvObj = info.Defs[fd.Recv.List[0].Names[0]]
+		}
+	}
+	n.short = shortName(pkgPath, n.recvType, n.recvPtr, n.name)
+
+	g.scanBody(fset, fd, info, n, recvObj, obj.Pkg())
+
+	if _, dup := g.nodes[key]; !dup {
+		g.order = append(g.order, key)
+	}
+	g.nodes[key] = n
+}
+
+// scanBody walks one declaration body collecting call edges, direct
+// nondeterminism sources, and direct state mutation. Mutation tracking is
+// alias-aware one level deep: the receiver, any parameter whose type
+// points into this package's state (e.g. kernel helpers taking *cpuState),
+// and locals derived from either, all count as "this package's state".
+func (g *callGraph) scanBody(fset *token.FileSet, fd *ast.FuncDecl, info *types.Info, n *funcNode, recvObj types.Object, pkg *types.Package) {
+	aliases := make(map[types.Object]bool)
+	if recvObj != nil {
+		aliases[recvObj] = true
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj != nil && pointsIntoPackage(obj.Type(), pkg) {
+					aliases[obj] = true
+				}
+			}
+		}
+	}
+
+	rootedInAlias := func(e ast.Expr) bool {
+		if id := baseIdent(e); id != nil {
+			if obj := info.Uses[id]; obj != nil && aliases[obj] {
+				return true
+			}
+		}
+		return false
+	}
+
+	hasResults := fd.Type.Results != nil && len(fd.Type.Results.List) > 0
+
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			n.sources = append(n.sources, taintSource{desc: "go statement", pos: g.relPos(fset, node.Pos())})
+		case *ast.RangeStmt:
+			// A map range only counts as a source when its iteration
+			// order can feed the function's outputs: ranging a map in a
+			// function that returns nothing cannot leak ordering to a
+			// caller through the return path.
+			if hasResults {
+				if t := info.TypeOf(node.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						n.sources = append(n.sources, taintSource{desc: "map range", pos: g.relPos(fset, node.Pos())})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				if node.Tok == token.DEFINE {
+					// v := expr rooted in an alias extends the alias set.
+					if i < len(node.Rhs) && rootedInAlias(node.Rhs[i]) {
+						if id, isIdent := lhs.(*ast.Ident); isIdent {
+							if obj := info.Defs[id]; obj != nil {
+								aliases[obj] = true
+							}
+						}
+					}
+					continue
+				}
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if rootedInAlias(lhs) {
+						n.mutates = true
+					}
+				case *ast.Ident:
+					// Plain re-binding of a local is not a state mutation.
+				}
+			}
+		case *ast.IncDecStmt:
+			switch node.X.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				if rootedInAlias(node.X) {
+					n.mutates = true
+				}
+			}
+		case *ast.CallExpr:
+			g.scanCall(fset, node, info, n, rootedInAlias)
+		}
+		return true
+	})
+}
+
+// scanCall resolves one call expression into either a call edge (module-
+// local static callee) or a taint source (nondeterministic stdlib call).
+// A call to the builtin delete with an alias-rooted map also marks the
+// function as mutating.
+func (g *callGraph) scanCall(fset *token.FileSet, call *ast.CallExpr, info *types.Info, n *funcNode, rootedInAlias func(ast.Expr) bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if b, isBuiltin := obj.(*types.Builtin); isBuiltin {
+		if b.Name() == "delete" && len(call.Args) > 0 && rootedInAlias(call.Args[0]) {
+			n.mutates = true
+		}
+		return
+	}
+	fn, isFunc := obj.(*types.Func)
+	if !isFunc || fn.Pkg() == nil {
+		return
+	}
+	pkgPath := fn.Pkg().Path()
+	if desc := sourceOfCall(pkgPath, fn.Name()); desc != "" {
+		n.sources = append(n.sources, taintSource{desc: desc, pos: g.relPos(fset, call.Pos())})
+		return
+	}
+	if pkgPath != g.modPath && !strings.HasPrefix(pkgPath, g.modPath+"/") {
+		return // outside the module: no body to follow
+	}
+	key := funcKey(fn)
+	if key == "" {
+		return // interface method: dynamic dispatch
+	}
+	n.calls = append(n.calls, callEdge{callee: key, pos: g.relPos(fset, call.Pos())})
+}
+
+// pointsIntoPackage reports whether t gives write access to state owned
+// by pkg: a pointer to (or slice/map of pointers to) a named type
+// declared in pkg.
+func pointsIntoPackage(t types.Type, pkg *types.Package) bool {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return namedIn(t.Elem(), pkg)
+	case *types.Slice:
+		return pointsIntoPackage(t.Elem(), pkg)
+	case *types.Map:
+		return pointsIntoPackage(t.Elem(), pkg)
+	}
+	return false
+}
+
+func namedIn(t types.Type, pkg *types.Package) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == pkg
+}
+
+// baseIdent returns the identifier at the root of a selector/index/star
+// chain: for `k.cpus[cpu].curr` it returns `k`.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.CallExpr:
+			return nil // derived through a call: provenance unknown
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedNodes returns the graph's nodes in deterministic file/line order.
+func (g *callGraph) sortedNodes() []*funcNode {
+	nodes := make([]*funcNode, 0, len(g.nodes))
+	for _, key := range g.order {
+		nodes = append(nodes, g.nodes[key])
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		// Deterministic tiebreak: (file, line, key) is a total order —
+		// two declarations cannot share a file and line.
+		if nodes[i].relFile != nodes[j].relFile {
+			return nodes[i].relFile < nodes[j].relFile
+		}
+		if nodes[i].declLine != nodes[j].declLine {
+			return nodes[i].declLine < nodes[j].declLine
+		}
+		return nodes[i].key < nodes[j].key
+	})
+	return nodes
+}
+
+// reaches computes, over the whole graph, which nodes can transitively
+// reach any node in targets (a set of funcKeys), following call edges
+// forward. Used by invcheck to ask "does this exported mutator ever run
+// its invariants check".
+func (g *callGraph) reaches(targets map[string]bool) map[string]bool {
+	reached := make(map[string]bool, len(targets))
+	for k := range targets {
+		reached[k] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.sortedNodes() {
+			if reached[n.key] {
+				continue
+			}
+			for _, e := range n.calls {
+				if reached[e.callee] {
+					reached[n.key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reached
+}
+
+// debugString dumps the graph for tests.
+func (g *callGraph) debugString() string {
+	var b strings.Builder
+	for _, n := range g.sortedNodes() {
+		fmt.Fprintf(&b, "%s (mutates=%v)\n", n.key, n.mutates)
+		for _, s := range n.sources {
+			fmt.Fprintf(&b, "  src %s at %s:%d\n", s.desc, s.pos.Filename, s.pos.Line)
+		}
+		for _, e := range n.calls {
+			fmt.Fprintf(&b, "  -> %s\n", e.callee)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// knownRules is every rule identifier an ignore directive may name. Tokens
+// outside this set end the rule list, so a trailing comment on the same
+// line (for example a fixture's `// want` marker) is never parsed as a
+// rule name.
+var knownRules = map[string]bool{
+	ruleWalltime:  true,
+	ruleRand:      true,
+	ruleMaprange:  true,
+	ruleConc:      true,
+	ruleHeap:      true,
+	ruleSortslice: true,
+	ruleGetenv:    true,
+	ruleTaint:     true,
+	ruleInvcheck:  true,
+	ruleAlloc:     true,
+	ruleStale:     true,
+}
+
+// ignoreDirective is one //schedlint:ignore comment. A directive with no
+// rule list is "bare" and suppresses every rule at its site; otherwise it
+// suppresses exactly the rules it names. Each rule token tracks whether it
+// ever suppressed a finding, which feeds the stale-suppression audit.
+type ignoreDirective struct {
+	file     string // module-relative path, forward slashes
+	line     int
+	rules    []string // empty means bare
+	used     []bool   // parallel to rules
+	bareUsed bool
+}
+
+// ignoreIndex collects every ignore directive in the linted tree so that
+// (a) any pass — per-file rules, taint, invcheck, test lint — can consult
+// the same suppression state, and (b) after all passes ran, directives
+// that suppressed nothing can be reported as stale.
+type ignoreIndex struct {
+	byFileLine map[string]map[int]*ignoreDirective
+}
+
+func newIgnoreIndex() *ignoreIndex {
+	return &ignoreIndex{byFileLine: make(map[string]map[int]*ignoreDirective)}
+}
+
+// scanFile records the directives of one parsed file. Following Go's
+// directive convention, a comment is a directive only when its text
+// begins with //schedlint:ignore — a prose mention of the directive
+// elsewhere in a comment does not suppress anything.
+func (ix *ignoreIndex) scanFile(fset *token.FileSet, f *ast.File, relFile string) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, isDirective := strings.CutPrefix(c.Text, "//schedlint:ignore")
+			if !isDirective {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			d := &ignoreDirective{file: relFile, line: line}
+			for _, tok := range strings.Fields(rest) {
+				if !knownRules[tok] {
+					break
+				}
+				d.rules = append(d.rules, tok)
+			}
+			d.used = make([]bool, len(d.rules))
+			if ix.byFileLine[relFile] == nil {
+				ix.byFileLine[relFile] = make(map[int]*ignoreDirective)
+			}
+			ix.byFileLine[relFile][line] = d
+		}
+	}
+}
+
+// suppressed reports whether a directive on the finding's line or the line
+// above covers rule, and marks the matching directive token used.
+func (ix *ignoreIndex) suppressed(relFile string, line int, rule string) bool {
+	return ix.lineSuppresses(relFile, line, rule) || ix.lineSuppresses(relFile, line-1, rule)
+}
+
+// lineSuppresses consults the single directive on one line.
+func (ix *ignoreIndex) lineSuppresses(relFile string, line int, rule string) bool {
+	d := ix.byFileLine[relFile][line]
+	if d == nil {
+		return false
+	}
+	if len(d.rules) == 0 {
+		d.bareUsed = true
+		return true
+	}
+	for i, r := range d.rules {
+		if r == rule {
+			d.used[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// audit reports every directive token that suppressed nothing across all
+// passes. Stale suppressions are live hazards: they read as "this site is
+// exempt" while exempting nothing, and they silently swallow the next
+// real finding that appears on their line. The audit runs last, so even a
+// staleignore finding can itself be suppressed (consistently with every
+// other rule) — which also marks that token used.
+func (ix *ignoreIndex) audit() []Diagnostic {
+	var diags []Diagnostic
+	var files []string
+	for f := range ix.byFileLine {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		var lines []int
+		for ln := range ix.byFileLine[f] {
+			lines = append(lines, ln)
+		}
+		sort.Ints(lines)
+		for _, ln := range lines {
+			d := ix.byFileLine[f][ln]
+			if len(d.rules) == 0 {
+				// A bare directive cannot vouch for its own staleness (it
+				// suppresses "everything", which would include this report);
+				// only a directive on the line above may.
+				if !d.bareUsed && !ix.lineSuppresses(f, ln-1, ruleStale) {
+					diags = append(diags, Diagnostic{File: f, Line: ln, Rule: ruleStale,
+						Msg: "blanket ignore directive suppresses no finding; remove it"})
+				}
+				continue
+			}
+			for i, r := range d.rules {
+				if !d.used[i] && !ix.suppressed(f, ln, ruleStale) {
+					diags = append(diags, Diagnostic{File: f, Line: ln, Rule: ruleStale,
+						Msg: fmt.Sprintf("ignore directive for %q suppresses no finding; remove the stale rule", r)})
+				}
+			}
+		}
+	}
+	return diags
+}

@@ -31,13 +31,15 @@ func (d Diagnostic) String() string {
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	Standard   bool
-	Export     string
-	GoFiles    []string
-	Module     *listModule
-	Error      *listError
+	ImportPath   string
+	Dir          string
+	Standard     bool
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string // _test.go in the package itself
+	XTestGoFiles []string // _test.go in the external pkg_test package
+	Module       *listModule
+	Error        *listError
 }
 
 type listModule struct {
@@ -57,7 +59,7 @@ type listError struct {
 func load(root string, patterns []string) ([]*listPkg, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Standard,Export,GoFiles,Module,Error",
+		"-json=ImportPath,Dir,Standard,Export,GoFiles,TestGoFiles,XTestGoFiles,Module,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = root
@@ -196,8 +198,12 @@ func modulePath(root string) (string, error) {
 
 // Run lints the module rooted at root, restricted to the packages matched
 // by patterns (dependencies are loaded for type information but only
-// module-local packages are linted). Test files are exempt from every rule:
-// tests may time, randomise, and fan out freely.
+// module-local packages are linted). It layers four passes over one load:
+// the per-file syntactic rules, the interprocedural determinism taint, the
+// invariants-contract check, and the walltime-only lint of test files in
+// deterministic packages — then audits every //schedlint:ignore directive
+// for staleness. Test files are otherwise exempt: tests may randomise and
+// fan out freely.
 func Run(root string, patterns []string) ([]Diagnostic, error) {
 	modPath, err := modulePath(root)
 	if err != nil {
@@ -210,7 +216,13 @@ func Run(root string, patterns []string) ([]Diagnostic, error) {
 
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, pkgs)
+	ign := newIgnoreIndex()
+	graph := newCallGraph(modPath, root)
 
+	// Pass 1: parse, type-check, per-file rules; the same walk feeds the
+	// call graph and the ignore index. Deferred reporting (diags collected
+	// per file, stale audit at the end) keeps suppression-use bookkeeping
+	// independent of pass order within a file.
 	var diags []Diagnostic
 	for _, p := range pkgs {
 		if p.Standard || p.Module == nil || p.Module.Dir != root {
@@ -222,6 +234,9 @@ func Run(root string, patterns []string) ([]Diagnostic, error) {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
 				return nil, fmt.Errorf("parse %s: %v", name, err)
+			}
+			if rel, rerr := filepath.Rel(root, filepath.Join(p.Dir, name)); rerr == nil {
+				ign.scanFile(fset, f, filepath.ToSlash(rel))
 			}
 			files = append(files, f)
 		}
@@ -247,9 +262,31 @@ func Run(root string, patterns []string) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, typeErr)
 		}
 		for _, f := range files {
-			diags = append(diags, lintFile(fset, f, info, scope, root)...)
+			diags = append(diags, lintFile(fset, f, info, scope, root, ign)...)
+		}
+		graph.addPackage(fset, files, info)
+
+		// Pass 4 (interleaved with the load): walltime-only lint of the
+		// deterministic packages' test files, syntactic by design.
+		if scope.deterministic {
+			testNames := append(append([]string{}, p.TestGoFiles...), p.XTestGoFiles...)
+			tdiags, err := lintTestFiles(fset, p.Dir, testNames, root, ign)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, tdiags...)
 		}
 	}
+
+	// Pass 2: interprocedural determinism taint over the whole module.
+	diags = append(diags, runTaint(graph, ign)...)
+
+	// Pass 3: structural invariants-contract check.
+	diags = append(diags, runInvcheck(graph, ign)...)
+
+	// Finally: report ignore directives that suppressed nothing anywhere.
+	diags = append(diags, ign.audit()...)
+
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].File != diags[j].File {
 			return diags[i].File < diags[j].File
@@ -257,7 +294,10 @@ func Run(root string, patterns []string) ([]Diagnostic, error) {
 		if diags[i].Line != diags[j].Line {
 			return diags[i].Line < diags[j].Line
 		}
-		return diags[i].Rule < diags[j].Rule
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		return diags[i].Msg < diags[j].Msg
 	})
 	return diags, nil
 }

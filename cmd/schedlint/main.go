@@ -5,45 +5,62 @@
 // output) and reports every construct that can silently break that
 // contract:
 //
-//	[walltime]  time.Now / time.Since outside internal/walltime
-//	[rand]      math/rand, math/rand/v2, or crypto/rand imports
-//	[maprange]  range over a map inside the deterministic core
-//	[conc]      go statements, sync.WaitGroup, or channel creation
-//	            outside internal/pool
-//	[heap]      container/heap imports (replaced by repo-local structures)
-//	[sortslice] sort.Slice in the deterministic core without a
-//	            deterministic-tiebreak comment
-//	[getenv]    os.Getenv / os.LookupEnv / os.Environ in the
-//	            deterministic core
+//	[walltime]   time.Now / time.Since outside internal/walltime
+//	             (in test files of deterministic packages too)
+//	[rand]       math/rand, math/rand/v2, or crypto/rand imports
+//	[maprange]   range over a map inside the deterministic core
+//	[conc]       go statements, sync.WaitGroup, or channel creation
+//	             outside internal/pool
+//	[heap]       container/heap imports (replaced by repo-local structures)
+//	[sortslice]  sort.Slice in the deterministic core without a
+//	             deterministic-tiebreak comment
+//	[getenv]     os.Getenv / os.LookupEnv / os.Environ in the
+//	             deterministic core
+//	[taint]      a deterministic-core function transitively reaches a
+//	             nondeterminism source through any chain of module-local
+//	             calls; the full call path is reported
+//	[invcheck]   an exported mutating method in internal/rbtree,
+//	             internal/sched/cfs, or internal/kernel never reaches its
+//	             type's -tags invariants check
+//	[staleignore] a //schedlint:ignore directive that suppresses nothing
 //
-// Test files are exempt. A finding can be suppressed with a
+// Test files are otherwise exempt. A finding can be suppressed with a
 // //schedlint:ignore [rule...] comment on the same line or the line above;
 // see DESIGN.md "Enforcing the determinism contract".
 //
 // Usage:
 //
 //	schedlint [packages]
+//	schedlint -alloc [-update] [packages]
 //
-// Packages default to ./... relative to the enclosing module. Exit status
-// is 0 when clean, 1 when diagnostics were reported, 2 on a load failure.
+// The second form gates the static allocation budget instead: it runs
+// `go build -gcflags=-m` over the hot-path packages, attributes every heap
+// escape to its enclosing function, and diffs the counts against
+// cmd/schedlint/testdata/alloc_budget.json ([alloc] findings either way —
+// a stale budget hides the next regression). -update regenerates the
+// budget file deterministically.
+//
+// Packages default to ./... relative to the enclosing module (the hot-path
+// set for -alloc). Exit status is 0 when clean, 1 when diagnostics were
+// reported, 2 on a load failure.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 func main() {
+	alloc := flag.Bool("alloc", false, "gate the hot-path allocation budget instead of linting")
+	update := flag.Bool("update", false, "with -alloc: regenerate the budget file from the current tree")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: schedlint [packages]")
+		fmt.Fprintln(os.Stderr, "usage: schedlint [-alloc [-update]] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 
 	wd, err := os.Getwd()
 	if err != nil {
@@ -54,6 +71,45 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)
 		os.Exit(2)
+	}
+
+	if *alloc {
+		if len(patterns) == 0 {
+			patterns = allocPatterns
+		}
+		budgetPath := filepath.Join(root, "cmd", "schedlint", "testdata", "alloc_budget.json")
+		if *update {
+			if err := AllocUpdate(root, patterns, budgetPath); err != nil {
+				fmt.Fprintln(os.Stderr, "schedlint:", err)
+				os.Exit(2)
+			}
+			return
+		}
+		diags, skip, err := AllocCheck(root, patterns, budgetPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedlint:", err)
+			os.Exit(2)
+		}
+		if skip != "" {
+			fmt.Fprintln(os.Stderr, "schedlint: skipping alloc gate:", skip)
+			return
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "schedlint: %d allocation budget violation(s)\n", len(diags))
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *update {
+		fmt.Fprintln(os.Stderr, "schedlint: -update requires -alloc")
+		os.Exit(2)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
 	diags, err := Run(root, patterns)
 	if err != nil {

@@ -8,7 +8,6 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
-	"strings"
 )
 
 // Rule identifiers, as printed in diagnostics and accepted by
@@ -21,6 +20,10 @@ const (
 	ruleHeap      = "heap"      // container/heap import (replaced by repo-local structures)
 	ruleSortslice = "sortslice" // sort.Slice without a deterministic tiebreak comment
 	ruleGetenv    = "getenv"    // os.Getenv & friends in the deterministic core
+	ruleTaint     = "taint"     // deterministic core transitively reaches a nondeterministic source
+	ruleInvcheck  = "invcheck"  // exported mutator skips its -tags invariants check
+	ruleAlloc     = "alloc"     // heap escape over the committed hot-path budget
+	ruleStale     = "staleignore"
 )
 
 // tiebreakRe matches the comment a sort.Slice call needs to stay allowed:
@@ -34,17 +37,20 @@ type fileLinter struct {
 	file  *ast.File
 	scope pkgScope
 	root  string
+	ign   *ignoreIndex
 
 	// commentAt maps a line number to the concatenated comment text that
-	// starts there, for tiebreak-comment and ignore-directive lookups.
+	// starts there, for tiebreak-comment lookups.
 	commentAt map[int]string
 
 	diags []Diagnostic
 }
 
 // lintFile applies every rule in scope to one parsed, type-checked file.
-func lintFile(fset *token.FileSet, f *ast.File, info *types.Info, scope pkgScope, root string) []Diagnostic {
-	l := &fileLinter{fset: fset, info: info, file: f, scope: scope, root: root,
+// Suppression state lives in the shared ignore index so the stale audit
+// sees uses from every pass.
+func lintFile(fset *token.FileSet, f *ast.File, info *types.Info, scope pkgScope, root string, ign *ignoreIndex) []Diagnostic {
+	l := &fileLinter{fset: fset, info: info, file: f, scope: scope, root: root, ign: ign,
 		commentAt: make(map[int]string)}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -77,42 +83,20 @@ func lintFile(fset *token.FileSet, f *ast.File, info *types.Info, scope pkgScope
 
 func (l *fileLinter) report(pos token.Pos, rule, format string, args ...any) {
 	p := l.fset.Position(pos)
-	if l.ignored(p.Line, rule) {
-		return
-	}
 	file, err := filepath.Rel(l.root, p.Filename)
 	if err != nil {
 		file = p.Filename
 	}
+	rel := filepath.ToSlash(file)
+	if l.ign.suppressed(rel, p.Line, rule) {
+		return
+	}
 	l.diags = append(l.diags, Diagnostic{
-		File: filepath.ToSlash(file),
+		File: rel,
 		Line: p.Line,
 		Rule: rule,
 		Msg:  fmt.Sprintf(format, args...),
 	})
-}
-
-// ignored reports whether a //schedlint:ignore directive on the diagnostic
-// line or the line above suppresses the rule. A bare directive suppresses
-// every rule; otherwise the rule name must be listed.
-func (l *fileLinter) ignored(line int, rule string) bool {
-	for _, ln := range [2]int{line, line - 1} {
-		text := l.commentAt[ln]
-		i := strings.Index(text, "//schedlint:ignore")
-		if i < 0 {
-			continue
-		}
-		rest := strings.Fields(text[i+len("//schedlint:ignore"):])
-		if len(rest) == 0 {
-			return true
-		}
-		for _, r := range rest {
-			if r == rule {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 func (l *fileLinter) checkImport(imp *ast.ImportSpec) {

@@ -144,6 +144,7 @@ func TestEachRuleFires(t *testing.T) {
 	for _, rule := range []string{
 		ruleWalltime, ruleRand, ruleMaprange, ruleConc,
 		ruleHeap, ruleSortslice, ruleGetenv,
+		ruleTaint, ruleInvcheck, ruleStale,
 	} {
 		if seen[rule] == 0 {
 			t.Errorf("rule %q produced no diagnostics on the fixture set", rule)

@@ -1,0 +1,3 @@
+module allocsrc
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package leaky is a fixture for the allocation gate: Box forces a
+// deliberate heap escape that the budget tests pin against.
+package leaky
+
+// Box returns the address of its parameter, forcing it to the heap.
+func Box(x int) *int {
+	return &x
+}
+
+// Sum stays on the stack: it must contribute nothing to the budget.
+func Sum(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

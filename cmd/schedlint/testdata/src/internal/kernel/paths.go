@@ -1,0 +1,10 @@
+package kernel
+
+import "hplsim/internal/util"
+
+// Budget tunes core behaviour from the host environment, transitively:
+// the os.Getenv call sits in another package where the per-file getenv
+// rule does not apply, so only taint can see the dependency.
+func Budget() string {
+	return util.Knob() // want `\[taint\] .*: kernel\.Budget -> util\.Knob -> os\.Getenv`
+}

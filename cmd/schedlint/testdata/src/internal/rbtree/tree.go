@@ -1,0 +1,46 @@
+// Package rbtree is a fixture: the invariants-contract check. The
+// package carries a -tags invariants audit stub (invariants_off.go), so
+// every exported mutating method must reach it.
+package rbtree
+
+// Tree is an audited structure.
+type Tree struct {
+	size int
+	keys []int
+}
+
+// Insert mutates and runs the audit: clean.
+func (t *Tree) Insert(k int) {
+	t.keys = append(t.keys, k)
+	t.size++
+	t.check()
+}
+
+// Len is read-only: exempt from the contract.
+func (t *Tree) Len() int { return t.size }
+
+// Clobber mutates Tree state without ever reaching the audit.
+func (t *Tree) Clobber() { // want `\[invcheck\] rbtree\.\(\*Tree\)\.Clobber mutates Tree state but never reaches \(\*Tree\)\.check`
+	t.size = 0
+	t.keys = t.keys[:0]
+}
+
+// Reset mutates through an unexported helper — still no audit on any
+// path, and the transitive closure must see that.
+func (t *Tree) Reset() { // want `\[invcheck\] rbtree\.\(\*Tree\)\.Reset mutates Tree state but never reaches \(\*Tree\)\.check`
+	t.clear()
+}
+
+func (t *Tree) clear() {
+	t.size = 0
+}
+
+// Drain mutates but intentionally defers the audit to its callers.
+//
+//schedlint:ignore invcheck
+func (t *Tree) Drain() []int {
+	out := t.keys
+	t.keys = nil
+	t.size = 0
+	return out
+}

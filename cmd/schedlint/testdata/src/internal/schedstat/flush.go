@@ -1,0 +1,9 @@
+package schedstat
+
+import "hplsim/internal/util"
+
+// FlushAsync fans work out through a helper goroutine: the go statement
+// is one hop away, but the core edge is still flagged.
+func FlushAsync(f func()) {
+	util.Fanout(f) // want `\[taint\] .*: schedstat\.FlushAsync -> util\.Fanout -> go statement`
+}

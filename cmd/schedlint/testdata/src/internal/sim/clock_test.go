@@ -1,0 +1,15 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStampLatency asserts on host elapsed time: flaky by construction,
+// and the one rule test files in deterministic packages are held to.
+func TestStampLatency(t *testing.T) {
+	t0 := time.Now()                  // want `\[walltime\] time\.Now in a deterministic-package test`
+	if time.Since(t0) > time.Second { // want `\[walltime\] time\.Since in a deterministic-package test`
+		t.Fatal("suspiciously slow")
+	}
+}

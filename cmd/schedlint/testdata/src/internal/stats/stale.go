@@ -1,0 +1,15 @@
+package stats
+
+import "time"
+
+// Deadline suppresses the walltime finding it actually has — that token
+// is used — but the maprange token guards nothing and is stale.
+func Deadline() time.Time {
+	return time.Now() //schedlint:ignore walltime maprange // want `\[staleignore\] ignore directive for "maprange" suppresses no finding`
+}
+
+// Ceil is clean code under a blanket directive that suppresses nothing.
+func Ceil(x float64) float64 {
+	//schedlint:ignore // want `\[staleignore\] blanket ignore directive suppresses no finding`
+	return x
+}

@@ -1,0 +1,56 @@
+// Package util is a fixture: module-local helpers that hide
+// nondeterminism one call away from the deterministic core. util is
+// outside the core, so the core-scoped per-file rules stay silent here;
+// the interprocedural taint pass flags the core call edges that reach
+// into these helpers instead.
+package util
+
+import (
+	"os"
+
+	"hplsim/internal/walltime"
+)
+
+// Jitter wraps the wall clock behind one module-local hop.
+func Jitter() int64 {
+	return walltime.Start().UnixNano()
+}
+
+// Knob wraps an environment read. The getenv rule is core-scoped, so
+// nothing is flagged here.
+func Knob() string {
+	return os.Getenv("HPLSIM_KNOB")
+}
+
+// Fanout wraps a goroutine spawn. The conc rule is repo-wide, so the go
+// statement is flagged directly — and core callers are flagged again by
+// taint, at their call edge.
+func Fanout(f func()) {
+	go f() // want `\[conc\] go statement`
+}
+
+// Fold leaks map iteration order through its return value: a taint
+// source, though the maprange rule itself is core-scoped and stays
+// silent here.
+func Fold(m map[string]int) int {
+	acc := 0
+	for k, v := range m {
+		acc += len(k) * v
+	}
+	return acc
+}
+
+// Ping and Pong recurse into each other before reaching the clock: the
+// taint fixpoint must terminate through the cycle and still report a
+// finite witness path.
+func Ping(n int) int64 {
+	if n <= 0 {
+		return walltime.Start().UnixNano()
+	}
+	return Pong(n - 1)
+}
+
+// Pong bounces back to Ping.
+func Pong(n int) int64 {
+	return Ping(n)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+)
+
+// Test files are exempt from the determinism rules — tests may randomise,
+// fan out, and iterate maps freely — with one exception: in the
+// deterministic packages, a test that reads the wall clock is asserting
+// on host timing, and a test asserting on host timing is flaky by
+// construction (the simulator exists precisely so tests can assert on
+// virtual time instead). So _test.go files in deterministic packages are
+// linted for the walltime rule only, syntactically: the files are parsed
+// but not type-checked (test packages would drag the whole test-dependency
+// closure into the load), and a call through the file's own `time` import
+// is what fires. A local identifier shadowing the import can in principle
+// dodge the check; shadowing an import named `time` in a test would be its
+// own review problem.
+
+// lintTestFile reports time.Now / time.Since calls in one parsed test
+// file of a deterministic package.
+func lintTestFile(fset *token.FileSet, f *ast.File, root string, ign *ignoreIndex) []Diagnostic {
+	// Resolve the local name of the "time" import, if any.
+	timeName := ""
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "time" {
+			continue
+		}
+		timeName = "time"
+		if imp.Name != nil {
+			timeName = imp.Name.Name
+		}
+	}
+	if timeName == "" || timeName == "_" {
+		return nil
+	}
+
+	var diags []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != timeName {
+			return true
+		}
+		if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+			return true
+		}
+		p := fset.Position(sel.Pos())
+		file, err := filepath.Rel(root, p.Filename)
+		if err != nil {
+			file = p.Filename
+		}
+		rel := filepath.ToSlash(file)
+		if ign.suppressed(rel, p.Line, ruleWalltime) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			File: rel,
+			Line: p.Line,
+			Rule: ruleWalltime,
+			Msg: "time." + sel.Sel.Name + " in a deterministic-package test: asserting on wall-clock time is flaky by construction; " +
+				"assert on the simulated clock (sim.Time) or use testing.B's timer",
+		})
+		return true
+	})
+	return diags
+}
+
+// lintTestFiles parses and lints the test files of one deterministic
+// package. Parse errors are reported as load failures: a test file that
+// does not parse cannot be vouched for.
+func lintTestFiles(fset *token.FileSet, dir string, names []string, root string, ign *ignoreIndex) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		rel, rerr := filepath.Rel(root, filepath.Join(dir, name))
+		if rerr == nil {
+			ign.scanFile(fset, f, filepath.ToSlash(rel))
+		}
+		diags = append(diags, lintTestFile(fset, f, root, ign)...)
+	}
+	return diags, nil
+}

@@ -528,6 +528,7 @@ func (k *Kernel) StealTime(cpu int, d sim.Duration) {
 		// completion without changing its identity or FIFO rank.
 		k.Eng.Shift(c.completion, c.completion.When().Add(d))
 	}
+	k.checkInvariants()
 }
 
 // syncSiblings settles the running spans of the busy SMT siblings of cpu

@@ -416,6 +416,7 @@ func (k *Kernel) IdleOn(cpu int) bool {
 func (k *Kernel) Run(until sim.Time) {
 	k.Eng.Run(until)
 	if !k.ff {
+		k.checkInvariants()
 		return
 	}
 	end := until
@@ -425,6 +426,7 @@ func (k *Kernel) Run(until sim.Time) {
 		end = k.Eng.Now()
 	}
 	k.catchUp(end, len(k.cpus))
+	k.checkInvariants()
 }
 
 // Stop halts the simulation after the current event.

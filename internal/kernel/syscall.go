@@ -58,6 +58,7 @@ func (k *Kernel) Spawn(parent *task.Task, attr Attr, start func(p *Proc)) *task.
 	if t.State == task.Sleeping {
 		// The task's first act was a sleep (daemon pattern): it will be
 		// enqueued by the wakeup.
+		k.checkInvariants()
 		return t
 	}
 	if t.Work == 0 && t.OnDone == nil {
@@ -73,12 +74,22 @@ func (k *Kernel) Spawn(parent *task.Task, attr Attr, start func(p *Proc)) *task.
 	t.State = task.Runnable
 	k.traceFork(t, cpu)
 	k.Sched.Enqueue(cpu, t, sched.EnqueueFork)
+	k.checkInvariants()
 	return t
 }
 
 // Wake moves a sleeping task to a runqueue. Waking a task that is not
 // sleeping is a no-op (events and explicit wakeups may race benignly).
 func (k *Kernel) Wake(t *task.Task) {
+	k.wake(t)
+	k.checkInvariants()
+}
+
+// wake is Wake without the syscall-boundary invariants sweep: internal
+// composites (exit notifying a waiting parent) run it mid-sequence, while
+// the dying task is still curr and its reschedule not yet requested, so
+// the global audit must wait for the composite to finish.
+func (k *Kernel) wake(t *task.Task) {
 	if t.State != task.Sleeping {
 		return
 	}
@@ -141,7 +152,7 @@ func (k *Kernel) exit(t *task.Task) {
 		p.LiveChildren--
 		if p.LiveChildren == 0 && p.WaitingChildren {
 			p.WaitingChildren = false
-			k.Wake(p)
+			k.wake(p)
 		}
 	}
 	k.resched(t.CPU)
@@ -226,7 +237,9 @@ func (k *Kernel) SetStep(t *task.Task, work float64, then func()) {
 		k.syncProgress(c)
 		t.Work = work
 		k.advance(c)
+		k.checkInvariants()
 		return
 	}
 	t.Work = work
+	k.checkInvariants()
 }

@@ -187,6 +187,7 @@ func (c *Class) ExecCharge(s *sched.Scheduler, cpu int, t *task.Task, delta sim.
 		minvr = n.Key()
 	}
 	rq.updateMin(minvr)
+	c.checkRq(cpu)
 }
 
 // ReplayTicks implements sched.TickBatcher. A quiescent tick is ExecCharge
@@ -206,6 +207,7 @@ func (c *Class) ReplayTicks(s *sched.Scheduler, cpu int, t *task.Task, dt sim.Du
 	n := rq.tree.Min()
 	if n == nil {
 		rq.updateMin(t.CFS.VRuntime)
+		c.checkRq(cpu)
 		return true
 	}
 	minvr := t.CFS.VRuntime
@@ -218,6 +220,7 @@ func (c *Class) ReplayTicks(s *sched.Scheduler, cpu int, t *task.Task, dt sim.Du
 	if ran >= c.slice(rq, t) || n.Key()+gran < t.CFS.VRuntime {
 		panic("cfs: elided tick crossed a preemption decision (NextDecision bound too late)")
 	}
+	c.checkRq(cpu)
 	return true
 }
 
