@@ -20,6 +20,7 @@ import (
 	"strings"
 	"testing"
 
+	"hplsim/internal/batch"
 	"hplsim/internal/experiments"
 	"hplsim/internal/kernel"
 	"hplsim/internal/nas"
@@ -118,6 +119,30 @@ type ScaleReport struct {
 	Rows       []ScaleBench `json:"rows"`
 }
 
+// BatchBench is one cluster-size row of the batch-layer throughput
+// study: one EASY-backfill simulation of a Poisson trace on the exact
+// node model, reported as dispatched jobs per host second. The decision
+// loop re-plans the whole queue on every completion and arrival, so this
+// is the scheduler's own cost, not the simulated workload's.
+type BatchBench struct {
+	Nodes      int     `json:"nodes"`
+	Jobs       int     `json:"jobs"`
+	Dispatched int     `json:"dispatched"`
+	Decisions  int     `json:"decisions"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_host_sec"`
+}
+
+// BatchReport is the BENCH_batch.json record.
+type BatchReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	GoVersion  string       `json:"go_version"`
+	Policy     string       `json:"policy"`
+	Model      string       `json:"model"`
+	Rows       []BatchBench `json:"rows"`
+}
+
 // SchedstatBench is one tracer-mode row of the observability-overhead
 // comparison: the same sequential replication workload with no tracer,
 // with the streaming JSONL writer, and with the accounting ledger.
@@ -159,6 +184,9 @@ func main() {
 		"schedstat tracer-overhead output file ('' to skip, '-' for stdout)")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json",
 		"wide-node scaling output file ('' to skip, '-' for stdout)")
+	batchOut := flag.String("batch-out", "BENCH_batch.json",
+		"batch-layer throughput output file ('' to skip, '-' for stdout)")
+	batchJobs := flag.Int("batch-jobs", 2000, "jobs per batch throughput measurement")
 	scaleTopos := flag.String("scale-topos", "2x2x2,2x16x2,2x64x2,4x128x2",
 		"comma-separated topologies for the scaling study")
 	scaleReps := flag.Int("scale-reps", 16, "replications per scaling-study cell")
@@ -250,6 +278,65 @@ func main() {
 	if *scaleOut != "" {
 		runScale(*scaleOut, prof, *scaleTopos, *scaleReps)
 	}
+	if *batchOut != "" {
+		runBatch(*batchOut, *batchJobs)
+	}
+}
+
+func runBatch(out string, jobs int) {
+	batchRep := BatchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Policy:     "easy",
+		Model:      "exact",
+	}
+	// EASY backfill over a long Poisson trace at the two cluster widths the
+	// two-level study targets. The exact node model removes kernel-run cost
+	// from the measurement: what is left is queue management, reservation
+	// planning, and the backfill scan per decision point.
+	for _, nodes := range []int{64, 256} {
+		tc := batch.TraceConfig{
+			Kind:             batch.TracePoisson,
+			Jobs:             jobs,
+			MeanInterarrival: 45 * sim.Second,
+			MaxRanks:         nodes * 4,
+			MeanWork:         300 * sim.Second,
+			WorkSpread:       4,
+			EstFactor:        1.5,
+			EstNoise:         0.3,
+			PrioLevels:       1,
+		}
+		trace, err := batch.GenerateTrace(tc, sim.NewRNG(1).Split(0xbeef))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg := batch.Config{
+			Cluster: batch.Cluster{Nodes: nodes, RanksPerNode: 8},
+			Policy:  batch.EASY{},
+			Model:   batch.ExactModel{},
+			Jobs:    trace,
+			Seed:    1,
+		}
+		sw := walltime.Start()
+		res := batch.Simulate(cfg)
+		sec := sw.Seconds()
+		row := BatchBench{
+			Nodes:      nodes,
+			Jobs:       jobs,
+			Dispatched: res.Dispatched,
+			Decisions:  res.Decisions,
+			Seconds:    sec,
+		}
+		if sec > 0 {
+			row.JobsPerSec = float64(res.Dispatched) / sec
+		}
+		batchRep.Rows = append(batchRep.Rows, row)
+		fmt.Fprintf(os.Stderr, "batch nodes=%-4d jobs=%-6d %7.3fs  jobs/sec=%.0f\n",
+			nodes, jobs, sec, row.JobsPerSec)
+	}
+	writeJSON(out, batchRep)
 }
 
 func runScale(out string, prof nas.Profile, topos string, reps int) {

@@ -1,12 +1,16 @@
-// Command schedcheck drives the property-based scheduler harness from the
-// command line. It has two modes:
+// Command schedcheck drives the property-based scheduler harnesses from
+// the command line. It checks two layers: the node-kernel harness
+// (internal/schedcheck, the default) and, with -batch, the cluster batch
+// layer (internal/batch/batchcheck). Each layer has two modes:
 //
 // Corpus mode (default) generates -scenarios seeded scenarios starting at
-// -seed and checks every applicable oracle (determinism, class-priority
-// dominance, fork-time-only migration, noise insulation, permutation
-// invariance, time rescaling) against each. The first failing scenario is
-// auto-shrunk to a minimal repro and, with -out, written as a replay file
-// suitable for committing under internal/schedcheck/testdata/repros/.
+// -seed and checks every applicable oracle against each. Node oracles:
+// determinism, class-priority dominance, fork-time-only migration, noise
+// insulation, permutation invariance, time rescaling. Batch oracles:
+// determinism fingerprint over dispatch order, node-hour conservation,
+// EASY head-reservation, FCFS dominance, completion. The first failing
+// scenario is auto-shrunk to a minimal repro and, with -out, written as a
+// replay file suitable for committing under the layer's testdata/repros/.
 //
 // Replay mode (-replay) re-checks a repro file, or every *.json repro in a
 // directory, and verifies the recorded expectation still holds — "pass"
@@ -20,7 +24,8 @@
 //	schedcheck -scenarios 500
 //	schedcheck -seed 38 -scenarios 1 -v
 //	schedcheck -replay internal/schedcheck/testdata/repros
-//	schedcheck -scenarios 200 -out repro.json
+//	schedcheck -batch -scenarios 200
+//	schedcheck -batch -replay internal/batch/batchcheck/testdata/repros
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"os"
 	"sync"
 
+	"hplsim/internal/batch/batchcheck"
 	"hplsim/internal/pool"
 	"hplsim/internal/schedcheck"
 )
@@ -37,6 +43,7 @@ func main() {
 	var (
 		scenarios = flag.Int("scenarios", 200, "number of seeded scenarios to generate and check")
 		seed      = flag.Uint64("seed", 1, "first seed of the corpus")
+		batchMode = flag.Bool("batch", false, "check the cluster batch layer instead of the node kernel")
 		replay    = flag.String("replay", "", "replay a repro file or directory instead of generating a corpus")
 		out       = flag.String("out", "", "write the shrunk repro of the first failure to this file")
 		budget    = flag.Int("shrink-budget", schedcheck.DefaultShrinkBudget, "max oracle checks spent shrinking a failure")
@@ -50,7 +57,7 @@ func main() {
 	flag.Parse()
 
 	if *replay != "" {
-		if err := replayPath(*replay); err != nil {
+		if err := replayPath(*replay, *batchMode); err != nil {
 			fmt.Fprintln(os.Stderr, "schedcheck:", err)
 			os.Exit(1)
 		}
@@ -61,6 +68,11 @@ func main() {
 	if *scenarios <= 0 {
 		fmt.Fprintln(os.Stderr, "schedcheck: -scenarios must be positive")
 		os.Exit(2)
+	}
+
+	if *batchMode {
+		batchCorpus(*scenarios, *seed, *out, *budget, *workers, *verbose)
+		return
 	}
 
 	type failure struct {
@@ -128,11 +140,83 @@ func main() {
 	os.Exit(1)
 }
 
-// replayPath replays a single repro file, or every repro in a directory.
-func replayPath(path string) error {
+// batchCorpus is corpus mode against the cluster batch layer.
+func batchCorpus(scenarios int, seed uint64, out string, budget, workers int, verbose bool) {
+	type failure struct {
+		seed uint64
+		fail *batchcheck.Failure
+	}
+	var (
+		mu    sync.Mutex
+		fails []failure
+	)
+	pool.ForN(scenarios, workers, func(i int) {
+		sd := seed + uint64(i)
+		s := batchcheck.Generate(sd)
+		f := batchcheck.Check(s)
+		mu.Lock()
+		defer mu.Unlock()
+		if verbose {
+			verdict := "ok"
+			if f != nil {
+				verdict = f.Error()
+			}
+			fmt.Printf("seed %d: %d jobs, %d nodes x %d ranks, %s/%s: %s\n",
+				sd, len(s.Jobs), s.Nodes, s.RanksPerNode, s.Policy, s.Model, verdict)
+		}
+		if f != nil {
+			fails = append(fails, failure{sd, f})
+		}
+	})
+
+	if len(fails) == 0 {
+		fmt.Printf("schedcheck: %d batch scenarios (seeds %d..%d), all oracles green\n",
+			scenarios, seed, seed+uint64(scenarios)-1)
+		return
+	}
+
+	first := fails[0]
+	for _, f := range fails[1:] {
+		if f.seed < first.seed {
+			first = f
+		}
+	}
+	fmt.Fprintf(os.Stderr, "schedcheck: %d of %d batch scenarios failed\n", len(fails), scenarios)
+	fmt.Fprintf(os.Stderr, "seed %d: %v\n", first.seed, first.fail)
+
+	small, sf := batchcheck.Shrink(batchcheck.Generate(first.seed), budget)
+	fmt.Fprintf(os.Stderr, "shrunk to %d jobs: %v\n", len(small.Jobs), sf)
+	if out != "" {
+		r := batchcheck.Repro{
+			Version:  batchcheck.ReproVersion,
+			Note:     fmt.Sprintf("shrunk from batch seed %d", first.seed),
+			Expect:   "fail",
+			Oracle:   sf.Oracle,
+			Scenario: small,
+		}
+		if err := batchcheck.WriteRepro(out, r); err != nil {
+			fmt.Fprintln(os.Stderr, "schedcheck:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "repro written to %s\n", out)
+	} else if data, err := small.MarshalIndent(); err == nil {
+		fmt.Fprintf(os.Stderr, "shrunk scenario:\n%s\n", data)
+	}
+	os.Exit(1)
+}
+
+// replayPath replays a single repro file, or every repro in a directory,
+// against the selected harness.
+func replayPath(path string, batchMode bool) error {
 	info, err := os.Stat(path)
 	if err != nil {
 		return err
+	}
+	if batchMode {
+		if info.IsDir() {
+			return batchcheck.ReplayDir(path)
+		}
+		return batchcheck.ReplayFile(path)
 	}
 	if info.IsDir() {
 		return schedcheck.ReplayDir(path)

@@ -139,6 +139,7 @@ var deterministicPkgs = []string{
 	"internal/experiments",
 	"internal/schedcheck",
 	"internal/schedstat",
+	"internal/batch",
 }
 
 // pkgScope classifies a target package for rule selection.

@@ -35,6 +35,7 @@ var taintRootPkgs = []string{
 	"internal/rbtree",
 	"internal/schedcheck",
 	"internal/schedstat",
+	"internal/batch",
 }
 
 func isTaintRoot(rel string) bool {

@@ -1,0 +1,18 @@
+package batch
+
+import "hplsim/internal/util"
+
+// Tally leaks map iteration order from the batch dispatcher.
+func Tally(nodes map[int]int) int {
+	s := 0
+	for _, free := range nodes { // want `\[maprange\] range over map\[int\]int`
+		s += free
+	}
+	return s
+}
+
+// Stamp reaches the host clock through a module-local helper: invisible
+// to the per-file walltime rule, caught because batch is a taint root.
+func Stamp() int64 {
+	return util.Jitter() // want `\[taint\] deterministic core transitively reaches a nondeterministic source: batch\.Stamp -> util\.Jitter -> walltime\.Start -> time\.Now`
+}

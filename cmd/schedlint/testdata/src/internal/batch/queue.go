@@ -1,0 +1,23 @@
+// Package batch is a fixture: the cluster batch layer joined the
+// deterministic core, so all core-scoped rules and the invariants
+// contract apply to its job queue.
+package batch
+
+// Queue is an audited priority queue.
+type Queue struct {
+	jobs []int
+}
+
+// Push mutates and runs the audit: clean.
+func (q *Queue) Push(id int) {
+	q.jobs = append(q.jobs, id)
+	q.check()
+}
+
+// Len is read-only: exempt from the contract.
+func (q *Queue) Len() int { return len(q.jobs) }
+
+// Drop mutates Queue state without ever reaching the audit.
+func (q *Queue) Drop() { // want `\[invcheck\] batch\.\(\*Queue\)\.Drop mutates Queue state but never reaches \(\*Queue\)\.check`
+	q.jobs = q.jobs[:0]
+}

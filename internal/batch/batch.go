@@ -1,0 +1,240 @@
+// Package batch is the cluster-level half of the two-level scheduling
+// study: a deterministic job scheduler that queues multi-rank jobs and
+// places them onto a simulated cluster of nodes whose behaviour is
+// calibrated from the single-node kernel simulation.
+//
+// The design follows the two-level simulation approach of Eleliemy/Ciorba
+// (arXiv:1811.01344) with the pluggable-policy shape of DRAS-CQSim
+// (arXiv:2105.07526): a Job (ranks, estimated runtime, arrival, priority)
+// enters a queue managed by a Policy (FCFS, EASY backfill, conservative
+// backfill, priority aging); the dispatcher allocates whole nodes; and a
+// NodeModel maps each job's ideal demand to the wall time it actually
+// occupies its allocation. The hybrid construction mirrors
+// internal/cluster: node behaviour is measured empirically by full kernel
+// runs (internal/experiments builds an EmpiricalModel from Std or HPL
+// slowdown samples), and the cluster run draws from that distribution with
+// the barrier's max-order statistic across the job's nodes — so the node
+// kernel's noise profile propagates into cluster-wide makespan,
+// utilization, and backfill accuracy.
+//
+// Everything is a pure function of (config, seed): the same trace, policy,
+// and model replay to bitwise-identical results, which the batchcheck
+// oracles (determinism fingerprint, node-hour conservation, EASY
+// head-reservation, FCFS dominance) lock down.
+package batch
+
+import (
+	"fmt"
+
+	"hplsim/internal/sim"
+)
+
+// Job is one batch submission.
+type Job struct {
+	// ID is unique within a trace; dispatch ties break on it.
+	ID int
+	// Name is a human label; it does not affect scheduling.
+	Name string `json:",omitempty"`
+	// Ranks is the number of MPI ranks requested. Nodes are allocated
+	// whole: a job occupies ceil(Ranks / Cluster.RanksPerNode) nodes.
+	Ranks int
+	// Est is the user-supplied runtime estimate (the walltime limit).
+	// Backfill policies plan with it; the actual runtime comes from the
+	// node model.
+	Est sim.Duration
+	// Work is the job's ideal noise-free runtime: what a perfect node
+	// would deliver. Policies never see it.
+	Work sim.Duration
+	// Arrival is the submission time, measured from the start of the
+	// cluster run.
+	Arrival sim.Time
+	// Priority orders the priority-aging policy (higher = more urgent);
+	// the arrival-ordered policies ignore it.
+	Priority int
+}
+
+// Validate reports the first structural problem with the job.
+func (j Job) Validate() error {
+	if j.ID < 0 {
+		return fmt.Errorf("batch: job %d: negative ID", j.ID)
+	}
+	if j.Ranks < 1 {
+		return fmt.Errorf("batch: job %d: needs at least one rank, got %d", j.ID, j.Ranks)
+	}
+	if j.Est <= 0 {
+		return fmt.Errorf("batch: job %d: non-positive estimate %v", j.ID, j.Est)
+	}
+	if j.Work <= 0 {
+		return fmt.Errorf("batch: job %d: non-positive work %v", j.ID, j.Work)
+	}
+	if j.Arrival < 0 {
+		return fmt.Errorf("batch: job %d: negative arrival %v", j.ID, j.Arrival)
+	}
+	if j.Priority < 0 {
+		return fmt.Errorf("batch: job %d: negative priority %d", j.ID, j.Priority)
+	}
+	return nil
+}
+
+// Cluster describes the machine the batch scheduler feeds.
+type Cluster struct {
+	// Nodes is the node count.
+	Nodes int
+	// RanksPerNode is each node's rank capacity, normally the node
+	// topology's logical CPU count (topo.Topology.NumCPUs).
+	RanksPerNode int
+}
+
+// NodesFor reports the whole-node allocation for a job.
+func (c Cluster) NodesFor(j Job) int {
+	return (j.Ranks + c.RanksPerNode - 1) / c.RanksPerNode
+}
+
+// Validate reports the first structural problem with the cluster.
+func (c Cluster) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("batch: cluster needs at least one node, got %d", c.Nodes)
+	}
+	if c.RanksPerNode < 1 {
+		return fmt.Errorf("batch: node capacity must be positive, got %d ranks/node", c.RanksPerNode)
+	}
+	return nil
+}
+
+// Waiting is one queued job as a policy sees it.
+type Waiting struct {
+	Job Job
+	// Nodes is the whole-node allocation the job will occupy.
+	Nodes int
+}
+
+// Running is one dispatched, unfinished job as a policy sees it. Policies
+// plan with the estimated end; the actual end is hidden, exactly as a real
+// batch system only knows the walltime limit.
+type Running struct {
+	ID     int
+	Nodes  int
+	EstEnd sim.Time
+}
+
+// View is the scheduler-visible cluster state at one decision point. Queue
+// holds the waiting jobs in arrival order (ties by ID); Running holds the
+// dispatched jobs sorted by (EstEnd, ID).
+type View struct {
+	Now        sim.Time
+	Queue      []Waiting
+	Running    []Running
+	FreeNodes  int
+	TotalNodes int
+}
+
+// Chaos injects deliberate scheduler faults so the batchcheck oracles can
+// prove they still fire. Production configurations leave it zero.
+type Chaos struct {
+	// Overcommit starts the first queued job that does not fit whenever
+	// the policy leaves it waiting, violating node-hour conservation.
+	Overcommit bool `json:",omitempty"`
+	// StarveHead drops the oldest waiting job from every pick, so
+	// backfilled jobs overtake it indefinitely — violating FCFS dominance
+	// and the EASY head-reservation bound.
+	StarveHead bool `json:",omitempty"`
+}
+
+// Config parameterises one cluster run.
+type Config struct {
+	Cluster Cluster
+	Policy  Policy
+	Model   NodeModel
+	// Jobs is the arrival trace. Simulate sorts a copy by (Arrival, ID).
+	Jobs []Job
+	// Seed derives every random stream of the run (node-model draws).
+	Seed uint64
+	// Chaos enables fault injection (oracle self-tests only).
+	Chaos Chaos
+	// OnDecision, if set, observes every scheduling decision: the view the
+	// policy saw and the queue indices it started, after chaos rewrites.
+	// Probes must not retain the view's slices.
+	OnDecision func(v View, started []int)
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c Config) Validate() error {
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("batch: nil policy")
+	}
+	if c.Model == nil {
+		return fmt.Errorf("batch: nil node model")
+	}
+	if len(c.Jobs) == 0 {
+		return fmt.Errorf("batch: empty job trace")
+	}
+	seen := make(map[int]bool, len(c.Jobs))
+	for _, j := range c.Jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("batch: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+		if n := c.Cluster.NodesFor(j); n > c.Cluster.Nodes {
+			return fmt.Errorf("batch: job %d needs %d nodes, cluster has %d", j.ID, n, c.Cluster.Nodes)
+		}
+	}
+	return nil
+}
+
+// BSLDThreshold is the interactive threshold of the bounded-slowdown
+// metric: jobs shorter than this are not penalised for proportionally long
+// waits (Feitelson's standard 10 s).
+const BSLDThreshold = 10 * sim.Second
+
+// JobStat is the per-job outcome of a cluster run.
+type JobStat struct {
+	ID      int
+	Name    string `json:",omitempty"`
+	Nodes   int
+	Arrival sim.Time
+	// Started is false when the run ended with the job still waiting
+	// (only possible under chaos faults).
+	Started bool
+	Start   sim.Time
+	End     sim.Time
+	// Wait is Start - Arrival.
+	Wait sim.Duration
+	// Runtime is the actual occupancy the node model produced.
+	Runtime sim.Duration
+	// BoundedSlowdown is max(1, (Wait+Runtime)/max(Runtime, BSLDThreshold)).
+	BoundedSlowdown float64
+	// Backfilled marks a job started while an earlier-arrived job was
+	// still waiting.
+	Backfilled bool
+}
+
+// Result is the outcome of one cluster run.
+type Result struct {
+	// Jobs holds per-job stats in (Arrival, ID) order.
+	Jobs []JobStat
+	// Makespan is the last job completion time.
+	Makespan sim.Time
+	// Utilization is the node-hours delivered to jobs over the node-hours
+	// the cluster offered until the makespan.
+	Utilization float64
+	MeanWait    sim.Duration
+	MaxWait     sim.Duration
+	// MeanBoundedSlowdown averages the per-job bounded slowdowns.
+	MeanBoundedSlowdown float64
+	// Backfills counts jobs that overtook an earlier arrival.
+	Backfills int
+	// Dispatched counts jobs actually started (== len(Jobs) unless chaos
+	// starved the tail of the queue).
+	Dispatched int
+	// Decisions counts scheduling decision points.
+	Decisions int
+	// Fingerprint folds the dispatch order (job ID, start, nodes) into an
+	// FNV-style hash: two runs of the same config must agree bit for bit.
+	Fingerprint uint64
+}

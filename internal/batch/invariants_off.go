@@ -1,0 +1,12 @@
+//go:build !invariants
+
+package batch
+
+// checkQueue is a no-op in normal builds; see invariants_on.go.
+func (q *AgingQueue) checkQueue() {}
+
+// checkState is a no-op in normal builds; see invariants_on.go.
+func (s *simState) checkState() {}
+
+// checkProfile is a no-op in normal builds; see invariants_on.go.
+func (p *profile) checkProfile() {}

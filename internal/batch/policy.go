@@ -1,0 +1,395 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+
+	"hplsim/internal/invariant"
+	"hplsim/internal/sim"
+)
+
+// Policy decides which waiting jobs to start at a decision point. Pick
+// returns indices into v.Queue in start order; the dispatcher starts them
+// all without a capacity check of its own (conservation is a property of
+// the policy, enforced externally by the batchcheck oracle — which is what
+// lets the oracle catch a policy that overcommits). Implementations must
+// be deterministic pure functions of the view.
+type Policy interface {
+	Name() string
+	Pick(v View) []int
+}
+
+// Never is the sentinel reservation time for a request no future release
+// can satisfy. It only arises when capacity accounting is already broken
+// (chaos overcommit); healthy configurations always reserve a finite time.
+const Never = sim.Time(math.MaxInt64)
+
+// Release is one future capacity-release event, as planned from running
+// jobs' estimated ends. HeadReservation and the profile consume slices
+// sorted by (At, order of appearance).
+type Release struct {
+	At    sim.Time
+	Nodes int
+}
+
+// viewReleases plans the capacity releases of v.Running (already sorted by
+// (EstEnd, ID)) plus any jobs the policy just picked at v.Now.
+func viewReleases(v View, picked []int) []Release {
+	rel := make([]Release, 0, len(v.Running)+len(picked))
+	for _, r := range v.Running {
+		rel = append(rel, Release{At: r.EstEnd, Nodes: r.Nodes})
+	}
+	for _, i := range picked {
+		rel = append(rel, Release{At: v.Now.Add(v.Queue[i].Job.Est), Nodes: v.Queue[i].Nodes})
+	}
+	// Deterministic: sorted by release time; equal times keep (EstEnd, ID)
+	// order for running jobs and pick order for new starts via stability.
+	sortReleases(rel)
+	return rel
+}
+
+// sortReleases is a stable insertion sort by At. Release lists are short
+// (bounded by running jobs) and usually nearly sorted already.
+func sortReleases(rel []Release) {
+	for i := 1; i < len(rel); i++ {
+		for j := i; j > 0 && rel[j].At < rel[j-1].At; j-- {
+			rel[j], rel[j-1] = rel[j-1], rel[j]
+		}
+	}
+}
+
+// HeadReservation computes the EASY backfill reservation: the earliest
+// time at which `need` nodes are simultaneously free, assuming currently
+// running jobs release exactly at their estimated ends, together with the
+// number of extra nodes free at that time beyond the head's need. Exported
+// so the batchcheck head-no-delay oracle recomputes the same bound the
+// policy planned with.
+func HeadReservation(now sim.Time, free int, releases []Release, need int) (at sim.Time, extra int) {
+	if free >= need {
+		return now, free - need
+	}
+	avail := free
+	for _, r := range releases {
+		avail += r.Nodes
+		if avail >= need {
+			at = r.At
+			if at < now {
+				at = now
+			}
+			return at, avail - need
+		}
+	}
+	return Never, 0
+}
+
+// FCFS starts jobs strictly in arrival order: the queue head blocks
+// everything behind it until it fits. The baseline every backfill policy
+// must dominate on head wait.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Policy.
+func (FCFS) Pick(v View) []int {
+	free := v.FreeNodes
+	var picks []int
+	for i, w := range v.Queue {
+		if w.Nodes > free {
+			break
+		}
+		picks = append(picks, i)
+		free -= w.Nodes
+	}
+	return picks
+}
+
+// EASY is aggressive (EASY/SLURM-style) backfill: the queue head gets a
+// reservation at the earliest estimated-release time it fits, and younger
+// jobs may jump it only if they terminate (by estimate) before that shadow
+// time or use only the reservation's spare nodes. Exactly one job holds a
+// reservation, so only the head's start bound is guaranteed — the
+// batchcheck oracle checks that bound.
+type EASY struct{}
+
+// Name implements Policy.
+func (EASY) Name() string { return "easy" }
+
+// easyPlan is the first phase shared by Pick and EASYReservation: the
+// FCFS prefix of immediately-fitting jobs, the index of the blocked head,
+// and the head's reservation. headIdx == len(v.Queue) means no job is
+// blocked and there is no reservation.
+func easyPlan(v View) (picks []int, free, headIdx int, shadow sim.Time, extra int) {
+	free = v.FreeNodes
+	i := 0
+	for i < len(v.Queue) && v.Queue[i].Nodes <= free {
+		free -= v.Queue[i].Nodes
+		picks = append(picks, i)
+		i++
+	}
+	headIdx = i
+	if i < len(v.Queue) {
+		shadow, extra = HeadReservation(v.Now, free, viewReleases(v, picks), v.Queue[i].Nodes)
+	}
+	return picks, free, headIdx, shadow, extra
+}
+
+// EASYReservation reports which waiting job EASY would hold a reservation
+// for at this decision point — the first job in arrival order that does
+// not fit — and the start time that reservation guarantees, assuming
+// running jobs release at their estimated ends. ok is false when nothing
+// is blocked. The batchcheck head-no-delay oracle recomputes exactly this
+// bound and checks the head really started by it.
+func EASYReservation(v View) (headID int, at sim.Time, ok bool) {
+	_, _, headIdx, shadow, _ := easyPlan(v)
+	if headIdx >= len(v.Queue) {
+		return 0, 0, false
+	}
+	return v.Queue[headIdx].Job.ID, shadow, true
+}
+
+// Pick implements Policy.
+func (EASY) Pick(v View) []int {
+	picks, free, i, shadow, extra := easyPlan(v)
+	if i >= len(v.Queue) {
+		return picks
+	}
+	for j := i + 1; j < len(v.Queue); j++ {
+		n := v.Queue[j].Nodes
+		if n > free {
+			continue
+		}
+		endsBeforeShadow := v.Now.Add(v.Queue[j].Job.Est) <= shadow
+		if !endsBeforeShadow && n > extra {
+			continue
+		}
+		picks = append(picks, j)
+		free -= n
+		if !endsBeforeShadow {
+			// Runs past the shadow time, so it consumes the nodes the head
+			// leaves spare; a before-shadow backfill releases in time and
+			// costs the reservation nothing.
+			extra -= n
+		}
+	}
+	return picks
+}
+
+// Conservative backfill gives every queued job a reservation: a job may
+// start now only if doing so delays no earlier-queued job's planned start.
+// The plan is recomputed statelessly at each decision point over the
+// estimated-release capacity profile, which yields the same reservations
+// as an incremental implementation but keeps the policy a pure function of
+// the view.
+type Conservative struct{}
+
+// Name implements Policy.
+func (Conservative) Name() string { return "conservative" }
+
+// Pick implements Policy.
+func (Conservative) Pick(v View) []int {
+	p := newProfile(v.Now, v.FreeNodes, v.TotalNodes, viewReleases(v, nil))
+	var picks []int
+	for i, w := range v.Queue {
+		at := p.earliest(w.Nodes, w.Job.Est)
+		if at == Never {
+			continue
+		}
+		p.reserve(at, w.Job.Est, w.Nodes)
+		if at == v.Now {
+			picks = append(picks, i)
+		}
+	}
+	return picks
+}
+
+// PriorityAging starts jobs in aged-priority order (effective priority
+// Priority + Rate*(wait seconds), ties by arrival then ID) and is strict:
+// if the highest-priority waiting job does not fit, nothing lower jumps
+// it. Aging makes the order starvation-free — any waiting job eventually
+// outranks fresh arrivals.
+type PriorityAging struct {
+	// Rate is the aging rate in priority points per second of wait. Zero
+	// degrades to static priorities; very large approaches FCFS.
+	Rate float64
+}
+
+// Name implements Policy.
+func (PriorityAging) Name() string { return "aging" }
+
+// Pick implements Policy.
+func (p PriorityAging) Pick(v View) []int {
+	q := NewAgingQueue(p.Rate)
+	at := make(map[int]int, len(v.Queue))
+	for i, w := range v.Queue {
+		q.Push(w.Job)
+		at[w.Job.ID] = i
+	}
+	free := v.FreeNodes
+	var picks []int
+	for q.Len() > 0 {
+		i := at[q.Pop()]
+		if v.Queue[i].Nodes > free {
+			break
+		}
+		picks = append(picks, i)
+		free -= v.Queue[i].Nodes
+	}
+	return picks
+}
+
+// NewPolicy builds a policy from its wire name: "fcfs", "easy",
+// "conservative", or "aging" (which takes the aging rate in priority
+// points per second; the others ignore it).
+func NewPolicy(name string, agingRate float64) (Policy, error) {
+	switch name {
+	case "fcfs":
+		return FCFS{}, nil
+	case "easy":
+		return EASY{}, nil
+	case "conservative":
+		return Conservative{}, nil
+	case "aging":
+		if agingRate < 0 {
+			return nil, fmt.Errorf("batch: negative aging rate %v", agingRate)
+		}
+		return PriorityAging{Rate: agingRate}, nil
+	}
+	return nil, fmt.Errorf("batch: unknown policy %q", name)
+}
+
+// PolicyNames lists the wire names NewPolicy accepts.
+func PolicyNames() []string { return []string{"fcfs", "easy", "conservative", "aging"} }
+
+// Chaotic wraps a policy with deliberate faults so the trace-level oracles
+// can demonstrate they catch real scheduler bugs. Never used outside
+// oracle self-tests.
+type Chaotic struct {
+	Inner  Policy
+	Faults Chaos
+}
+
+// Name implements Policy.
+func (c Chaotic) Name() string { return c.Inner.Name() + "+chaos" }
+
+// Pick implements Policy.
+func (c Chaotic) Pick(v View) []int {
+	picks := c.Inner.Pick(v)
+	if c.Faults.StarveHead && len(v.Queue) > 0 {
+		kept := make([]int, 0, len(picks))
+		for _, i := range picks {
+			if i != 0 {
+				kept = append(kept, i)
+			}
+		}
+		picks = kept
+	}
+	if c.Faults.Overcommit {
+		picked := make([]bool, len(v.Queue))
+		free := v.FreeNodes
+		for _, i := range picks {
+			picked[i] = true
+			free -= v.Queue[i].Nodes
+		}
+		for i, w := range v.Queue {
+			if !picked[i] && w.Nodes > free {
+				picks = append(picks, i)
+				break
+			}
+		}
+	}
+	return picks
+}
+
+// profile is a piecewise-constant free-node timeline used by conservative
+// backfill: breakpoints at estimated release/reservation edges, constant
+// free count within each segment, and free[last] extending to infinity.
+type profile struct {
+	total int
+	times []sim.Time // strictly increasing; times[0] is the planning origin
+	free  []int      // free[i] holds on [times[i], times[i+1])
+}
+
+func newProfile(now sim.Time, free, total int, releases []Release) *profile {
+	p := &profile{total: total, times: []sim.Time{now}, free: []int{free}}
+	for _, r := range releases {
+		at := r.At
+		if at < now {
+			// An estimate already elapsed; the release is imminent, plan it
+			// as available now.
+			at = now
+		}
+		last := len(p.times) - 1
+		if at == p.times[last] {
+			p.free[last] += r.Nodes
+		} else {
+			p.times = append(p.times, at)
+			p.free = append(p.free, p.free[last]+r.Nodes)
+		}
+	}
+	if invariant.Enabled {
+		p.checkProfile()
+	}
+	return p
+}
+
+// earliest finds the first time at which `need` nodes stay free for the
+// whole of `dur`, or Never if no plan satisfies it.
+func (p *profile) earliest(need int, dur sim.Duration) sim.Time {
+	for i := 0; i < len(p.times); i++ {
+		if p.free[i] < need {
+			continue
+		}
+		start := p.times[i]
+		end := start.Add(dur)
+		ok := true
+		for k := i + 1; k < len(p.times) && p.times[k] < end; k++ {
+			if p.free[k] < need {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	if p.free[len(p.free)-1] >= need {
+		return p.times[len(p.times)-1]
+	}
+	return Never
+}
+
+// split ensures a breakpoint exists exactly at t (which must be at or
+// after the planning origin) and returns the index of the segment that
+// starts there.
+func (p *profile) split(t sim.Time) int {
+	for i, bt := range p.times {
+		if bt == t {
+			return i
+		}
+		if bt > t {
+			p.times = append(p.times, 0)
+			p.free = append(p.free, 0)
+			copy(p.times[i+1:], p.times[i:])
+			copy(p.free[i+1:], p.free[i:])
+			p.times[i] = t
+			p.free[i] = p.free[i-1] // i >= 1: times[0] <= t guarantees a left neighbour
+			return i
+		}
+	}
+	p.times = append(p.times, t)
+	p.free = append(p.free, p.free[len(p.free)-1])
+	return len(p.times) - 1
+}
+
+// reserve subtracts a planned allocation of `nodes` over [at, at+dur).
+func (p *profile) reserve(at sim.Time, dur sim.Duration, nodes int) {
+	lo := p.split(at)
+	hi := p.split(at.Add(dur))
+	for i := lo; i < hi; i++ {
+		p.free[i] -= nodes
+	}
+	if invariant.Enabled {
+		p.checkProfile()
+	}
+}

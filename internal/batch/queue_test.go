@@ -1,0 +1,117 @@
+package batch
+
+import (
+	"testing"
+
+	"hplsim/internal/sim"
+)
+
+// refQueue is the obviously-correct reference: a slice kept sorted by
+// (key desc, arrival, id) with linear insertion.
+type refQueue struct {
+	rate    float64
+	entries []Job
+}
+
+func (r *refQueue) push(j Job) {
+	key := func(j Job) float64 { return float64(j.Priority) - r.rate*j.Arrival.Seconds() }
+	before := func(a, b Job) bool {
+		if key(a) != key(b) {
+			return key(a) > key(b)
+		}
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.ID < b.ID
+	}
+	i := 0
+	for i < len(r.entries) && before(r.entries[i], j) {
+		i++
+	}
+	r.entries = append(r.entries, Job{})
+	copy(r.entries[i+1:], r.entries[i:])
+	r.entries[i] = j
+}
+
+func (r *refQueue) pop() int {
+	id := r.entries[0].ID
+	r.entries = r.entries[1:]
+	return id
+}
+
+// TestAgingQueueModel drives AgingQueue and the sorted-slice reference
+// with identical random push/pop streams and demands identical pop
+// sequences, across rates including zero (pure priority) and large
+// (FCFS-like) aging.
+func TestAgingQueueModel(t *testing.T) {
+	rates := []float64{0, 0.01, 1, 1000}
+	for _, rate := range rates {
+		for seed := uint64(1); seed <= 20; seed++ {
+			rng := sim.NewRNG(seed).Split(uint64(rate*1000) + 7)
+			q := NewAgingQueue(rate)
+			ref := &refQueue{rate: rate}
+			nextID := 0
+			for op := 0; op < 400; op++ {
+				if q.Len() != len(ref.entries) {
+					t.Fatalf("rate %v seed %d: Len %d, reference %d", rate, seed, q.Len(), len(ref.entries))
+				}
+				if q.Len() == 0 || rng.Float64() < 0.6 {
+					j := Job{
+						ID:       nextID,
+						Ranks:    1,
+						Est:      sim.Second,
+						Work:     sim.Second,
+						Arrival:  sim.Time(rng.Int63n(1e12)),
+						Priority: rng.Intn(5),
+					}
+					nextID++
+					q.Push(j)
+					ref.push(j)
+					continue
+				}
+				got, want := q.Pop(), ref.pop()
+				if got != want {
+					t.Fatalf("rate %v seed %d op %d: Pop() = job %d, reference says job %d", rate, seed, op, got, want)
+				}
+			}
+			for q.Len() > 0 {
+				got, want := q.Pop(), ref.pop()
+				if got != want {
+					t.Fatalf("rate %v seed %d drain: Pop() = job %d, reference says job %d", rate, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAgingQueueAgingChangesOrder pins the semantics the rate is for: a
+// low-priority early arrival eventually outranks a high-priority late one.
+func TestAgingQueueAgingChangesOrder(t *testing.T) {
+	early := Job{ID: 0, Priority: 0, Arrival: 0}
+	late := Job{ID: 1, Priority: 5, Arrival: sim.Time(100 * sim.Second)}
+
+	static := NewAgingQueue(0)
+	static.Push(early)
+	static.Push(late)
+	if got := static.Pop(); got != 1 {
+		t.Fatalf("rate 0: want the high-priority job first, got job %d", got)
+	}
+
+	// At 1 point/second the early job gains 100 points over the late one's
+	// head start of 5: it must pop first.
+	aged := NewAgingQueue(1)
+	aged.Push(early)
+	aged.Push(late)
+	if got := aged.Pop(); got != 0 {
+		t.Fatalf("rate 1: want the aged early job first, got job %d", got)
+	}
+}
+
+func TestAgingQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on an empty queue did not panic")
+		}
+	}()
+	NewAgingQueue(1).Pop()
+}

@@ -1,0 +1,331 @@
+package batch
+
+import (
+	"fmt"
+
+	"hplsim/internal/invariant"
+	"hplsim/internal/sim"
+)
+
+// FNV-1a-style fold constants, shared with the schedcheck fingerprint so
+// both harnesses hash the same way.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvFold(h, x uint64) uint64 { return (h ^ x) * fnvPrime }
+
+// running is one dispatched job in the simulator's actual-time books.
+type running struct {
+	id     int
+	stat   int // index into the stats slice
+	nodes  int
+	end    sim.Time // actual completion, hidden from policies
+	estEnd sim.Time // what policies plan with
+}
+
+// simState is the dispatcher's mutable state. The invariants build
+// revalidates the capacity accounting identity and queue order after every
+// event (see invariants_on.go).
+type simState struct {
+	total   int
+	free    int
+	waiting []Waiting // arrival order, ties by ID
+	run     []running // unordered; scans sort deterministically
+}
+
+// Simulate executes the full cluster run: a discrete-event loop over job
+// arrivals and completions, invoking the policy at every event. It is a
+// pure function of cfg — two calls with the same config return identical
+// results, fingerprint included. Structural misuse (bad config, policy
+// returning out-of-range or duplicate indices) panics; scheduling-quality
+// violations (overcommit, starvation) do not — those are the oracles' job
+// to catch, over the truthful record this function returns.
+func Simulate(cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+
+	jobs := make([]Job, len(cfg.Jobs))
+	copy(jobs, cfg.Jobs)
+	// Deterministic: arrival order with ID tiebreak is the canonical trace
+	// order; stats and dispatch scans inherit it.
+	sortJobs(jobs)
+
+	// Pre-draw every job's actual runtime from a per-job stream derived
+	// from (seed, job ID) alone: the runtime a job will exhibit is fixed
+	// before scheduling starts, so contrasting policies on one trace is an
+	// apples-to-apples comparison, and dispatch order cannot perturb the
+	// draw stream.
+	root := sim.NewRNG(cfg.Seed).Split(0xba7c4)
+	nodes := make([]int, len(jobs))
+	actual := make([]sim.Duration, len(jobs))
+	for i, j := range jobs {
+		nodes[i] = cfg.Cluster.NodesFor(j)
+		r := cfg.Model.Runtime(j, nodes[i], root.Split(uint64(j.ID)))
+		if r <= 0 {
+			r = 1 // a model rounding to zero still occupies one tick
+		}
+		actual[i] = r
+	}
+
+	stats := make([]JobStat, len(jobs))
+	for i, j := range jobs {
+		stats[i] = JobStat{ID: j.ID, Name: j.Name, Nodes: nodes[i], Arrival: j.Arrival, Runtime: actual[i]}
+	}
+
+	policy := cfg.Policy
+	if cfg.Chaos != (Chaos{}) {
+		policy = Chaotic{Inner: cfg.Policy, Faults: cfg.Chaos}
+	}
+
+	st := &simState{total: cfg.Cluster.Nodes, free: cfg.Cluster.Nodes}
+	res := Result{Fingerprint: fnvOffset}
+	nextArrival := 0 // index into jobs of the first not-yet-arrived job
+	now := sim.Time(0)
+
+	for {
+		// Advance to the next event: the earliest completion or arrival.
+		t := Never
+		for _, r := range st.run {
+			if r.end < t {
+				t = r.end
+			}
+		}
+		if nextArrival < len(jobs) && jobs[nextArrival].Arrival < t {
+			t = jobs[nextArrival].Arrival
+		}
+		if t == Never {
+			break // no completions pending, no arrivals left
+		}
+		now = t
+
+		// Completions strictly before arrivals at the same instant: freed
+		// nodes are visible to jobs arriving "now", matching a real system
+		// where the epilogue runs before the scheduler cycle.
+		finishCompleted(st, stats, now)
+		for nextArrival < len(jobs) && jobs[nextArrival].Arrival == now {
+			st.waiting = append(st.waiting, Waiting{Job: jobs[nextArrival], Nodes: nodes[nextArrival]})
+			nextArrival++
+		}
+		if invariant.Enabled {
+			st.checkState()
+		}
+
+		if len(st.waiting) == 0 {
+			continue
+		}
+		v := makeView(st, now)
+		picks := policy.Pick(v)
+		validatePicks(picks, len(v.Queue), policy.Name())
+		if cfg.OnDecision != nil {
+			cfg.OnDecision(v, picks)
+		}
+		res.Decisions++
+
+		// Apply the picks in order. No capacity check here by design: the
+		// dispatcher trusts the policy, and the conservation oracle audits
+		// the resulting trace.
+		started := make([]bool, len(st.waiting))
+		for _, idx := range picks {
+			w := st.waiting[idx]
+			si := statIndex(stats, w.Job.ID)
+			s := &stats[si]
+			s.Started = true
+			s.Start = now
+			s.End = now.Add(s.Runtime)
+			s.Wait = now.Sub(w.Job.Arrival)
+			for earlier := 0; earlier < idx; earlier++ {
+				if !started[earlier] && !picked(picks, earlier) {
+					s.Backfilled = true
+					res.Backfills++
+					break
+				}
+			}
+			started[idx] = true
+			st.free -= w.Nodes
+			st.run = append(st.run, running{
+				id: w.Job.ID, stat: si, nodes: w.Nodes,
+				end:    s.End,
+				estEnd: now.Add(w.Job.Est),
+			})
+			res.Fingerprint = fnvFold(res.Fingerprint, uint64(w.Job.ID))
+			res.Fingerprint = fnvFold(res.Fingerprint, uint64(now))
+			res.Fingerprint = fnvFold(res.Fingerprint, uint64(w.Nodes))
+			res.Dispatched++
+		}
+		removeStarted(st, started)
+		if invariant.Enabled {
+			st.checkState()
+		}
+
+		if len(st.run) == 0 && nextArrival >= len(jobs) && len(st.waiting) > 0 {
+			// Nothing running, nothing arriving, and the policy started
+			// nothing: the remaining queue is starved forever (only possible
+			// under chaos faults). Record the truth and stop.
+			break
+		}
+	}
+
+	res.Jobs = stats
+	summarize(&res, cfg.Cluster.Nodes)
+	return res
+}
+
+// finishCompleted retires every running job whose actual end is at or
+// before now, in deterministic (end, ID) order.
+func finishCompleted(st *simState, stats []JobStat, now sim.Time) {
+	for {
+		best := -1
+		for i, r := range st.run {
+			if r.end > now {
+				continue
+			}
+			if best < 0 || r.end < st.run[best].end || (r.end == st.run[best].end && r.id < st.run[best].id) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		st.free += st.run[best].nodes
+		st.run[best] = st.run[len(st.run)-1]
+		st.run = st.run[:len(st.run)-1]
+	}
+}
+
+// makeView snapshots scheduler-visible state. The slices are fresh copies:
+// policies and probes may not alias dispatcher state.
+func makeView(st *simState, now sim.Time) View {
+	v := View{
+		Now:        now,
+		Queue:      make([]Waiting, len(st.waiting)),
+		Running:    make([]Running, 0, len(st.run)),
+		FreeNodes:  st.free,
+		TotalNodes: st.total,
+	}
+	copy(v.Queue, st.waiting)
+	for _, r := range st.run {
+		v.Running = append(v.Running, Running{ID: r.id, Nodes: r.nodes, EstEnd: r.estEnd})
+	}
+	sortRunning(v.Running)
+	return v
+}
+
+// sortRunning is an insertion sort by (EstEnd, ID) — the deterministic
+// order the View contract promises policies.
+func sortRunning(rs []Running) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := rs[j], rs[j-1]
+			if a.EstEnd > b.EstEnd || (a.EstEnd == b.EstEnd && a.ID >= b.ID) {
+				break
+			}
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// sortJobs is an insertion sort by (Arrival, ID) — the canonical trace
+// order, deterministic by construction.
+func sortJobs(jobs []Job) {
+	for i := 1; i < len(jobs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := jobs[j], jobs[j-1]
+			if a.Arrival > b.Arrival || (a.Arrival == b.Arrival && a.ID >= b.ID) {
+				break
+			}
+			jobs[j], jobs[j-1] = jobs[j-1], jobs[j]
+		}
+	}
+}
+
+func validatePicks(picks []int, queueLen int, policy string) {
+	seen := make([]bool, queueLen)
+	for _, i := range picks {
+		if i < 0 || i >= queueLen {
+			panic(fmt.Sprintf("batch: policy %s picked out-of-range queue index %d of %d", policy, i, queueLen))
+		}
+		if seen[i] {
+			panic(fmt.Sprintf("batch: policy %s picked queue index %d twice", policy, i))
+		}
+		seen[i] = true
+	}
+}
+
+func picked(picks []int, idx int) bool {
+	for _, p := range picks {
+		if p == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// statIndex locates a job's stat by ID. Stats are in (Arrival, ID) order,
+// so a linear scan is deterministic; traces are small enough that this
+// stays off any hot path.
+func statIndex(stats []JobStat, id int) int {
+	for i := range stats {
+		if stats[i].ID == id {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("batch: no stat for job %d", id))
+}
+
+// removeStarted compacts the waiting list, preserving arrival order.
+func removeStarted(st *simState, started []bool) {
+	kept := st.waiting[:0]
+	for i, w := range st.waiting {
+		if !started[i] {
+			kept = append(kept, w)
+		}
+	}
+	// Zero the tail so dropped entries don't pin Job.Name strings.
+	for i := len(kept); i < len(st.waiting); i++ {
+		st.waiting[i] = Waiting{}
+	}
+	st.waiting = kept
+}
+
+// summarize fills the aggregate metrics from per-job stats.
+func summarize(res *Result, clusterNodes int) {
+	var nodeSeconds float64
+	var waitSum sim.Duration
+	var bsldSum float64
+	startedCount := 0
+	for i := range res.Jobs {
+		s := &res.Jobs[i]
+		if !s.Started {
+			continue
+		}
+		startedCount++
+		if s.End > res.Makespan {
+			res.Makespan = s.End
+		}
+		nodeSeconds += float64(s.Nodes) * s.Runtime.Seconds()
+		waitSum += s.Wait
+		if s.Wait > res.MaxWait {
+			res.MaxWait = s.Wait
+		}
+		den := s.Runtime
+		if den < BSLDThreshold {
+			den = BSLDThreshold
+		}
+		bsld := (s.Wait + s.Runtime).Seconds() / den.Seconds()
+		if bsld < 1 {
+			bsld = 1
+		}
+		s.BoundedSlowdown = bsld
+		bsldSum += bsld
+	}
+	if startedCount > 0 {
+		res.MeanWait = waitSum / sim.Duration(startedCount)
+		res.MeanBoundedSlowdown = bsldSum / float64(startedCount)
+	}
+	if res.Makespan > 0 {
+		res.Utilization = nodeSeconds / (float64(clusterNodes) * res.Makespan.Seconds())
+	}
+}

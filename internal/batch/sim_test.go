@@ -1,0 +1,246 @@
+package batch
+
+import (
+	"reflect"
+	"testing"
+
+	"hplsim/internal/sim"
+)
+
+// fourNodeTrace is the hand-built backfill litmus trace on a 4-node,
+// 1-rank-per-node cluster with exact estimates:
+//
+//	job 0: arrives 0s,  3 nodes, 100s  — leaves a one-node hole
+//	job 1: arrives 1s,  4 nodes, 10s   — queue head, blocked until 100s
+//	job 2: arrives 2s,  1 node,  10s   — fits the hole; FCFS makes it wait
+//	                                     for job 1, EASY backfills it at 2s
+func fourNodeTrace() ([]Job, Cluster) {
+	jobs := []Job{
+		{ID: 0, Ranks: 3, Est: 100 * sim.Second, Work: 100 * sim.Second, Arrival: 0},
+		{ID: 1, Ranks: 4, Est: 10 * sim.Second, Work: 10 * sim.Second, Arrival: sim.Time(sim.Second)},
+		{ID: 2, Ranks: 1, Est: 10 * sim.Second, Work: 10 * sim.Second, Arrival: sim.Time(2 * sim.Second)},
+	}
+	return jobs, Cluster{Nodes: 4, RanksPerNode: 1}
+}
+
+func statByID(t *testing.T, res Result, id int) JobStat {
+	t.Helper()
+	for _, s := range res.Jobs {
+		if s.ID == id {
+			return s
+		}
+	}
+	t.Fatalf("no stat for job %d", id)
+	return JobStat{}
+}
+
+func TestFCFSNeverOvertakes(t *testing.T) {
+	jobs, cl := fourNodeTrace()
+	res := Simulate(Config{Cluster: cl, Policy: FCFS{}, Model: ExactModel{}, Jobs: jobs, Seed: 1})
+	j1, j2 := statByID(t, res, 1), statByID(t, res, 2)
+	if j1.Start != sim.Time(100*sim.Second) {
+		t.Fatalf("job 1 started at %v, want 100s", j1.Start)
+	}
+	if j2.Start < j1.Start {
+		t.Fatalf("FCFS let job 2 (start %v) overtake job 1 (start %v)", j2.Start, j1.Start)
+	}
+	if res.Backfills != 0 {
+		t.Fatalf("FCFS recorded %d backfills", res.Backfills)
+	}
+}
+
+func TestEASYBackfillsWithoutDelayingHead(t *testing.T) {
+	jobs, cl := fourNodeTrace()
+	res := Simulate(Config{Cluster: cl, Policy: EASY{}, Model: ExactModel{}, Jobs: jobs, Seed: 1})
+	j1, j2 := statByID(t, res, 1), statByID(t, res, 2)
+	if j2.Start != sim.Time(2*sim.Second) {
+		t.Fatalf("EASY did not backfill job 2 immediately: started %v", j2.Start)
+	}
+	if !j2.Backfilled {
+		t.Fatal("job 2 not marked as a backfill")
+	}
+	if res.Backfills != 1 {
+		t.Fatalf("want 1 backfill, got %d", res.Backfills)
+	}
+	// The head's reservation was 100s (job 0's estimated end); backfilling
+	// job 2 (ends 12s) must not move it.
+	if j1.Start != sim.Time(100*sim.Second) {
+		t.Fatalf("backfill delayed the head: job 1 started %v, want 100s", j1.Start)
+	}
+}
+
+func TestConservativeMatchesEASYOnLitmus(t *testing.T) {
+	jobs, cl := fourNodeTrace()
+	res := Simulate(Config{Cluster: cl, Policy: Conservative{}, Model: ExactModel{}, Jobs: jobs, Seed: 1})
+	j1, j2 := statByID(t, res, 1), statByID(t, res, 2)
+	// Job 2's run [2s, 12s) cannot delay job 1's reservation at 100s, so
+	// conservative backfills it too.
+	if j2.Start != sim.Time(2*sim.Second) {
+		t.Fatalf("conservative did not backfill job 2: started %v", j2.Start)
+	}
+	if j1.Start != sim.Time(100*sim.Second) {
+		t.Fatalf("job 1 started %v, want 100s", j1.Start)
+	}
+}
+
+func TestPriorityAgingStrictOrder(t *testing.T) {
+	// Two one-node jobs queued behind a machine-filling job: the
+	// higher-priority later arrival must start first under zero aging.
+	jobs := []Job{
+		{ID: 0, Ranks: 2, Est: 100 * sim.Second, Work: 100 * sim.Second, Arrival: 0},
+		{ID: 1, Ranks: 2, Est: 10 * sim.Second, Work: 10 * sim.Second, Arrival: sim.Time(sim.Second), Priority: 0},
+		{ID: 2, Ranks: 2, Est: 10 * sim.Second, Work: 10 * sim.Second, Arrival: sim.Time(2 * sim.Second), Priority: 5},
+	}
+	cl := Cluster{Nodes: 2, RanksPerNode: 1}
+	res := Simulate(Config{Cluster: cl, Policy: PriorityAging{Rate: 0}, Model: ExactModel{}, Jobs: jobs, Seed: 1})
+	j1, j2 := statByID(t, res, 1), statByID(t, res, 2)
+	if !(j2.Start < j1.Start) {
+		t.Fatalf("priority order ignored: job 2 (prio 5) started %v, job 1 (prio 0) %v", j2.Start, j1.Start)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := testTraceConfig(TraceBursty)
+	jobs, err := GenerateTrace(cfg, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []Policy{FCFS{}, EASY{}, Conservative{}, PriorityAging{Rate: 0.05}}
+	models := []NodeModel{ExactModel{}, UniformModel{Lo: 1, Hi: 1.4}}
+	for _, p := range policies {
+		for _, m := range models {
+			c := Config{
+				Cluster: Cluster{Nodes: 8, RanksPerNode: 4},
+				Policy:  p, Model: m, Jobs: jobs, Seed: 99,
+			}
+			a, b := Simulate(c), Simulate(c)
+			if a.Fingerprint != b.Fingerprint {
+				t.Fatalf("%s/%s: fingerprints differ: %x vs %x", p.Name(), m.Name(), a.Fingerprint, b.Fingerprint)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s/%s: identical configs produced different results", p.Name(), m.Name())
+			}
+			if a.Dispatched != len(jobs) {
+				t.Fatalf("%s/%s: dispatched %d of %d jobs", p.Name(), m.Name(), a.Dispatched, len(jobs))
+			}
+			if !(a.Utilization > 0 && a.Utilization <= 1.0000001) {
+				t.Fatalf("%s/%s: utilization %v out of range", p.Name(), m.Name(), a.Utilization)
+			}
+			if got := maxOverlap(a); got > c.Cluster.Nodes {
+				t.Fatalf("%s/%s: peak allocation %d nodes on a %d-node cluster", p.Name(), m.Name(), got, c.Cluster.Nodes)
+			}
+		}
+	}
+}
+
+// maxOverlap sweeps the per-job intervals and reports the peak node
+// allocation; ends release before coincident starts, matching the
+// dispatcher's completions-first event order.
+func maxOverlap(res Result) int {
+	type edge struct {
+		at    sim.Time
+		delta int
+	}
+	var edges []edge
+	for _, s := range res.Jobs {
+		if !s.Started {
+			continue
+		}
+		edges = append(edges, edge{s.Start, s.Nodes}, edge{s.End, -s.Nodes})
+	}
+	// Insertion sort by (at, releases first): deterministic sweep order.
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0; j-- {
+			a, b := edges[j], edges[j-1]
+			if a.at > b.at || (a.at == b.at && a.delta >= b.delta) {
+				break
+			}
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	cur, peak := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+func TestChaosOvercommitBreaksConservation(t *testing.T) {
+	jobs, cl := fourNodeTrace()
+	res := Simulate(Config{
+		Cluster: cl, Policy: FCFS{}, Model: ExactModel{}, Jobs: jobs, Seed: 1,
+		Chaos: Chaos{Overcommit: true},
+	})
+	if got := maxOverlap(res); got <= cl.Nodes {
+		t.Fatalf("overcommit chaos stayed within capacity (peak %d of %d): the fault is not observable", got, cl.Nodes)
+	}
+}
+
+func TestChaosStarveHeadStrandsJob(t *testing.T) {
+	jobs, cl := fourNodeTrace()
+	res := Simulate(Config{
+		Cluster: cl, Policy: EASY{}, Model: ExactModel{}, Jobs: jobs, Seed: 1,
+		Chaos: Chaos{StarveHead: true},
+	})
+	if res.Dispatched >= len(jobs) {
+		t.Fatal("starve-head chaos dispatched every job; the fault is not observable")
+	}
+	// The truthful record must still mark the stranded job.
+	starved := 0
+	for _, s := range res.Jobs {
+		if !s.Started {
+			starved++
+		}
+	}
+	if starved == 0 {
+		t.Fatal("no job recorded as unstarted")
+	}
+}
+
+func TestSimulateRejectsBadConfigs(t *testing.T) {
+	jobs, cl := fourNodeTrace()
+	bad := []Config{
+		{Policy: FCFS{}, Model: ExactModel{}, Jobs: jobs},                                             // zero cluster
+		{Cluster: cl, Model: ExactModel{}, Jobs: jobs},                                                // nil policy
+		{Cluster: cl, Policy: FCFS{}, Jobs: jobs},                                                     // nil model
+		{Cluster: cl, Policy: FCFS{}, Model: ExactModel{}},                                            // no jobs
+		{Cluster: Cluster{Nodes: 1, RanksPerNode: 1}, Policy: FCFS{}, Model: ExactModel{}, Jobs: jobs}, // job larger than cluster
+	}
+	for i, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: Simulate accepted an invalid config", i)
+				}
+			}()
+			Simulate(c)
+		}()
+	}
+}
+
+// TestRuntimeIndependentOfPolicy pins the pre-draw discipline: a job's
+// drawn runtime depends only on (seed, job ID, model), never on the
+// dispatch order the policy produces.
+func TestRuntimeIndependentOfPolicy(t *testing.T) {
+	cfg := testTraceConfig(TracePoisson)
+	jobs, err := GenerateTrace(cfg, sim.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := UniformModel{Lo: 1, Hi: 2}
+	base := Config{Cluster: Cluster{Nodes: 8, RanksPerNode: 4}, Model: m, Jobs: jobs, Seed: 7}
+	a := base
+	a.Policy = FCFS{}
+	b := base
+	b.Policy = EASY{}
+	ra, rb := Simulate(a), Simulate(b)
+	for i := range ra.Jobs {
+		if ra.Jobs[i].Runtime != rb.Jobs[i].Runtime {
+			t.Fatalf("job %d runtime differs across policies: %v vs %v",
+				ra.Jobs[i].ID, ra.Jobs[i].Runtime, rb.Jobs[i].Runtime)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"hplsim/internal/sim"
+)
+
+// Trace kinds understood by GenerateTrace.
+const (
+	// TracePoisson submits jobs as a homogeneous Poisson process.
+	TracePoisson = "poisson"
+	// TraceDiurnal modulates the Poisson rate sinusoidally over a Day —
+	// busy daytime, quiet night — the canonical production-cluster shape.
+	TraceDiurnal = "diurnal"
+	// TraceBursty alternates long quiet gaps with tight storms of Burst
+	// near-simultaneous submissions (a campaign or a sweep script).
+	TraceBursty = "bursty"
+)
+
+// TraceConfig parameterises a synthetic arrival trace.
+type TraceConfig struct {
+	// Kind selects the arrival process: TracePoisson, TraceDiurnal, or
+	// TraceBursty.
+	Kind string
+	// Jobs is the number of jobs to generate.
+	Jobs int
+	// MeanInterarrival is the average gap between submissions.
+	MeanInterarrival sim.Duration
+	// MaxRanks caps the per-job rank request; requests are drawn as powers
+	// of two up to the cap (HPC jobs overwhelmingly ask for round sizes).
+	MaxRanks int
+	// MeanWork is the geometric centre of the ideal-runtime distribution.
+	MeanWork sim.Duration
+	// WorkSpread is the log-uniform half-width factor: work lands in
+	// [MeanWork/WorkSpread, MeanWork*WorkSpread]. Must be >= 1.
+	WorkSpread float64
+	// EstFactor scales actual work into the user's walltime estimate:
+	// Est = Work * (EstFactor + U(0, EstNoise)). With EstFactor at or
+	// above the node model's worst slowdown, estimates are honest upper
+	// bounds and backfill reservations are sound.
+	EstFactor float64
+	// EstNoise adds user sloppiness on top of EstFactor (extra uniform
+	// over-estimation, never under).
+	EstNoise float64
+	// PrioLevels is the number of distinct priorities, drawn uniformly in
+	// [0, PrioLevels); 1 makes every job equal.
+	PrioLevels int
+	// Day is the diurnal period (TraceDiurnal only).
+	Day sim.Duration `json:",omitempty"`
+	// Burst is the storm size (TraceBursty only).
+	Burst int `json:",omitempty"`
+}
+
+// Validate reports the first structural problem with the config.
+func (c TraceConfig) Validate() error {
+	switch c.Kind {
+	case TracePoisson:
+	case TraceDiurnal:
+		if c.Day <= 0 {
+			return fmt.Errorf("batch: diurnal trace needs a positive Day, got %v", c.Day)
+		}
+	case TraceBursty:
+		if c.Burst < 1 {
+			return fmt.Errorf("batch: bursty trace needs Burst >= 1, got %d", c.Burst)
+		}
+	default:
+		return fmt.Errorf("batch: unknown trace kind %q", c.Kind)
+	}
+	if c.Jobs < 1 {
+		return fmt.Errorf("batch: trace needs at least one job, got %d", c.Jobs)
+	}
+	if c.MeanInterarrival <= 0 {
+		return fmt.Errorf("batch: non-positive mean interarrival %v", c.MeanInterarrival)
+	}
+	if c.MaxRanks < 1 {
+		return fmt.Errorf("batch: trace needs MaxRanks >= 1, got %d", c.MaxRanks)
+	}
+	if c.MeanWork <= 0 {
+		return fmt.Errorf("batch: non-positive mean work %v", c.MeanWork)
+	}
+	if !(c.WorkSpread >= 1) || math.IsInf(c.WorkSpread, 0) {
+		return fmt.Errorf("batch: work spread must be >= 1, got %v", c.WorkSpread)
+	}
+	if !(c.EstFactor >= 1) || math.IsInf(c.EstFactor, 0) {
+		return fmt.Errorf("batch: estimate factor must be >= 1, got %v", c.EstFactor)
+	}
+	if !(c.EstNoise >= 0) || math.IsInf(c.EstNoise, 0) {
+		return fmt.Errorf("batch: estimate noise must be >= 0, got %v", c.EstNoise)
+	}
+	if c.PrioLevels < 1 {
+		return fmt.Errorf("batch: trace needs PrioLevels >= 1, got %d", c.PrioLevels)
+	}
+	return nil
+}
+
+// GenerateTrace materialises a job trace from the config and a seeded
+// stream: a pure function of (cfg, rng state). Jobs come out in (Arrival,
+// ID) order with IDs 0..Jobs-1 in submission order.
+func GenerateTrace(cfg TraceConfig, rng *sim.RNG) ([]Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	arr := rng.Split(0x0a11)
+	shape := rng.Split(0x5a9e)
+
+	// logRanks is floor(log2(MaxRanks)): requests are 2^U[0, logRanks].
+	logRanks := 0
+	for 1<<(logRanks+1) <= cfg.MaxRanks {
+		logRanks++
+	}
+
+	jobs := make([]Job, cfg.Jobs)
+	now := sim.Time(0)
+	for i := range jobs {
+		now = now.Add(nextGap(cfg, arr, i))
+
+		ranks := 1 << arr.Intn(logRanks+1) // arr stream: arrival-side shape
+		if ranks > cfg.MaxRanks {
+			ranks = cfg.MaxRanks
+		}
+		// Log-uniform work: MeanWork * WorkSpread^U(-1, 1).
+		exp := 2*shape.Float64() - 1
+		work := sim.Duration(float64(cfg.MeanWork) * math.Pow(cfg.WorkSpread, exp))
+		if work < 1 {
+			work = 1
+		}
+		est := sim.Duration(float64(work) * (cfg.EstFactor + cfg.EstNoise*shape.Float64()))
+		if est < work {
+			est = work
+		}
+		jobs[i] = Job{
+			ID:       i,
+			Name:     fmt.Sprintf("job%03d", i),
+			Ranks:    ranks,
+			Est:      est,
+			Work:     work,
+			Arrival:  now,
+			Priority: shape.Intn(cfg.PrioLevels),
+		}
+	}
+	return jobs, nil
+}
+
+// nextGap draws the interarrival gap before job i.
+func nextGap(cfg TraceConfig, rng *sim.RNG, i int) sim.Duration {
+	switch cfg.Kind {
+	case TraceDiurnal:
+		// Thinned-rate approximation: the local mean stretches against a
+		// sinusoid with a 10x peak-to-trough swing. The phase is taken
+		// from the job index (not the accumulated clock) so the draw count
+		// per job is fixed and the stream stays aligned under shrinking.
+		phase := 2 * math.Pi * float64(i) / float64(cfg.Jobs)
+		factor := 1.0 / (1.0 + 0.82*math.Sin(phase))
+		return rng.ExpDuration(sim.Duration(float64(cfg.MeanInterarrival) * factor))
+	case TraceBursty:
+		if i%cfg.Burst == 0 {
+			// Storm boundary: one long quiet gap carrying the whole
+			// inter-storm budget.
+			return rng.ExpDuration(cfg.MeanInterarrival * sim.Duration(cfg.Burst))
+		}
+		// Within a storm submissions land within ~1% of the mean gap.
+		return rng.ExpDuration(cfg.MeanInterarrival / 100)
+	default: // TracePoisson
+		return rng.ExpDuration(cfg.MeanInterarrival)
+	}
+}
+
+// MarshalTrace renders jobs as canonical indented JSON with a trailing
+// newline. Reading the output back and re-marshalling reproduces it byte
+// for byte (the fuzz target pins this fixed point).
+func MarshalTrace(jobs []Job) ([]byte, error) {
+	data, err := json.MarshalIndent(jobs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ReadTrace parses a JSON job trace and validates every job, rejecting
+// duplicate IDs. Job order is preserved as written (Simulate canonicalises
+// order itself).
+func ReadTrace(data []byte) ([]Job, error) {
+	var jobs []Job
+	if err := json.Unmarshal(data, &jobs); err != nil {
+		return nil, fmt.Errorf("batch: parsing trace: %v", err)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("batch: empty trace")
+	}
+	seen := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("batch: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	return jobs, nil
+}

@@ -1,0 +1,157 @@
+package batch
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hplsim/internal/sim"
+)
+
+func testTraceConfig(kind string) TraceConfig {
+	cfg := TraceConfig{
+		Kind:             kind,
+		Jobs:             50,
+		MeanInterarrival: 30 * sim.Second,
+		MaxRanks:         16,
+		MeanWork:         120 * sim.Second,
+		WorkSpread:       4,
+		EstFactor:        1.5,
+		EstNoise:         1,
+		PrioLevels:       3,
+	}
+	switch kind {
+	case TraceDiurnal:
+		cfg.Day = 24 * 3600 * sim.Second
+	case TraceBursty:
+		cfg.Burst = 8
+	}
+	return cfg
+}
+
+func TestGenerateTraceAllKinds(t *testing.T) {
+	for _, kind := range []string{TracePoisson, TraceDiurnal, TraceBursty} {
+		cfg := testTraceConfig(kind)
+		jobs, err := GenerateTrace(cfg, sim.NewRNG(42))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(jobs) != cfg.Jobs {
+			t.Fatalf("%s: got %d jobs, want %d", kind, len(jobs), cfg.Jobs)
+		}
+		for i, j := range jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("%s: job %d invalid: %v", kind, i, err)
+			}
+			if j.ID != i {
+				t.Fatalf("%s: job %d has ID %d", kind, i, j.ID)
+			}
+			if j.Ranks > cfg.MaxRanks {
+				t.Fatalf("%s: job %d asks %d ranks, cap %d", kind, i, j.Ranks, cfg.MaxRanks)
+			}
+			if j.Est < j.Work {
+				t.Fatalf("%s: job %d estimate %v below work %v", kind, i, j.Est, j.Work)
+			}
+			if i > 0 && j.Arrival < jobs[i-1].Arrival {
+				t.Fatalf("%s: arrivals not monotone at %d: %v after %v", kind, i, j.Arrival, jobs[i-1].Arrival)
+			}
+		}
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	for _, kind := range []string{TracePoisson, TraceDiurnal, TraceBursty} {
+		cfg := testTraceConfig(kind)
+		a, err := GenerateTrace(cfg, sim.NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateTrace(cfg, sim.NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different traces", kind)
+		}
+		c, err := GenerateTrace(cfg, sim.NewRNG(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: different seeds produced identical traces", kind)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	jobs, err := GenerateTrace(testTraceConfig(TracePoisson), sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalTrace(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jobs, back) {
+		t.Fatal("trace did not survive a marshal/read round trip")
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      `{]`,
+		"empty":        `[]`,
+		"duplicate ID": `[{"ID":1,"Ranks":1,"Est":5,"Work":5,"Arrival":0},{"ID":1,"Ranks":1,"Est":5,"Work":5,"Arrival":9}]`,
+		"zero ranks":   `[{"ID":0,"Ranks":0,"Est":5,"Work":5,"Arrival":0}]`,
+		"zero work":    `[{"ID":0,"Ranks":1,"Est":5,"Work":0,"Arrival":0}]`,
+	}
+	for name, data := range cases {
+		if _, err := ReadTrace([]byte(data)); err == nil {
+			t.Errorf("%s: ReadTrace accepted %q", name, data)
+		}
+	}
+}
+
+// FuzzReadTrace asserts ReadTrace never panics and, whenever it accepts an
+// input, that MarshalTrace(ReadTrace(x)) is a fixed point: reading the
+// canonical form back reproduces it byte for byte.
+func FuzzReadTrace(f *testing.F) {
+	jobs, err := GenerateTrace(testTraceConfig(TraceBursty), sim.NewRNG(11))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := MarshalTrace(jobs[:5])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"ID":0,"Ranks":1,"Est":5,"Work":5,"Arrival":0,"Priority":2}]`))
+	f.Add([]byte(`[{"ID":3,"Name":"x","Ranks":4,"Est":50,"Work":40,"Arrival":7}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ReadTrace(data)
+		if err != nil {
+			return
+		}
+		canon, err := MarshalTrace(parsed)
+		if err != nil {
+			t.Fatalf("accepted trace failed to marshal: %v", err)
+		}
+		again, err := ReadTrace(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		canon2, err := MarshalTrace(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\nvs\n%s", canon, canon2)
+		}
+	})
+}
