@@ -101,7 +101,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkTableIa(b *testing.B) {
 	var rows []experiments.TableIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableI(experiments.Std, benchReps, 5, 0, topo.Topology{})
+		rows = experiments.TableI(experiments.Std, benchReps, 5, experiments.Exec{}, topo.Topology{})
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableI("Table Ia: scheduler OS noise (standard Linux)", rows))
@@ -111,7 +111,7 @@ func BenchmarkTableIa(b *testing.B) {
 func BenchmarkTableIb(b *testing.B) {
 	var rows []experiments.TableIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableI(experiments.HPL, benchReps, 6, 0, topo.Topology{})
+		rows = experiments.TableI(experiments.HPL, benchReps, 6, experiments.Exec{}, topo.Topology{})
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableI("Table Ib: scheduler OS noise (HPL)", rows))
@@ -121,7 +121,7 @@ func BenchmarkTableIb(b *testing.B) {
 func BenchmarkTableII(b *testing.B) {
 	var rows []experiments.TableIIRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.TableII(benchReps, 7, 0, topo.Topology{})
+		rows = experiments.TableII(benchReps, 7, experiments.Exec{}, topo.Topology{})
 	}
 	b.StopTimer()
 	fmt.Println(experiments.FormatTableII(rows))

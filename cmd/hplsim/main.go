@@ -47,6 +47,8 @@ func main() {
 	noStorms := flag.Bool("no-storms", false, "disable heavy maintenance storms")
 	spin := flag.Duration("spin", 0, "MPI spin window before blocking (0 = default 20ms)")
 	workers := flag.Int("workers", 0, "replication worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	ff := flag.Bool("ff", false, "fast-forward quiescent timer ticks (identical results, less host work)")
+	shards := flag.Int("shards", 1, "shard each run's CPUs over host workers (needs -ff; identical results)")
 	verbose := flag.Bool("v", false, "print every run")
 	flag.Parse()
 
@@ -100,6 +102,8 @@ func main() {
 		NoStorms:      *noStorms,
 		SpinThreshold: sim.DurationOf(*spin),
 		Workers:       *workers,
+		FastForward:   *ff,
+		Shards:        *shards,
 	}
 
 	sw := walltime.Start()

@@ -34,6 +34,8 @@ func main() {
 	bench := flag.String("bench", "is", "NAS benchmark for -table sched")
 	class := flag.String("class", "A", "NAS class for -table sched")
 	topoSpec := flag.String("topo", "", "machine topology as chips x cores x threads, e.g. 4x128x2 (default: the paper's 2x2x2)")
+	ff := flag.Bool("ff", false, "fast-forward quiescent timer ticks (identical tables, less host work)")
+	shards := flag.Int("shards", 1, "shard each run's CPUs over host workers (needs -ff; identical tables)")
 	flag.Parse()
 
 	var machine topo.Topology
@@ -46,6 +48,7 @@ func main() {
 		}
 	}
 
+	ex := experiments.Exec{Workers: *workers, FastForward: *ff, Shards: *shards}
 	switch *table {
 	case "sched":
 		prof, err := nas.Get(*bench, (*class)[0])
@@ -55,27 +58,27 @@ func main() {
 		}
 		fmt.Print(experiments.FormatTableSchedstat(prof.Name(),
 			experiments.TableSchedstat(prof,
-				[]experiments.Scheme{experiments.Std, experiments.HPL}, *seed, machine)))
+				[]experiments.Scheme{experiments.Std, experiments.HPL}, *seed, machine, ex)))
 	case "1a":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
-			experiments.TableI(experiments.Std, *reps, *seed, *workers, machine)))
+			experiments.TableI(experiments.Std, *reps, *seed, ex, machine)))
 	case "1b":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ib: Scheduler OS noise for NAS (HPL)",
-			experiments.TableI(experiments.HPL, *reps, *seed, *workers, machine)))
+			experiments.TableI(experiments.HPL, *reps, *seed, ex, machine)))
 	case "2":
-		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers, machine)))
+		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, ex, machine)))
 	case "all":
 		fmt.Print(experiments.FormatTableI(
 			"Table Ia: Scheduler OS noise for NAS (standard Linux)",
-			experiments.TableI(experiments.Std, *reps, *seed, *workers, machine)))
+			experiments.TableI(experiments.Std, *reps, *seed, ex, machine)))
 		fmt.Println()
 		fmt.Print(experiments.FormatTableI(
 			"Table Ib: Scheduler OS noise for NAS (HPL)",
-			experiments.TableI(experiments.HPL, *reps, *seed, *workers, machine)))
+			experiments.TableI(experiments.HPL, *reps, *seed, ex, machine)))
 		fmt.Println()
-		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, *workers, machine)))
+		fmt.Print(experiments.FormatTableII(experiments.TableII(*reps, *seed, ex, machine)))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q (want 1a, 1b, 2, sched, all)\n", *table)
 		os.Exit(2)

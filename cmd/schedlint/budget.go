@@ -24,6 +24,7 @@ var allocPatterns = []string{
 	"./internal/kernel",
 	"./internal/topo",
 	"./internal/schedstat",
+	"./internal/shard",
 	"./internal/batch",
 }
 

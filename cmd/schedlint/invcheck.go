@@ -23,6 +23,7 @@ var invcheckPkgs = map[string]bool{
 	"internal/rbtree":    true,
 	"internal/sched/cfs": true,
 	"internal/kernel":    true,
+	"internal/shard":     true,
 	"internal/batch":     true,
 }
 

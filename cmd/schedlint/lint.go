@@ -139,6 +139,7 @@ var deterministicPkgs = []string{
 	"internal/experiments",
 	"internal/schedcheck",
 	"internal/schedstat",
+	"internal/shard",
 	"internal/batch",
 }
 

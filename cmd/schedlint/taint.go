@@ -20,7 +20,10 @@ import (
 // The report lands on the call edge that crosses from the core into the
 // tainted chain, and a //schedlint:ignore taint directive on that line
 // (or the line above) suppresses exactly that edge — the justification
-// lives where the dependency is taken, not where the source hides.
+// lives where the dependency is taken, not where the source hides. A
+// suppressed edge also stops carrying taint to its caller: the function
+// that justified the dependency owns it, and the callers above it stay
+// clean instead of each re-reporting the same sanctioned crossing.
 
 // taintRootPkgs are the deterministic-core entry packages: every function
 // inside them is an entry point whose transitive behaviour must be a pure
@@ -35,6 +38,7 @@ var taintRootPkgs = []string{
 	"internal/rbtree",
 	"internal/schedcheck",
 	"internal/schedstat",
+	"internal/shard",
 	"internal/batch",
 }
 
@@ -55,12 +59,14 @@ type taintWitness struct {
 }
 
 // propagateTaint computes the tainted set with witness chains. Direct
-// sources seed the set; then taint flows caller-ward to a fixed point.
-// Every witness points at a node tainted strictly earlier, so chains
-// always terminate at a source even through call cycles, and the
-// deterministic iteration order (sorted nodes, edges in body order) makes
-// the reported path stable run to run.
-func propagateTaint(g *callGraph) map[string]*taintWitness {
+// sources seed the set; then taint flows caller-ward to a fixed point,
+// except across edges a //schedlint:ignore taint directive sanctions —
+// the justified crossing absorbs the taint there. Every witness points
+// at a node tainted strictly earlier, so chains always terminate at a
+// source even through call cycles, and the deterministic iteration order
+// (sorted nodes, edges in body order) makes the reported path stable run
+// to run.
+func propagateTaint(g *callGraph, ign *ignoreIndex) map[string]*taintWitness {
 	tainted := make(map[string]*taintWitness)
 	nodes := g.sortedNodes()
 	for _, n := range nodes {
@@ -83,6 +89,9 @@ func propagateTaint(g *callGraph) map[string]*taintWitness {
 			}
 			for _, e := range n.calls {
 				if tainted[e.callee] != nil {
+					if ign.suppressed(e.pos.Filename, e.pos.Line, ruleTaint) {
+						continue
+					}
 					tainted[n.key] = &taintWitness{next: e.callee}
 					changed = true
 					break
@@ -118,7 +127,7 @@ func taintPath(g *callGraph, tainted map[string]*taintWitness, key string) strin
 // a tainted callee. Direct sources inside core functions are not repeated
 // here: those are exactly the sites the per-file rules already flag.
 func runTaint(g *callGraph, ign *ignoreIndex) []Diagnostic {
-	tainted := propagateTaint(g)
+	tainted := propagateTaint(g, ign)
 	var diags []Diagnostic
 	for _, n := range g.sortedNodes() {
 		if !isTaintRoot(n.pkgRel) {

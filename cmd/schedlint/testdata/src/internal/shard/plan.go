@@ -1,0 +1,37 @@
+// Package shard is a fixture: the parallel-sharding layer joined the
+// deterministic core and the taint entry packages, and its gang spawn
+// models the one sanctioned concurrency crossing — an edge-level
+// //schedlint:ignore taint directive that absorbs the taint where the
+// dependency is justified, so callers above it stay clean.
+package shard
+
+import (
+	"time"
+
+	"hplsim/internal/util"
+)
+
+// Replay fans work out through the sanctioned gang edge: the directive
+// suppresses the crossing and stops the taint there.
+func Replay(fn func()) {
+	util.Fanout(fn) //schedlint:ignore taint — fixture: pool-owned gang, results shard-count independent
+}
+
+// Phase sits upstream of the sanctioned edge: it must not be reported,
+// or the directive would have to be repeated at every caller instead of
+// living where the dependency is taken.
+func Phase(fn func()) {
+	Replay(fn)
+}
+
+// Skew reaches the clock through a helper with no directive: the taint
+// pass must still flag the crossing now that shard is an entry package.
+func Skew() int64 {
+	return util.Jitter() // want `\[taint\] .*shard\.Skew -> util\.Jitter -> walltime\.Start`
+}
+
+// Stamp reads the host clock directly: shard is core now, so the
+// per-file walltime rule owns the site.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `\[walltime\] call to time\.Now`
+}

@@ -1,0 +1,22 @@
+package shard
+
+// Window is the audited synchronization window: the invariants contract
+// requires every exported mutating method to reach the check stub.
+type Window struct {
+	horizon int64
+	open    bool
+}
+
+// Open mutates and self-audits: clean.
+func (w *Window) Open(h int64) {
+	w.horizon, w.open = h, true
+	w.check()
+}
+
+// Horizon is read-only: exempt from the contract.
+func (w *Window) Horizon() int64 { return w.horizon }
+
+// Widen mutates Window state without ever reaching the audit.
+func (w *Window) Widen(d int64) { // want `\[invcheck\] shard\.\(\*Window\)\.Widen mutates Window state but never reaches \(\*Window\)\.check`
+	w.horizon += d
+}

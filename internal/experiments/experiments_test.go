@@ -165,7 +165,7 @@ func TestFigure3Correlation(t *testing.T) {
 }
 
 func TestTablesRender(t *testing.T) {
-	rows := TableI(HPL, 3, 51, 0, topo.Topology{})
+	rows := TableI(HPL, 3, 51, Exec{}, topo.Topology{})
 	if len(rows) != 12 {
 		t.Fatalf("Table I rows = %d, want 12", len(rows))
 	}

@@ -39,10 +39,11 @@ type SchedstatRow struct {
 // TableSchedstat runs the profile once per scheme and tabulates the ranks'
 // schedstat aggregates. machine overrides the topology (zero value = the
 // paper's POWER6).
-func TableSchedstat(prof nas.Profile, schemes []Scheme, seed uint64, machine topo.Topology) []SchedstatRow {
+func TableSchedstat(prof nas.Profile, schemes []Scheme, seed uint64, machine topo.Topology, ex Exec) []SchedstatRow {
 	rows := make([]SchedstatRow, 0, len(schemes))
 	for _, sc := range schemes {
-		r, acct := RunStat(Options{Profile: prof, Scheme: sc, Seed: seed, Topo: machine})
+		r, acct := RunStat(Options{Profile: prof, Scheme: sc, Seed: seed, Topo: machine,
+			FastForward: ex.FastForward, Shards: ex.Shards})
 		agg := acct.Aggregate("rank")
 		rows = append(rows, SchedstatRow{
 			Scheme:       sc,

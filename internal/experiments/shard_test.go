@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"hplsim/internal/nas"
+	"hplsim/internal/schedstat"
+)
+
+// TestShardedRunEquivalence pins the contract of Options.Shards: a run
+// sharded over parallel host workers must be bitwise identical to the
+// sequential run — same observables, same event traffic, and the same
+// scheduling trace event for event — under both tick modes (with
+// FastForward off, sharding is an inert knob and the equivalence is the
+// trivial one; with it on, the parallel catch-up phase carries the run).
+// Only host cost may differ, which is what BENCH_shard.json measures.
+func TestShardedRunEquivalence(t *testing.T) {
+	machine := wideTopo(t)
+	for _, scheme := range []Scheme{Std, HPL} {
+		for _, ff := range []bool{false, true} {
+			opt := Options{
+				Profile: nas.MustGet("is", 'A'), Scheme: scheme, Seed: 93,
+				Topo: machine, FastForward: ff,
+			}
+			var seqTrace, shardTrace bytes.Buffer
+			opt.Shards = 1
+			opt.Tracer = schedstat.NewWriter(&seqTrace)
+			seq := Run(opt)
+			opt.Shards = 4
+			// Grain 1 fans out every eligible catch-up: this workload's
+			// catch-ups are below the default grain, and a gated-out
+			// parallel path would make the equivalence vacuous.
+			opt.ShardGrain = 1
+			opt.Tracer = schedstat.NewWriter(&shardTrace)
+			sharded := Run(opt)
+			if ff && sharded.ShardPhases == 0 {
+				t.Fatalf("%v ff=%v: no parallel phases ran; the sharded side degenerated to sequential", scheme, ff)
+			}
+
+			if seq.ElapsedSec != sharded.ElapsedSec {
+				t.Errorf("%v ff=%v: elapsed %v vs %v", scheme, ff, seq.ElapsedSec, sharded.ElapsedSec)
+			}
+			if seq.Window != sharded.Window {
+				t.Errorf("%v ff=%v: perf window diverges:\n seq   %+v\n shard %+v",
+					scheme, ff, seq.Window, sharded.Window)
+			}
+			if seq.Sched != sharded.Sched {
+				t.Errorf("%v ff=%v: sched stats diverge:\n seq   %+v\n shard %+v",
+					scheme, ff, seq.Sched, sharded.Sched)
+			}
+			if seq.Energy != sharded.Energy {
+				t.Errorf("%v ff=%v: energy diverges:\n seq   %+v\n shard %+v",
+					scheme, ff, seq.Energy, sharded.Energy)
+			}
+			if seq.EventsDispatched != sharded.EventsDispatched ||
+				seq.LaneFires != sharded.LaneFires ||
+				seq.TicksCoalesced != sharded.TicksCoalesced {
+				t.Errorf("%v ff=%v: engine traffic diverges: seq %d/%d/%d vs shard %d/%d/%d",
+					scheme, ff,
+					seq.EventsDispatched, seq.LaneFires, seq.TicksCoalesced,
+					sharded.EventsDispatched, sharded.LaneFires, sharded.TicksCoalesced)
+			}
+			if !bytes.Equal(seqTrace.Bytes(), shardTrace.Bytes()) {
+				t.Errorf("%v ff=%v: scheduling traces diverge (%d vs %d bytes)",
+					scheme, ff, seqTrace.Len(), shardTrace.Len())
+			}
+			if t.Failed() {
+				t.Fatalf("sequential/sharded divergence under scheme %v ff=%v", scheme, ff)
+			}
+		}
+	}
+}

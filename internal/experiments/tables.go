@@ -9,6 +9,21 @@ import (
 	"hplsim/internal/topo"
 )
 
+// Exec bundles the host-side execution knobs the table producers thread
+// into Options: the replication worker pool, the fast-forward tick mode,
+// and parallel sharding of each run. None of them change a single simulated
+// result — the worker-count, fast-forward, and sharding equivalences are
+// all pinned by regression tests — so every table is identical at any Exec.
+type Exec struct {
+	// Workers bounds the replication pool (0 = GOMAXPROCS).
+	Workers int
+	// FastForward elides quiescent timer ticks (Options.FastForward).
+	FastForward bool
+	// Shards shards each run's CPUs over host workers (Options.Shards;
+	// needs FastForward to have any effect).
+	Shards int
+}
+
 // TableIRow is one row of the paper's Table I: scheduler OS noise (CPU
 // migrations and context switches) for one NAS configuration.
 type TableIRow struct {
@@ -19,12 +34,13 @@ type TableIRow struct {
 
 // TableI reproduces Table Ia (scheme Std) or Ib (scheme HPL): for every NAS
 // configuration, the min/avg/max of CPU migrations and context switches
-// over reps runs. workers bounds the replication pool (0 = GOMAXPROCS).
-// machine overrides the topology (zero value = the paper's POWER6).
-func TableI(scheme Scheme, reps int, seed uint64, workers int, machine topo.Topology) []TableIRow {
+// over reps runs. machine overrides the topology (zero value = the paper's
+// POWER6).
+func TableI(scheme Scheme, reps int, seed uint64, ex Exec, machine topo.Topology) []TableIRow {
 	var rows []TableIRow
 	for _, prof := range nas.All() {
-		rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed, Topo: machine}, reps, workers)
+		rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed, Topo: machine,
+			FastForward: ex.FastForward, Shards: ex.Shards}, reps, ex.Workers)
 		mig := make([]float64, len(rs))
 		ctx := make([]float64, len(rs))
 		for i, r := range rs {
@@ -67,12 +83,13 @@ type TableIIRow struct {
 // TableII reproduces Table II: execution time min/avg/max and Var% for
 // every NAS configuration under Std and HPL. machine overrides the topology
 // (zero value = the paper's POWER6).
-func TableII(reps int, seed uint64, workers int, machine topo.Topology) []TableIIRow {
+func TableII(reps int, seed uint64, ex Exec, machine topo.Topology) []TableIIRow {
 	var rows []TableIIRow
 	for _, prof := range nas.All() {
 		row := TableIIRow{Bench: prof.Name()}
 		for _, scheme := range []Scheme{Std, HPL} {
-			rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed, Topo: machine}, reps, workers)
+			rs := RunManyOpt(Options{Profile: prof, Scheme: scheme, Seed: seed, Topo: machine,
+				FastForward: ex.FastForward, Shards: ex.Shards}, reps, ex.Workers)
 			el := make([]float64, len(rs))
 			for i, r := range rs {
 				el[i] = r.ElapsedSec

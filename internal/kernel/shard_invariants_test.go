@@ -1,0 +1,48 @@
+//go:build invariants
+
+package kernel
+
+import (
+	"testing"
+
+	"hplsim/internal/sched"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// bootSharded boots a two-shard fast-forward node with compute tasks spread
+// over both chips, so catch-ups have pending ticks in more than one shard
+// and (at grain 1) fan out over the gang.
+func bootSharded(t *testing.T, chaos sched.Chaos) *Kernel {
+	t.Helper()
+	k := New(Config{
+		Seed:        1,
+		FastForward: true,
+		Shards:      2,
+		ShardGrain:  1,
+		Chaos:       chaos,
+	})
+	for i := 0; i < 8; i++ {
+		k.Spawn(nil, Attr{Name: "worker", Policy: task.Normal}, func(p *Proc) {
+			p.Compute(200*sim.Millisecond, p.Exit)
+		})
+	}
+	return k
+}
+
+func TestShardedCleanRunPasses(t *testing.T) {
+	k := bootSharded(t, sched.Chaos{})
+	k.Run(sim.Time(100 * sim.Millisecond))
+	if k.ShardPhases() == 0 {
+		t.Fatal("no parallel phases ran; the skew test below would be vacuous")
+	}
+}
+
+func TestShardSkewCaughtByWindowAudit(t *testing.T) {
+	// ShardSkew hands the gang workers a replay bound one tick period past
+	// the horizon the coordinator committed to. The very first fan-out must
+	// die in the shard window audit — before any tick past the horizon is
+	// replayed — proving the audit actually guards the committed window.
+	k := bootSharded(t, sched.Chaos{ShardSkew: true})
+	expectViolation(t, func() { k.Run(sim.Time(100 * sim.Millisecond)) })
+}

@@ -1,0 +1,264 @@
+package kernel
+
+import (
+	"math/bits"
+
+	"hplsim/internal/pool"
+	"hplsim/internal/shard"
+	"hplsim/internal/sim"
+	"hplsim/internal/task"
+)
+
+// This file is the conservative parallel catch-up phase (DESIGN.md,
+// "Parallel sharding"): when Config.Shards partitions the node, the elided
+// ticks a fast-forward catch-up must replay are fanned out over a
+// pool.Gang, one worker per chip-aligned shard, instead of walked
+// sequentially. The synchronization horizon is the catch-up bound itself —
+// the instant of the next heap event (or run end), before which replay is
+// provably quiescent (NextDecision/NextBalanceDue arming) — so no
+// cross-shard interaction can occur inside the window: every wakeup,
+// migration, MPI release, or balance pull is a heap event, and the first
+// of them is exactly where the window closes. Each worker replays only its
+// own CPUs' per-CPU state plus same-shard sums (core busy time; shards are
+// chip-aligned so SMT siblings and cores never straddle a boundary); the
+// cross-shard sums (perf tick counters) accumulate into per-shard
+// shard.Scratch mailboxes merged in ascending shard order, and the
+// completion-event shifts are applied by the coordinator in ascending CPU
+// order after the barrier — both identical to the sequential ascending-CPU
+// accumulation, which is what keeps sharded runs bitwise identical to
+// sequential ones.
+
+// parMinInstants is the default Config.ShardGrain: below this many pending
+// tick instants in one catch-up, the barrier and cache traffic of a
+// parallel phase cost more than the replay itself, so the sequential loop
+// runs instead (the result is identical either way; only wall time
+// differs).
+const parMinInstants = 2048
+
+// parCatch is the kernel's parallel catch-up state.
+type parCatch struct {
+	plan    shard.Plan
+	window  shard.Window
+	gang    *pool.Gang
+	// body is the worker closure, built once at init so the per-phase
+	// fan-out allocates nothing (the alloc budget holds catchUpSharded
+	// to zero escapes).
+	body  func(worker int)
+	grain int64
+	scratch []shard.Scratch
+	// theft[cpu] is the tick-cost displacement of cpu's projected
+	// completion accumulated by the worker that replayed it; the
+	// coordinator turns it into engine Shifts after the barrier (workers
+	// never touch the engine).
+	theft []sim.Duration
+	// buckets[s] lists shard s's CPUs with pending ticks, ascending id
+	// (the ticking-bitmap walk order), rebuilt each phase.
+	buckets [][]*cpuState
+	// inline lists CPUs whose replay must stay on the coordinator: an RT
+	// current task reads the kernel clock while charging exec time
+	// (throttle period roll-over), which only the sequential replay path
+	// (k.replaying/k.vnow) models.
+	inline []*cpuState
+	// active marks a parallel phase in flight; the reschedule, timer, and
+	// tick-adjust guards treat it like replaying (it is replay, running
+	// off the coordinator goroutine). Written by the coordinator around
+	// the gang barrier, read by workers inside it.
+	active bool
+	// at and tieID are the phase's replay bound — the true horizon,
+	// unless Chaos{ShardSkew} deliberately inflates it to prove the
+	// -tags invariants window audit fires.
+	at    sim.Time
+	tieID int
+	// phases counts completed parallel fan-outs, a host-side diagnostic
+	// (never part of a trace or fingerprint): tests use it to prove the
+	// parallel path ran rather than being gated to the sequential loop.
+	phases uint64
+}
+
+// ShardPhases reports how many catch-ups actually fanned out over the
+// shard gang. Zero on sequential configurations. Diagnostic only — the
+// count reflects host-side execution strategy, not simulated behaviour,
+// and identical runs at different shard counts legitimately differ in it.
+func (k *Kernel) ShardPhases() uint64 {
+	if k.par == nil {
+		return 0
+	}
+	return k.par.phases
+}
+
+// initShards builds the parallel catch-up state when the configuration
+// asks for it and the topology can honour it.
+func (k *Kernel) initShards() {
+	if !k.ff || k.Cfg.Naive || k.Cfg.Shards <= 1 {
+		return
+	}
+	plan := shard.NewPlan(k.Topo, k.Cfg.Shards)
+	if plan.Shards() <= 1 {
+		return
+	}
+	shardOf := make([]int, len(k.cpus))
+	for cpu := range k.cpus {
+		shardOf[cpu] = plan.Of(cpu)
+	}
+	grain := int64(k.Cfg.ShardGrain)
+	if grain <= 0 {
+		grain = parMinInstants
+	}
+	// Lane ids equal CPU ids, so the CPU partition is the lane partition.
+	k.Eng.SetShards(plan.Shards(), shardOf)
+	k.par = &parCatch{
+		plan:    plan,
+		grain:   grain,
+		scratch: make([]shard.Scratch, plan.Shards()),
+		theft:   make([]sim.Duration, len(k.cpus)),
+		buckets: make([][]*cpuState, plan.Shards()),
+	}
+	k.par.body = func(worker int) { k.replayShard(worker) }
+}
+
+// parActive reports whether a parallel replay phase is in flight.
+func (k *Kernel) parActive() bool { return k.par != nil && k.par.active }
+
+// closeGang releases the phase workers (no-op if none were ever needed).
+func (p *parCatch) closeGang() {
+	if p.gang != nil {
+		p.gang.Close()
+		p.gang = nil
+	}
+}
+
+// parSafe reports whether a CPU running t can replay off the coordinator
+// goroutine. The CFS and HPC tick paths touch only the CPU's own runqueue
+// and task state; the RT class reads the kernel clock (throttle period
+// roll-over in ExecCharge), and an idle current only arises from a
+// defensive race, so both take the sequential inline path.
+func parSafe(t *task.Task) bool {
+	return t.Policy == task.HPC || t.Policy == task.Normal
+}
+
+// catchUpSharded is the parallel counterpart of catchUp. It reports false
+// when the phase is not worth a fan-out (too few pending instants, or all
+// pending work in one shard); the caller then runs the sequential loop.
+func (k *Kernel) catchUpSharded(at sim.Time, tieID int) bool {
+	p := k.par
+	for i := range p.buckets {
+		p.buckets[i] = p.buckets[i][:0]
+	}
+	p.inline = p.inline[:0]
+	var total int64
+	nonEmpty := 0
+	for w, word := range k.ticking {
+		for v := word; v != 0; v &= v - 1 {
+			c := k.cpus[w*64+bits.TrailingZeros64(v)]
+			if c.tickNext > at || (c.tickNext == at && c.id >= tieID) {
+				continue // nothing pending on this CPU
+			}
+			if !parSafe(c.curr) {
+				p.inline = append(p.inline, c)
+				continue
+			}
+			bound := at
+			if c.id >= tieID {
+				bound--
+			}
+			// The tick period is constant between events (tickPeriodFor's
+			// contract), so the pending-instant count is exact.
+			total += int64(bound.Sub(c.tickNext))/int64(k.tickPeriodFor(c)) + 1
+			s := p.plan.Of(c.id)
+			if len(p.buckets[s]) == 0 {
+				nonEmpty++
+			}
+			p.buckets[s] = append(p.buckets[s], c)
+		}
+	}
+	if nonEmpty < 2 || total < p.grain {
+		return false
+	}
+
+	// Inline CPUs replay first on the sequential path (they commute with
+	// the shard work: replay touches per-CPU state plus order-insensitive
+	// sums, and the gang start orders these writes before the workers').
+	for _, c := range p.inline {
+		k.catchUpCPU(c, at, tieID)
+	}
+
+	p.window.Open(at, tieID)
+	bound := at
+	if k.Sched.ChaosShardSkew() {
+		// Deliberately mis-set horizon: workers plan ticks past the
+		// window the coordinator committed to. The -tags invariants
+		// window audit must catch this before any state is touched.
+		bound = at.Add(k.tickPeriod())
+	}
+	p.at, p.tieID = bound, tieID
+	for i := range p.scratch {
+		p.scratch[i].Reset()
+	}
+	if p.gang == nil {
+		// Sanctioned concurrency: the gang is pool-owned, host-side
+		// execution machinery. Workers replay disjoint shards between two
+		// barriers, cross-shard sums land in per-shard mailboxes merged in
+		// ascending shard order, and completion shifts are applied by the
+		// coordinator in ascending CPU order — so results are bitwise
+		// independent of goroutine scheduling (the schedcheck shard oracle
+		// compares every sharded run against the sequential loop).
+		p.gang = pool.NewGang(p.plan.Shards()) //schedlint:ignore taint — pool-owned gang, results proven shard-count independent
+	}
+	p.active = true
+	p.gang.Do(p.body)
+	p.active = false
+	p.phases++
+
+	// Merge the mailboxes in ascending shard order and apply the
+	// completion shifts in ascending CPU order — the orders the
+	// sequential ascending-CPU walk produces. The sums are unsigned and
+	// the shifts seq-preserving and associative in the event timestamp,
+	// so the engine state is identical to the sequential loop's.
+	for i := range p.scratch {
+		k.Perf.Ticks += p.scratch[i].Ticks
+		k.Perf.TicksCoalesced += p.scratch[i].TicksCoalesced
+	}
+	for _, bucket := range p.buckets {
+		for _, c := range bucket {
+			if th := p.theft[c.id]; th > 0 {
+				p.theft[c.id] = 0
+				if c.completion.Pending() {
+					k.Eng.Shift(c.completion, c.completion.When().Add(th))
+				}
+			}
+		}
+	}
+	return true
+}
+
+// replayShard is the worker body: replay every pending CPU of one shard.
+func (k *Kernel) replayShard(worker int) {
+	p := k.par
+	scr := &p.scratch[worker]
+	for _, c := range p.buckets[worker] {
+		k.catchUpCPUShard(c, p.at, p.tieID, scr)
+	}
+}
+
+// catchUpCPUShard is catchUpCPU off the coordinator: same per-CPU loop,
+// same arithmetic, but counters go to the shard scratch and the completion
+// shift is deferred to the coordinator. Every stretch is committed against
+// the synchronization window before it is replayed.
+func (k *Kernel) catchUpCPUShard(c *cpuState, at sim.Time, tieID int, scr *shard.Scratch) {
+	var theft sim.Duration
+	for c.tickNext < at || (c.tickNext == at && c.id < tieID) {
+		bound := at
+		if c.id >= tieID {
+			bound-- // ticks strictly before the event instant
+		}
+		period := k.tickPeriodFor(c)
+		m := int64(bound.Sub(c.tickNext))/int64(period) + 1
+		k.par.window.Commit(c.id, c.tickNext.Add(sim.Duration(m-1)*period))
+		if k.replayBatch(c, m, scr) {
+			theft += sim.Duration(m) * k.Cfg.TickCost
+			continue
+		}
+		theft += k.replayTick(c, scr)
+	}
+	k.par.theft[c.id] = theft
+}

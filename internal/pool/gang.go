@@ -1,0 +1,97 @@
+package pool
+
+import "sync"
+
+// Gang is a fixed crew of persistent workers for phase-parallel work inside
+// one simulation: the conservative shard replay (internal/shard) opens a
+// synchronization window, fans the window's work out over the gang, and
+// joins before the simulation advances. Unlike ForN, which spreads
+// independent replications over an elastic pool, a Gang gives each worker a
+// stable identity (worker w always processes shard w), so the partition of
+// work onto workers — and therefore the result — is a pure function of the
+// configuration, never of host scheduling.
+//
+// Worker 0 is the calling goroutine; workers 1..n-1 are parked goroutines
+// that live until Close. A Gang is not safe for concurrent Do calls — it
+// belongs to one simulation loop, which is single-threaded between phases.
+type Gang struct {
+	workers int
+	start   []chan func()
+	wg      sync.WaitGroup
+	// panics[w] records worker w's panic value for this Do, if any. The
+	// slice is reset at the start of each Do and re-raised lowest worker
+	// first, so a multi-worker failure surfaces deterministically.
+	panics []any
+}
+
+// NewGang returns a gang of n workers (minimum 1). The n-1 helper
+// goroutines start parked and cost nothing until Do.
+func NewGang(n int) *Gang {
+	if n < 1 {
+		n = 1
+	}
+	g := &Gang{
+		workers: n,
+		start:   make([]chan func(), n-1),
+		panics:  make([]any, n),
+	}
+	for i := range g.start {
+		ch := make(chan func())
+		g.start[i] = ch
+		go func() {
+			for job := range ch {
+				job()
+			}
+		}()
+	}
+	return g
+}
+
+// Workers reports the gang size, including the caller.
+func (g *Gang) Workers() int { return g.workers }
+
+// Do runs fn(w) once for every worker w in [0, Workers) and returns when
+// all invocations have completed — a full barrier. The caller runs worker 0
+// inline. If any invocation panics, Do drains the barrier first and then
+// re-panics with the lowest-numbered worker's panic value, so the failure
+// the caller sees does not depend on host goroutine interleaving.
+func (g *Gang) Do(fn func(worker int)) {
+	for i := range g.panics {
+		g.panics[i] = nil
+	}
+	g.wg.Add(g.workers - 1)
+	for w := 1; w < g.workers; w++ {
+		w := w
+		g.start[w-1] <- func() {
+			defer g.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					g.panics[w] = r
+				}
+			}()
+			fn(w)
+		}
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				g.panics[0] = r
+			}
+		}()
+		fn(0)
+	}()
+	g.wg.Wait()
+	for _, p := range g.panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Close releases the helper goroutines. The gang must be idle; Do after
+// Close panics (send on closed channel).
+func (g *Gang) Close() {
+	for _, ch := range g.start {
+		close(ch)
+	}
+}

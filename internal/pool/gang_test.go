@@ -1,0 +1,79 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestGangBarrier: Do must run fn exactly once per worker with stable
+// identities and not return until every invocation has finished.
+func TestGangBarrier(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	if g.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", g.Workers())
+	}
+	for round := 0; round < 3; round++ { // the gang is reusable across phases
+		var hits [4]atomic.Int64
+		g.Do(func(w int) { hits[w].Add(1) })
+		for w := range hits {
+			if n := hits[w].Load(); n != 1 {
+				t.Fatalf("round %d: worker %d ran %d times, want 1", round, w, n)
+			}
+		}
+	}
+}
+
+// TestGangOfOne: a single-worker gang is the degenerate sequential case —
+// no helper goroutines, fn runs inline on the caller.
+func TestGangOfOne(t *testing.T) {
+	g := NewGang(1)
+	defer g.Close()
+	ran := false
+	g.Do(func(w int) {
+		if w != 0 {
+			t.Errorf("worker id %d, want 0", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("fn never ran")
+	}
+}
+
+// TestGangClampsToOne: NewGang(0) and negative sizes clamp rather than
+// deadlock or panic.
+func TestGangClampsToOne(t *testing.T) {
+	g := NewGang(0)
+	defer g.Close()
+	if g.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", g.Workers())
+	}
+	g.Do(func(int) {})
+}
+
+// TestGangPanicPropagation: a worker panic re-raises on the caller after the
+// barrier, and when several workers panic the lowest-numbered worker's value
+// wins — the failure is deterministic, not a goroutine race.
+func TestGangPanicPropagation(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		g.Do(func(w int) {
+			if w == 1 || w == 3 {
+				panic(w)
+			}
+		})
+		return nil
+	}()
+	if got != 1 {
+		t.Fatalf("recovered %v, want worker 1's panic value", got)
+	}
+	// The gang must still be usable after a panicking phase.
+	var n atomic.Int64
+	g.Do(func(int) { n.Add(1) })
+	if n.Load() != 4 {
+		t.Fatalf("post-panic Do ran %d workers, want 4", n.Load())
+	}
+}

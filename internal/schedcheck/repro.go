@@ -56,7 +56,11 @@ func ReadRepro(path string) (Repro, error) {
 
 // Replay checks the repro's scenario twice and verifies both that the
 // verdict is deterministic and that it matches the recorded expectation.
-func Replay(r Repro) error {
+// With shards > 1 it additionally runs the sharding equivalence oracle, so
+// every committed repro — pass and fail alike — doubles as a bitwise
+// sequential-vs-sharded comparison (ShardSkew repros are exempt: that fault
+// exists to break the sharded run).
+func Replay(r Repro, shards int) error {
 	first := Check(r.Scenario)
 	second := Check(r.Scenario)
 	if (first == nil) != (second == nil) ||
@@ -76,16 +80,21 @@ func Replay(r Repro) error {
 			return fmt.Errorf("expected all oracles to pass, got %v", first)
 		}
 	}
+	if shards > 1 && !r.Scenario.Chaos.ShardSkew {
+		if f, _ := CheckShards(r.Scenario, shards); f != nil {
+			return fmt.Errorf("sharded replay (shards=%d): %v", shards, f)
+		}
+	}
 	return nil
 }
 
 // ReplayFile replays one repro file.
-func ReplayFile(path string) error {
+func ReplayFile(path string, shards int) error {
 	r, err := ReadRepro(path)
 	if err != nil {
 		return err
 	}
-	if err := Replay(r); err != nil {
+	if err := Replay(r, shards); err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
 	return nil
@@ -93,7 +102,7 @@ func ReplayFile(path string) error {
 
 // ReplayDir replays every *.json repro under dir, in name order, and
 // returns the first error.
-func ReplayDir(dir string) error {
+func ReplayDir(dir string, shards int) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -109,7 +118,7 @@ func ReplayDir(dir string) error {
 		return fmt.Errorf("%s: no repro files", dir)
 	}
 	for _, name := range names {
-		if err := ReplayFile(filepath.Join(dir, name)); err != nil {
+		if err := ReplayFile(filepath.Join(dir, name), shards); err != nil {
 			return err
 		}
 	}

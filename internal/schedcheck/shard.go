@@ -1,0 +1,56 @@
+package schedcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"hplsim/internal/schedstat"
+)
+
+// CheckShards is the parallel-sharding equivalence oracle: running the
+// scenario with its CPUs sharded over host workers must be bitwise identical
+// to the sequential run — the same dispatch fingerprint, per-workload
+// observables, perf counters, and the same full schedstat ledger byte for
+// byte — under both tick modes. Unlike the metamorphic oracles it has no
+// physics or scheme applicability predicate: sharding is an execution
+// strategy, never a model change, so the claim holds on every valid
+// scenario. It returns the first divergence (Oracle: OracleShard) or nil,
+// plus the number of parallel fan-outs the sharded runs performed — zero
+// means the comparison was vacuous (single-chip topology, or no catch-up
+// ever had pending work in two shards), which callers aggregating over a
+// corpus should assert against.
+func CheckShards(s Scenario, shards int) (*Failure, uint64) {
+	if shards <= 1 || s.Topo.Chips < 2 {
+		return nil, 0
+	}
+	if err := s.Validate(); err != nil {
+		return &Failure{Oracle: OracleInvalid, Detail: err.Error()}, 0
+	}
+	var phases uint64
+	for _, ff := range []bool{false, true} {
+		var seqTrace, shardTrace bytes.Buffer
+		seq := run(s, runCfg{fastForward: ff, trace: schedstat.NewWriter(&seqTrace)})
+		shd := run(s, runCfg{fastForward: ff, shards: shards, trace: schedstat.NewWriter(&shardTrace)})
+		phases += shd.shardPhases
+		if seq.eventHash != shd.eventHash {
+			return &Failure{Oracle: OracleShard, Detail: fmt.Sprintf(
+				"ff=%v shards=%d: dispatch fingerprint differs from sequential: %016x vs %016x",
+				ff, shards, seq.eventHash, shd.eventHash)}, phases
+		}
+		if d := diffObs(seq.obs, shd.obs, true, 1); d != "" {
+			return &Failure{Oracle: OracleShard, Detail: fmt.Sprintf(
+				"ff=%v shards=%d: sharding changed observables: %s", ff, shards, d)}, phases
+		}
+		if seq.perf != shd.perf {
+			return &Failure{Oracle: OracleShard, Detail: fmt.Sprintf(
+				"ff=%v shards=%d: sharding changed perf counters: seq %+v vs shard %+v",
+				ff, shards, seq.perf, shd.perf)}, phases
+		}
+		if !bytes.Equal(seqTrace.Bytes(), shardTrace.Bytes()) {
+			return &Failure{Oracle: OracleShard, Detail: fmt.Sprintf(
+				"ff=%v shards=%d: schedstat traces diverge (%d vs %d bytes)",
+				ff, shards, seqTrace.Len(), shardTrace.Len())}, phases
+		}
+	}
+	return nil, phases
+}

@@ -1,0 +1,36 @@
+//go:build !invariants
+
+package schedcheck
+
+import "testing"
+
+// TestChaosShardSkewCaught: with the window audit compiled out (a normal
+// build), a mis-set horizon makes the gang replay ticks past the committed
+// window and the sharded run genuinely diverges — the sharding equivalence
+// oracle must catch it. The -tags invariants twin of this test lives in
+// shard_invariants_test.go, where the same fault panics in the audit before
+// any divergence can happen.
+func TestChaosShardSkewCaught(t *testing.T) {
+	f, _ := CheckShards(skewScenario(), 2)
+	if f == nil {
+		t.Fatal("shard-skew chaos passed the sharding oracle; the fault injection is dead")
+	}
+	if f.Oracle != OracleShard {
+		t.Fatalf("shard-skew chaos caught by %v, want %s", f, OracleShard)
+	}
+	t.Logf("chaos caught: %v", f)
+}
+
+// TestChaosShardSkewOffIsClean pins that the skew scenario only fails
+// because of the injected fault.
+func TestChaosShardSkewOffIsClean(t *testing.T) {
+	s := skewScenario()
+	s.Chaos = ChaosSpec{}
+	f, phases := CheckShards(s, 2)
+	if f != nil {
+		t.Fatalf("fault-free twin of the skew scenario fails: %v", f)
+	}
+	if phases == 0 {
+		t.Fatal("fault-free twin never fanned out; the skew test proves nothing")
+	}
+}

@@ -1,0 +1,33 @@
+//go:build invariants
+
+package schedcheck
+
+import (
+	"testing"
+
+	"hplsim/internal/invariant"
+	"hplsim/internal/schedstat"
+)
+
+// TestChaosShardSkewPanicsUnderAudit is the -tags invariants twin of
+// TestChaosShardSkewCaught: with the shard window audit compiled in, the
+// mis-set horizon must die in the audit on the first fan-out — before a
+// single out-of-window tick is replayed — rather than surface later as a
+// trace divergence.
+func TestChaosShardSkewPanicsUnderAudit(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("skewed sharded run completed; the window audit never fired")
+		}
+		if _, ok := r.(invariant.Violation); !ok {
+			t.Fatalf("expected invariant.Violation, got %v", r)
+		}
+	}()
+	var sink nopWriter
+	run(skewScenario(), runCfg{fastForward: true, shards: 2, trace: schedstat.NewWriter(&sink)})
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,79 @@
+package schedcheck
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hplsim/internal/pool"
+	"hplsim/internal/sim"
+)
+
+// TestShardedScenarioCorpus runs the sharding equivalence oracle over the
+// same generated corpus the main oracle battery covers: every scenario,
+// sequential vs four shards, both tick modes, full schedstat traces. The
+// aggregated fan-out count must be positive, or the whole corpus silently
+// degenerated to sequential execution and the equivalence was vacuous.
+func TestShardedScenarioCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run is not short")
+	}
+	var mu sync.Mutex
+	var phases atomic.Uint64
+	type bad struct {
+		seed uint64
+		fail *Failure
+	}
+	var fails []bad
+	pool.ForN(corpusSize, 0, func(i int) {
+		seed := uint64(i) + 1
+		f, p := CheckShards(Generate(seed), 4)
+		phases.Add(p)
+		if f != nil {
+			mu.Lock()
+			fails = append(fails, bad{seed, f})
+			mu.Unlock()
+		}
+	})
+	for _, b := range fails {
+		t.Errorf("seed %d: %v", b.seed, b.fail)
+	}
+	if phases.Load() == 0 {
+		t.Fatal("no scenario in the corpus ever fanned out; the sharding oracle is vacuous")
+	}
+	t.Logf("corpus of %d scenarios: %d parallel fan-outs", corpusSize, phases.Load())
+}
+
+// skewScenario is a wide compute-heavy setup whose fast-forward catch-ups
+// have pending ticks on both chips, with the horizon-skew fault switched on.
+func skewScenario() Scenario {
+	s := Scenario{
+		Seed:    17,
+		Topo:    TopoSpec{Chips: 2, Cores: 2, Threads: 2},
+		Physics: PhysicsRealistic,
+		Scheme:  SchemeHPL,
+		HZ:      1000,
+		Chaos:   ChaosSpec{ShardSkew: true},
+	}
+	for i := 0; i < 8; i++ {
+		s.Ranks = append(s.Ranks, RankSpec{
+			Phases: []Phase{{Compute: 20 * sim.Millisecond, Iters: 3}},
+		})
+	}
+	s.Horizon = horizonFor(s)
+	return s
+}
+
+// TestCheckShardsSkipsDegenerate: single-chip topologies and shard counts
+// of one have nothing to compare, and must report a clean skip, not a
+// spurious pass with hidden work.
+func TestCheckShardsSkipsDegenerate(t *testing.T) {
+	s := skewScenario() // even the fault must be unreachable when skipped
+	s.Topo = TopoSpec{Chips: 1, Cores: 4, Threads: 2}
+	if f, p := CheckShards(s, 4); f != nil || p != 0 {
+		t.Fatalf("single-chip topology: got %v with %d phases, want clean skip", f, p)
+	}
+	if f, p := CheckShards(skewScenario(), 1); f != nil || p != 0 {
+		t.Fatalf("shards=1: got %v with %d phases, want clean skip", f, p)
+	}
+}

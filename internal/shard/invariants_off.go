@@ -1,0 +1,8 @@
+//go:build !invariants
+
+package shard
+
+import "hplsim/internal/sim"
+
+// check is a no-op in normal builds; see invariants_on.go.
+func (w *Window) check(cpu int, last sim.Time) {}

@@ -1,0 +1,23 @@
+//go:build invariants
+
+package shard
+
+import (
+	"hplsim/internal/invariant"
+	"hplsim/internal/sim"
+)
+
+// check is the horizon-violation audit: a worker about to replay a tick
+// stretch ending at `last` must stay inside the open window — strictly
+// before the horizon, or at it only for CPUs below the tie id. A violation
+// means the coordinator's conservative lookahead was wrong (or was
+// deliberately skewed by Chaos{ShardSkew}), and replaying would let a
+// cross-shard event observe state from inside a committed window; panic
+// before any state is touched. check runs concurrently from gang workers
+// and only reads the window, which the coordinator wrote before the phase
+// barrier.
+func (w *Window) check(cpu int, last sim.Time) {
+	invariant.Check(w.open, "shard: commit on a window that was never opened")
+	invariant.Check(last < w.horizon || (last == w.horizon && cpu < w.tieID),
+		"%s", w.violation(cpu, last))
+}

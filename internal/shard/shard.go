@@ -1,0 +1,128 @@
+// Package shard partitions one simulation's CPUs into chip-aligned shards
+// for the conservative parallel catch-up phase (DESIGN.md, "Parallel
+// sharding"). Each shard owns a contiguous CPU range cut on chip
+// boundaries, so everything a fast-forward tick replay touches — the CPU's
+// runqueues, its core's busy-time sum, its SMT siblings' idle state — stays
+// inside one shard and one worker. The coordinator opens a synchronization
+// Window per phase (the horizon up to which replay is provably quiescent),
+// fans the shards out over a pool.Gang, and merges the per-shard Scratch
+// deltas back in canonical shard order, which is what keeps the merged
+// counters, traces, and fingerprints bitwise identical to sequential mode.
+package shard
+
+import (
+	"fmt"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/topo"
+)
+
+// Plan is a chip-aligned contiguous partition of a node's CPUs. The zero
+// Plan is invalid; use NewPlan.
+type Plan struct {
+	shards int
+	of     []int // cpu -> shard
+	bounds []int // shard s owns CPUs [bounds[s], bounds[s+1])
+}
+
+// NewPlan partitions t's CPUs into at most `shards` chip-aligned shards.
+// The count clamps to [1, t.Chips]: a shard boundary inside a chip would
+// split an SMT core's siblings (and a core's busy-time sum) across
+// workers, so chips are the finest safe grain. Chips are distributed as
+// evenly as possible, earlier shards taking the remainder — a pure
+// function of (topology, shards), independent of the host.
+func NewPlan(t topo.Topology, shards int) Plan {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > t.Chips {
+		shards = t.Chips
+	}
+	perChip := t.CoresPerChip * t.ThreadsPerCore
+	p := Plan{
+		shards: shards,
+		of:     make([]int, t.NumCPUs()),
+		bounds: make([]int, shards+1),
+	}
+	chip := 0
+	for s := 0; s < shards; s++ {
+		p.bounds[s] = chip * perChip
+		chip += t.Chips / shards
+		if s < t.Chips%shards {
+			chip++
+		}
+	}
+	p.bounds[shards] = t.Chips * perChip
+	for s := 0; s < shards; s++ {
+		for cpu := p.bounds[s]; cpu < p.bounds[s+1]; cpu++ {
+			p.of[cpu] = s
+		}
+	}
+	return p
+}
+
+// Shards reports the number of shards in the plan.
+func (p Plan) Shards() int { return p.shards }
+
+// Of reports the shard owning cpu.
+func (p Plan) Of(cpu int) int { return p.of[cpu] }
+
+// Range reports the CPU interval [lo, hi) owned by shard s.
+func (p Plan) Range(s int) (lo, hi int) { return p.bounds[s], p.bounds[s+1] }
+
+// Scratch is one shard's private mailbox for the global counters a replay
+// phase touches. Workers accumulate into their own Scratch; the coordinator
+// merges them into the real counters in ascending shard order after the
+// barrier, so the totals are identical to the sequential ascending-CPU
+// accumulation (unsigned sums commute exactly).
+type Scratch struct {
+	// Ticks and TicksCoalesced are the perf.Counters deltas of the
+	// shard's replayed ticks.
+	Ticks          uint64
+	TicksCoalesced uint64
+}
+
+// Reset clears the scratch for the next phase.
+func (s *Scratch) Reset() { *s = Scratch{} }
+
+// Window is the committed synchronization window of one parallel catch-up
+// phase. The coordinator Opens it with the true horizon — the instant of
+// the next heap event (or run end), before which replay is provably
+// quiescent — and each worker Commits every tick stretch it is about to
+// replay. Under -tags invariants, a committed stretch extending past the
+// horizon (a cross-shard event would land inside an already-replayed
+// window) panics instead of silently diverging; normal builds compile the
+// audit away.
+type Window struct {
+	horizon sim.Time
+	tieID   int
+	open    bool
+}
+
+// Open starts a phase: ticks strictly before horizon are inside the
+// window, and ticks exactly at the horizon only for CPUs below tieID
+// (the engine's lowest-lane-first tie-break; see kernel catchUp).
+func (w *Window) Open(horizon sim.Time, tieID int) {
+	w.horizon, w.tieID, w.open = horizon, tieID, true
+	// Self-audit the freshly opened bounds so the -tags invariants check
+	// is wired into every phase even when no worker commits a stretch.
+	w.check(-1, horizon.Add(-1))
+}
+
+// Commit audits one tick stretch: cpu is about to replay ticks up to and
+// including `last`. Commit only reads the window (workers call it
+// concurrently); the audit, when compiled in, panics on a violation.
+func (w *Window) Commit(cpu int, last sim.Time) {
+	w.check(cpu, last)
+}
+
+// violation renders the panic message of a window violation.
+func (w *Window) violation(cpu int, last sim.Time) string {
+	return fmt.Sprintf(
+		"shard: cpu %d committed a tick at %v beyond the synchronization horizon %v (tie %d): "+
+			"a cross-shard event would land inside an already-replayed window",
+		cpu, last, w.horizon, w.tieID)
+}

@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"testing"
+
+	"hplsim/internal/topo"
+)
+
+// TestPlanPartition checks the structural contract of NewPlan on a sweep of
+// topologies and shard counts: every CPU is owned by exactly one shard,
+// shards are contiguous and ascending, no chip (and so no core or SMT pair)
+// straddles a boundary, and the chip distribution is as even as possible.
+func TestPlanPartition(t *testing.T) {
+	topos := []topo.Topology{
+		{Chips: 1, CoresPerChip: 4, ThreadsPerCore: 1},
+		{Chips: 2, CoresPerChip: 2, ThreadsPerCore: 2}, // POWER6
+		{Chips: 3, CoresPerChip: 8, ThreadsPerCore: 2},
+		{Chips: 4, CoresPerChip: 16, ThreadsPerCore: 2},
+		{Chips: 7, CoresPerChip: 3, ThreadsPerCore: 4},
+	}
+	for _, tp := range topos {
+		perChip := tp.CoresPerChip * tp.ThreadsPerCore
+		for want := 1; want <= tp.Chips+2; want++ {
+			p := NewPlan(tp, want)
+			shards := p.Shards()
+			if shards > tp.Chips || shards > want || shards < 1 {
+				t.Fatalf("%+v shards=%d: plan has %d shards", tp, want, shards)
+			}
+			if want <= tp.Chips && shards != want {
+				t.Fatalf("%+v: asked for %d shards within chip count, got %d", tp, want, shards)
+			}
+			covered := 0
+			minChips, maxChips := tp.Chips, 0
+			for s := 0; s < shards; s++ {
+				lo, hi := p.Range(s)
+				if lo != covered {
+					t.Fatalf("%+v shards=%d: shard %d starts at %d, want %d (gap or overlap)", tp, want, s, lo, covered)
+				}
+				if (hi-lo)%perChip != 0 || hi <= lo {
+					t.Fatalf("%+v shards=%d: shard %d owns [%d,%d), not a whole number of chips", tp, want, s, lo, hi)
+				}
+				chips := (hi - lo) / perChip
+				if chips < minChips {
+					minChips = chips
+				}
+				if chips > maxChips {
+					maxChips = chips
+				}
+				for cpu := lo; cpu < hi; cpu++ {
+					if p.Of(cpu) != s {
+						t.Fatalf("%+v shards=%d: Of(%d)=%d, Range says %d", tp, want, cpu, p.Of(cpu), s)
+					}
+				}
+				covered = hi
+			}
+			if covered != tp.NumCPUs() {
+				t.Fatalf("%+v shards=%d: plan covers %d CPUs, topology has %d", tp, want, covered, tp.NumCPUs())
+			}
+			if maxChips-minChips > 1 {
+				t.Fatalf("%+v shards=%d: uneven chip split, shards own between %d and %d chips", tp, want, minChips, maxChips)
+			}
+		}
+	}
+}
+
+// TestPlanClamps: degenerate shard counts clamp instead of failing, so a
+// -shards flag larger than the machine is a request for "as parallel as the
+// topology allows", matching the Config.Shards doc.
+func TestPlanClamps(t *testing.T) {
+	tp := topo.Topology{Chips: 2, CoresPerChip: 2, ThreadsPerCore: 2}
+	if got := NewPlan(tp, 0).Shards(); got != 1 {
+		t.Errorf("shards=0 clamps to %d, want 1", got)
+	}
+	if got := NewPlan(tp, -3).Shards(); got != 1 {
+		t.Errorf("shards=-3 clamps to %d, want 1", got)
+	}
+	if got := NewPlan(tp, 64).Shards(); got != tp.Chips {
+		t.Errorf("shards=64 clamps to %d, want %d", got, tp.Chips)
+	}
+}
+
+func TestPlanRejectsInvalidTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid topology")
+		}
+	}()
+	NewPlan(topo.Topology{}, 2)
+}

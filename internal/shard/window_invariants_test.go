@@ -1,0 +1,44 @@
+//go:build invariants
+
+package shard
+
+import (
+	"testing"
+
+	"hplsim/internal/invariant"
+	"hplsim/internal/sim"
+)
+
+func expectViolation(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the window audit to panic")
+		}
+		if _, ok := r.(invariant.Violation); !ok {
+			t.Fatalf("expected invariant.Violation, got %v", r)
+		}
+	}()
+	fn()
+}
+
+// TestWindowAudit pins the horizon semantics the kernel relies on: ticks
+// strictly before the horizon are always inside the window, ticks exactly at
+// the horizon only for CPUs below the tie id, and anything later panics.
+func TestWindowAudit(t *testing.T) {
+	horizon := sim.Time(10 * sim.Millisecond)
+	var w Window
+	w.Open(horizon, 3)
+
+	w.Commit(7, horizon.Add(-1))         // strictly inside: any CPU
+	w.Commit(2, horizon)                 // at the horizon, below the tie id
+	w.Commit(0, sim.Time(0))             // far inside
+	expectViolation(t, func() { w.Commit(3, horizon) })        // at horizon, at tie id
+	expectViolation(t, func() { w.Commit(0, horizon.Add(1)) }) // past horizon, any CPU
+}
+
+func TestWindowCommitWithoutOpen(t *testing.T) {
+	var w Window
+	expectViolation(t, func() { w.Commit(0, sim.Time(0)) })
+}
