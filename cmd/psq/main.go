@@ -1,0 +1,245 @@
+// Command psq is the simulation-queue client: submit experiment payloads
+// to a running simqd dispatcher, watch them, fetch their artifacts, and —
+// with psq work — be the worker that runs them.
+//
+// Payloads are experiments JSON (see internal/experiments.Payload); the
+// dispatcher treats them as opaque bytes whose artifact must be a pure
+// function of them, so submitting the same payload twice (or retrying it
+// after a worker crash) yields byte-identical results.
+//
+// Examples:
+//
+//	psq submit -client alice -name hpl-a job.json
+//	echo '{"bench":"ft","class":"A","scheme":"hpl","seed":7}' | psq submit -client alice -name ft -
+//	psq status 3
+//	psq wait 3 && psq result 3 > artifact.jsonl
+//	psq work -name worker-1            (run jobs until interrupted)
+//	psq work -name worker-1 -once      (drain the queue, then exit)
+//	psq drain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"hplsim/internal/simq"
+	"hplsim/internal/simqd"
+)
+
+const defaultAddr = "http://127.0.0.1:8347"
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: psq <command> [flags] [args]
+
+commands:
+  submit [-client C] [-name N] [-prio P] <payload.json|->   queue one job, print its ID
+  status <job>                                              print one job's state
+  jobs                                                      list every job
+  wait [-poll D] <job>                                      block until the job finishes
+  result <job>                                              write the artifact to stdout
+  cancel <job>                                              withdraw a pending or leased job
+  work [-name W] [-poll D] [-once]                          claim and run jobs
+  drain                                                     stop intake, let in-flight finish
+  stats                                                     print queue aggregates
+
+every command accepts -addr (default `+defaultAddr+`)`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet("psq "+cmd, flag.ExitOnError)
+	addr := fs.String("addr", defaultAddr, "dispatcher base URL")
+
+	var err error
+	switch cmd {
+	case "submit":
+		client := fs.String("client", "psq", "client identity (quota accounting)")
+		name := fs.String("name", "", "job name (default: the payload file name)")
+		prio := fs.Int("prio", 0, "priority; higher runs earlier, aging catches the rest up")
+		fs.Parse(args)
+		err = submit(simqd.NewClient(*addr), *client, *name, *prio, fs.Args())
+	case "status":
+		fs.Parse(args)
+		err = status(simqd.NewClient(*addr), fs.Args())
+	case "jobs":
+		fs.Parse(args)
+		err = jobs(simqd.NewClient(*addr))
+	case "wait":
+		poll := fs.Duration("poll", 500*time.Millisecond, "status poll interval")
+		fs.Parse(args)
+		err = wait(simqd.NewClient(*addr), *poll, fs.Args())
+	case "result":
+		fs.Parse(args)
+		err = result(simqd.NewClient(*addr), fs.Args())
+	case "cancel":
+		fs.Parse(args)
+		err = cancel(simqd.NewClient(*addr), fs.Args())
+	case "work":
+		name := fs.String("name", "psq-worker", "worker identity on claims and reports")
+		poll := fs.Duration("poll", time.Second, "claim poll interval when the queue is idle")
+		once := fs.Bool("once", false, "drain the queue and exit instead of polling forever")
+		fs.Parse(args)
+		err = work(simqd.NewClient(*addr), *name, *poll, *once)
+	case "drain":
+		fs.Parse(args)
+		err = drain(simqd.NewClient(*addr))
+	case "stats":
+		fs.Parse(args)
+		err = stats(simqd.NewClient(*addr))
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psq %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func jobArg(args []string) (int, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("expected exactly one job ID argument")
+	}
+	return strconv.Atoi(args[0])
+}
+
+func submit(c *simqd.Client, client, name string, prio int, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one payload file argument (- for stdin)")
+	}
+	var payload []byte
+	var err error
+	if args[0] == "-" {
+		payload, err = io.ReadAll(os.Stdin)
+		if name == "" {
+			name = "stdin"
+		}
+	} else {
+		payload, err = os.ReadFile(args[0])
+		if name == "" {
+			name = args[0]
+		}
+	}
+	if err != nil {
+		return err
+	}
+	job, err := c.Submit(client, name, prio, string(payload))
+	if err != nil {
+		return err
+	}
+	fmt.Println(job)
+	return nil
+}
+
+func status(c *simqd.Client, args []string) error {
+	job, err := jobArg(args)
+	if err != nil {
+		return err
+	}
+	v, err := c.Status(job)
+	if err != nil {
+		return err
+	}
+	printJob(v)
+	return nil
+}
+
+func jobs(c *simqd.Client) error {
+	vs, err := c.Jobs()
+	if err != nil {
+		return err
+	}
+	for _, v := range vs {
+		printJob(v)
+	}
+	return nil
+}
+
+func printJob(v simq.JobView) {
+	line := fmt.Sprintf("%d\t%s\t%s/%s\tattempt %d", v.ID, v.State, v.Client, v.Name, v.Attempt)
+	if v.Worker != "" {
+		line += "\tworker " + v.Worker
+	}
+	if v.FP != "" {
+		line += "\tfp " + v.FP
+	}
+	if v.Err != "" {
+		line += "\terr " + v.Err
+	}
+	fmt.Println(line)
+}
+
+func wait(c *simqd.Client, poll time.Duration, args []string) error {
+	job, err := jobArg(args)
+	if err != nil {
+		return err
+	}
+	v, err := c.Wait(job, poll)
+	if err != nil {
+		return err
+	}
+	printJob(v)
+	if v.State != "done" {
+		return fmt.Errorf("job %d finished %s", job, v.State)
+	}
+	return nil
+}
+
+func result(c *simqd.Client, args []string) error {
+	job, err := jobArg(args)
+	if err != nil {
+		return err
+	}
+	b, err := c.Result(job)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}
+
+func cancel(c *simqd.Client, args []string) error {
+	job, err := jobArg(args)
+	if err != nil {
+		return err
+	}
+	return c.Cancel(job)
+}
+
+func work(c *simqd.Client, name string, poll time.Duration, once bool) error {
+	w := &simqd.Worker{Client: c, Name: name}
+	if once {
+		n, err := w.DrainQueue()
+		fmt.Fprintf(os.Stderr, "psq work: processed %d job(s)\n", n)
+		return err
+	}
+	return w.Serve(poll)
+}
+
+func drain(c *simqd.Client) error {
+	st, err := c.Drain()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("draining; %d pending, %d leased, quiesced=%v\n", st.Pending, st.Leased, st.Quiesced)
+	return nil
+}
+
+func stats(c *simqd.Client) error {
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seq %d: %d pending, %d leased, %d done, %d failed, %d canceled\n",
+		st.Seq, st.Pending, st.Leased, st.Done, st.Failed, st.Canceled)
+	fmt.Printf("rejected %d, duplicates %d, fp-mismatches %d, stale-reports %d, draining=%v quiesced=%v\n",
+		st.Rejected, st.Duplicates, st.FPMismatches, st.StaleReports, st.Draining, st.Quiesced)
+	return nil
+}

@@ -26,6 +26,7 @@ var allocPatterns = []string{
 	"./internal/schedstat",
 	"./internal/shard",
 	"./internal/batch",
+	"./internal/simq",
 }
 
 // allocBudget is the committed per-function escape budget.

@@ -141,6 +141,7 @@ var deterministicPkgs = []string{
 	"internal/schedstat",
 	"internal/shard",
 	"internal/batch",
+	"internal/simq",
 }
 
 // pkgScope classifies a target package for rule selection.

@@ -40,6 +40,7 @@ var taintRootPkgs = []string{
 	"internal/schedstat",
 	"internal/shard",
 	"internal/batch",
+	"internal/simq",
 }
 
 func isTaintRoot(rel string) bool {

@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package simq
+
+// check is the no-op stub compiled into normal builds; the invariants
+// build replaces it with the real queue-state audit.
+func (s *State) check() {}

@@ -1,0 +1,42 @@
+// Package simq is a fixture: the simulation-queue state machine joined the
+// deterministic core — journal replay must be a pure function of the
+// record stream — so the core-scoped rules, the taint audit, and the
+// invariants contract all apply to it.
+package simq
+
+import "hplsim/internal/util"
+
+// State is an audited queue state machine.
+type State struct {
+	jobs map[int]string
+	ids  []int
+}
+
+// Apply mutates and runs the audit: clean.
+func (s *State) Apply(id int) {
+	s.ids = append(s.ids, id)
+	s.check()
+}
+
+// Len is read-only: exempt from the contract.
+func (s *State) Len() int { return len(s.ids) }
+
+// Reset mutates State without ever reaching the audit.
+func (s *State) Reset() { // want `\[invcheck\] simq\.\(\*State\)\.Reset mutates State state but never reaches \(\*State\)\.check`
+	s.ids = s.ids[:0]
+}
+
+// Names leaks map iteration order from the job table.
+func (s *State) Names() int {
+	n := 0
+	for _, name := range s.jobs { // want `\[maprange\] range over map\[int\]string`
+		n += len(name)
+	}
+	return n
+}
+
+// Stamp reaches the host clock through a module-local helper: invisible
+// to the per-file walltime rule, caught because simq is a taint root.
+func Stamp() int64 {
+	return util.Jitter() // want `\[taint\] deterministic core transitively reaches a nondeterministic source: simq\.Stamp -> util\.Jitter -> walltime\.Start -> time\.Now`
+}

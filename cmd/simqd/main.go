@@ -1,0 +1,78 @@
+// Command simqd is the simulation-queue dispatcher: an HTTP service that
+// accepts experiment payloads, leases them to workers (psq work), verifies
+// artifact fingerprints, and journals every state transition write-ahead to
+// <dir>/journal.jsonl. Kill it at any moment — on restart it replays the
+// journal and resumes with exactly the queue state the journal describes;
+// torn trailing bytes from the crash itself are truncated, anything else
+// suspicious refuses to load.
+//
+// There is deliberately no shutdown handler: crashing IS the shutdown
+// protocol, and the recovery path is the one path there is. For a graceful
+// wind-down, drain first (psq drain) and kill once quiesced.
+//
+// Examples:
+//
+//	simqd -dir /tmp/simq                      (serve on the default address)
+//	simqd -dir /tmp/simq -addr :9000 -lease 2m -max-attempts 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/simq"
+	"hplsim/internal/simqd"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8347", "listen address")
+		dir      = flag.String("dir", "", "state directory: journal + artifact spool (required)")
+		lease    = flag.Duration("lease", 0, "worker lease duration (0 = default 30s)")
+		attempts = flag.Int("max-attempts", 0, "attempts before a job fails terminally (0 = default 3)")
+		backoff  = flag.Duration("backoff", 0, "base retry backoff, doubled per attempt (0 = default 1s)")
+		cap      = flag.Duration("backoff-cap", 0, "retry backoff ceiling (0 = default 60s)")
+		aging    = flag.Float64("aging-rate", 0, "queue aging: priority points per queued second (0 = default)")
+		quota    = flag.Int("quota", 0, "per-client in-flight job cap (0 = default 16)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: simqd -dir DIR [flags]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "simqd: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := simq.Config{
+		LeaseFor:       sim.Duration(*lease),
+		MaxAttempts:    *attempts,
+		BackoffBase:    sim.Duration(*backoff),
+		BackoffCap:     sim.Duration(*cap),
+		AgingRate:      *aging,
+		QuotaPerClient: *quota,
+	}
+
+	srv, err := simqd.Open(*dir, cfg, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simqd: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	st := srv.Stats()
+	fmt.Printf("simqd: serving on %s, state in %s (recovered seq %d: %d pending, %d leased, %d done, %d failed)\n",
+		*addr, *dir, st.Seq, st.Pending, st.Leased, st.Done, st.Failed)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "simqd: %v\n", err)
+		os.Exit(1)
+	}
+}

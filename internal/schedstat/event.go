@@ -60,11 +60,13 @@ type Event struct {
 	Label  string `json:"label"`
 }
 
-// appendJSONString appends s as a JSON string literal. The escaping is
+// AppendJSONString appends s as a JSON string literal. The escaping is
 // minimal and fixed — `"`, `\`, and control bytes only — so that a string
 // has exactly one encoding (encoding/json's HTML-escaping variants would
-// re-encode `<` differently from raw bytes).
-func appendJSONString(b []byte, s string) []byte {
+// re-encode `<` differently from raw bytes). Exported together with
+// AppendKeyStr/AppendKeyInt as the canonical-JSONL building blocks other
+// journaled formats (internal/simq) share.
+func AppendJSONString(b []byte, s string) []byte {
 	const hex = "0123456789abcdef"
 	b = append(b, '"')
 	for i := 0; i < len(s); i++ {
@@ -87,14 +89,16 @@ func appendJSONString(b []byte, s string) []byte {
 	return append(b, '"')
 }
 
-func appendKeyStr(b []byte, key, v string) []byte {
+// AppendKeyStr appends `,"key":"v"` with canonical string escaping.
+func AppendKeyStr(b []byte, key, v string) []byte {
 	b = append(b, ',', '"')
 	b = append(b, key...)
 	b = append(b, '"', ':')
-	return appendJSONString(b, v)
+	return AppendJSONString(b, v)
 }
 
-func appendKeyInt(b []byte, key string, v int64) []byte {
+// AppendKeyInt appends `,"key":v` with the integer in base 10.
+func AppendKeyInt(b []byte, key string, v int64) []byte {
 	b = append(b, ',', '"')
 	b = append(b, key...)
 	b = append(b, '"', ':')
@@ -105,38 +109,38 @@ func appendKeyInt(b []byte, key string, v int64) []byte {
 // the trailing newline. It allocates only when b needs to grow.
 func (e Event) AppendJSONL(b []byte) []byte {
 	b = append(b, `{"ev":`...)
-	b = appendJSONString(b, e.Ev)
-	b = appendKeyInt(b, "t", e.T)
+	b = AppendJSONString(b, e.Ev)
+	b = AppendKeyInt(b, "t", e.T)
 	switch e.Ev {
 	case KindSwitch:
-		b = appendKeyInt(b, "cpu", int64(e.CPU))
-		b = appendKeyStr(b, "prev", e.Prev)
-		b = appendKeyInt(b, "pid", int64(e.PID))
-		b = appendKeyStr(b, "pstate", e.PState)
-		b = appendKeyStr(b, "next", e.Next)
-		b = appendKeyInt(b, "nid", int64(e.NID))
+		b = AppendKeyInt(b, "cpu", int64(e.CPU))
+		b = AppendKeyStr(b, "prev", e.Prev)
+		b = AppendKeyInt(b, "pid", int64(e.PID))
+		b = AppendKeyStr(b, "pstate", e.PState)
+		b = AppendKeyStr(b, "next", e.Next)
+		b = AppendKeyInt(b, "nid", int64(e.NID))
 	case KindWake:
-		b = appendKeyStr(b, "task", e.Task)
-		b = appendKeyInt(b, "tid", int64(e.TID))
-		b = appendKeyInt(b, "cpu", int64(e.CPU))
+		b = AppendKeyStr(b, "task", e.Task)
+		b = AppendKeyInt(b, "tid", int64(e.TID))
+		b = AppendKeyInt(b, "cpu", int64(e.CPU))
 	case KindMigrate:
-		b = appendKeyStr(b, "task", e.Task)
-		b = appendKeyInt(b, "tid", int64(e.TID))
-		b = appendKeyInt(b, "from", int64(e.From))
-		b = appendKeyInt(b, "to", int64(e.To))
-		b = appendKeyStr(b, "kind", e.Kind)
+		b = AppendKeyStr(b, "task", e.Task)
+		b = AppendKeyInt(b, "tid", int64(e.TID))
+		b = AppendKeyInt(b, "from", int64(e.From))
+		b = AppendKeyInt(b, "to", int64(e.To))
+		b = AppendKeyStr(b, "kind", e.Kind)
 	case KindFork:
-		b = appendKeyStr(b, "task", e.Task)
-		b = appendKeyInt(b, "tid", int64(e.TID))
-		b = appendKeyInt(b, "cpu", int64(e.CPU))
-		b = appendKeyStr(b, "policy", e.Policy)
+		b = AppendKeyStr(b, "task", e.Task)
+		b = AppendKeyInt(b, "tid", int64(e.TID))
+		b = AppendKeyInt(b, "cpu", int64(e.CPU))
+		b = AppendKeyStr(b, "policy", e.Policy)
 	case KindExit:
-		b = appendKeyStr(b, "task", e.Task)
-		b = appendKeyInt(b, "tid", int64(e.TID))
+		b = AppendKeyStr(b, "task", e.Task)
+		b = AppendKeyInt(b, "tid", int64(e.TID))
 	case KindMark:
-		b = appendKeyStr(b, "task", e.Task)
-		b = appendKeyInt(b, "tid", int64(e.TID))
-		b = appendKeyStr(b, "label", e.Label)
+		b = AppendKeyStr(b, "task", e.Task)
+		b = AppendKeyInt(b, "tid", int64(e.TID))
+		b = AppendKeyStr(b, "label", e.Label)
 	}
 	return append(b, '}', '\n')
 }

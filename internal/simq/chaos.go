@@ -1,0 +1,107 @@
+package simq
+
+// Chaos drives the service's failure paths deterministically from a seed:
+// every fault decision is a pure hash of (seed, fault, a, b), so a chaos
+// run is exactly reproducible — the property harnesses rely on replaying
+// the same faults while asserting the same final artifacts. The zero
+// value injects nothing.
+//
+// Probabilities are per decision point: a worker consults WorkerCrash and
+// DropResult once per (job, attempt), DuplicateDelivery once per
+// completion; the crash harness consults DispatcherCrash once per
+// journaled record seq.
+type Chaos struct {
+	// Seed keys every decision; two Chaos values with different seeds
+	// fault different (job, attempt) pairs.
+	Seed uint64
+	// WorkerCrash is the probability a worker dies right after claiming a
+	// job, before running it: the lease must expire for progress.
+	WorkerCrash float64
+	// DropResult is the probability a worker runs the job to completion
+	// but the result report is lost: same recovery path as a crash, but
+	// the compute was spent — retries must still be byte-identical.
+	DropResult float64
+	// DuplicateDelivery is the probability a worker reports one
+	// completion twice: the dispatcher must treat the second as an
+	// idempotent no-op after verifying fingerprint equality.
+	DuplicateDelivery float64
+	// DispatcherCrash is the probability the dispatcher dies immediately
+	// after journaling a record — before replying — used by the
+	// crash-recovery harnesses to pick kill points.
+	DispatcherCrash float64
+}
+
+// Fault names one injection point.
+type Fault int
+
+const (
+	// FaultWorkerCrash kills the worker after claim, before execution.
+	FaultWorkerCrash Fault = iota
+	// FaultDropResult loses the completion report after execution.
+	FaultDropResult
+	// FaultDuplicateDelivery sends the completion report twice.
+	FaultDuplicateDelivery
+	// FaultDispatcherCrash kills the dispatcher after a journal append.
+	FaultDispatcherCrash
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultWorkerCrash:
+		return "worker-crash"
+	case FaultDropResult:
+		return "drop-result"
+	case FaultDuplicateDelivery:
+		return "duplicate-delivery"
+	case FaultDispatcherCrash:
+		return "dispatcher-crash"
+	default:
+		return "fault-unknown"
+	}
+}
+
+// Enabled reports whether any fault has a non-zero probability.
+func (c Chaos) Enabled() bool {
+	return c.WorkerCrash > 0 || c.DropResult > 0 || c.DuplicateDelivery > 0 ||
+		c.DispatcherCrash > 0
+}
+
+// rate returns the configured probability for f.
+func (c Chaos) rate(f Fault) float64 {
+	switch f {
+	case FaultWorkerCrash:
+		return c.WorkerCrash
+	case FaultDropResult:
+		return c.DropResult
+	case FaultDuplicateDelivery:
+		return c.DuplicateDelivery
+	case FaultDispatcherCrash:
+		return c.DispatcherCrash
+	default:
+		return 0
+	}
+}
+
+// Hit decides fault f at decision point (a, b) — conventionally (job,
+// attempt) for worker faults and (seq, 0) for dispatcher faults. The
+// decision is stateless: the same (seed, f, a, b) always lands the same
+// way, whichever order the service reaches its decision points in.
+func (c Chaos) Hit(f Fault, a, b uint64) bool {
+	p := c.rate(f)
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := uint64(fnvOffset)
+	for _, v := range [4]uint64{c.Seed, uint64(f), a, b} {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * fnvPrime
+			v >>= 8
+		}
+	}
+	// Top 53 bits -> uniform float in [0, 1).
+	u := float64(h>>11) / (1 << 53)
+	return u < p
+}

@@ -1,0 +1,109 @@
+package simq
+
+import "testing"
+
+func TestChaosZeroValueInjectsNothing(t *testing.T) {
+	var c Chaos
+	if c.Enabled() {
+		t.Fatal("zero Chaos reports Enabled")
+	}
+	for f := FaultWorkerCrash; f <= FaultDispatcherCrash; f++ {
+		for i := uint64(0); i < 100; i++ {
+			if c.Hit(f, i, i) {
+				t.Fatalf("zero Chaos hit %v at (%d, %d)", f, i, i)
+			}
+		}
+	}
+}
+
+func TestChaosCertainFaultAlwaysHits(t *testing.T) {
+	c := Chaos{Seed: 1, WorkerCrash: 1}
+	if !c.Enabled() {
+		t.Fatal("Chaos with WorkerCrash=1 not Enabled")
+	}
+	for i := uint64(0); i < 100; i++ {
+		if !c.Hit(FaultWorkerCrash, i, 1) {
+			t.Fatalf("p=1 fault missed at (%d, 1)", i)
+		}
+		// Other faults stay at their zero probability.
+		if c.Hit(FaultDropResult, i, 1) {
+			t.Fatalf("unconfigured fault hit at (%d, 1)", i)
+		}
+	}
+}
+
+// TestChaosIsDeterministic: the same (seed, fault, a, b) always lands the
+// same way, in any evaluation order — the property the reproducible chaos
+// harnesses depend on.
+func TestChaosIsDeterministic(t *testing.T) {
+	c := Chaos{Seed: 42, WorkerCrash: 0.3, DropResult: 0.3}
+	first := make(map[[3]uint64]bool)
+	for a := uint64(0); a < 50; a++ {
+		for b := uint64(1); b <= 3; b++ {
+			first[[3]uint64{uint64(FaultWorkerCrash), a, b}] = c.Hit(FaultWorkerCrash, a, b)
+			first[[3]uint64{uint64(FaultDropResult), a, b}] = c.Hit(FaultDropResult, a, b)
+		}
+	}
+	// Re-evaluate in reverse order.
+	for a := uint64(49); ; a-- {
+		for b := uint64(3); b >= 1; b-- {
+			if c.Hit(FaultWorkerCrash, a, b) != first[[3]uint64{uint64(FaultWorkerCrash), a, b}] {
+				t.Fatalf("WorkerCrash(%d, %d) changed between evaluations", a, b)
+			}
+			if c.Hit(FaultDropResult, a, b) != first[[3]uint64{uint64(FaultDropResult), a, b}] {
+				t.Fatalf("DropResult(%d, %d) changed between evaluations", a, b)
+			}
+		}
+		if a == 0 {
+			break
+		}
+	}
+}
+
+// TestChaosRateSanity: over many decision points the hit fraction tracks
+// the configured probability, and the two fault channels under one seed
+// are decorrelated.
+func TestChaosRateSanity(t *testing.T) {
+	c := Chaos{Seed: 7, WorkerCrash: 0.5, DropResult: 0.1}
+	const n = 20000
+	crash, drop, both := 0, 0, 0
+	for i := uint64(0); i < n; i++ {
+		hc := c.Hit(FaultWorkerCrash, i, 1)
+		hd := c.Hit(FaultDropResult, i, 1)
+		if hc {
+			crash++
+		}
+		if hd {
+			drop++
+		}
+		if hc && hd {
+			both++
+		}
+	}
+	if f := float64(crash) / n; f < 0.45 || f > 0.55 {
+		t.Errorf("p=0.5 fault hit fraction %.3f, want ~0.5", f)
+	}
+	if f := float64(drop) / n; f < 0.07 || f > 0.13 {
+		t.Errorf("p=0.1 fault hit fraction %.3f, want ~0.1", f)
+	}
+	// Independent channels: joint rate near the product, not near either
+	// marginal (which would mean one hash drives both).
+	if f := float64(both) / n; f < 0.02 || f > 0.08 {
+		t.Errorf("joint hit fraction %.3f, want ~0.05 (independent channels)", f)
+	}
+}
+
+// TestChaosSeedSensitivity: different seeds select different fault sets.
+func TestChaosSeedSensitivity(t *testing.T) {
+	a := Chaos{Seed: 1, WorkerCrash: 0.5}
+	b := Chaos{Seed: 2, WorkerCrash: 0.5}
+	differ := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.Hit(FaultWorkerCrash, i, 1) != b.Hit(FaultWorkerCrash, i, 1) {
+			differ++
+		}
+	}
+	if differ < 300 {
+		t.Fatalf("seeds 1 and 2 agree on %d/1000 decisions — seed barely matters", 1000-differ)
+	}
+}

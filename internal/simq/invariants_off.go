@@ -1,0 +1,9 @@
+//go:build !invariants
+
+package simq
+
+// checkQueue is a no-op in normal builds; see invariants_on.go.
+func (q *Queue) checkQueue() {}
+
+// checkState is a no-op in normal builds; see invariants_on.go.
+func (s *State) checkState() {}

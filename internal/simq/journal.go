@@ -1,0 +1,271 @@
+package simq
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hplsim/internal/schedstat"
+)
+
+// Journal record operations, the `op` field of each JSONL line. Every
+// queue-state transition is exactly one record; anything that does not
+// change state (a quota rejection, a duplicate delivery, a status read)
+// is never journaled.
+const (
+	// OpSubmit accepts a job into the queue.
+	OpSubmit = "submit"
+	// OpClaim leases the named job to a worker under a deadline. The
+	// record names the job the dispatcher chose; replay verifies the
+	// choice against its own queue head, so a divergent pick is detected
+	// rather than silently adopted.
+	OpClaim = "claim"
+	// OpComplete records a verified result artifact for the job's current
+	// lease (fingerprint + byte length; artifact bytes live in the spool).
+	OpComplete = "complete"
+	// OpFail records a worker-reported failure of the current lease. A
+	// non-zero nb requeues the job (cooling until nb); nb == 0 means the
+	// attempt budget is exhausted and the job is Failed.
+	OpFail = "fail"
+	// OpExpire records a lease deadline passing with no result. Same nb
+	// disposition as OpFail.
+	OpExpire = "expire"
+	// OpCancel withdraws a pending or leased job.
+	OpCancel = "cancel"
+	// OpDrain puts the queue in drain mode: no new submits, in-flight
+	// jobs run to completion.
+	OpDrain = "drain"
+)
+
+// Record is one journal line. Which fields are meaningful depends on Op;
+// ReadJournal zeroes the rest so parsed records compare cleanly:
+//
+//	submit:   Seq, T, Job, Client, Name, Prio, Payload
+//	claim:    Seq, T, Job, Worker, Attempt, Deadline
+//	complete: Seq, T, Job, Worker, Attempt, FP, Bytes
+//	fail:     Seq, T, Job, Worker, Attempt, Err, NB
+//	expire:   Seq, T, Job, Attempt, NB
+//	cancel:   Seq, T, Job
+//	drain:    Seq, T
+type Record struct {
+	Seq uint64 `json:"seq"` // 1-based, strictly sequential
+	Op  string `json:"op"`
+	T   int64  `json:"t"` // dispatcher stamp, nanoseconds, non-decreasing
+
+	Job     int    `json:"job"`
+	Client  string `json:"client"`
+	Name    string `json:"name"`
+	Prio    int    `json:"prio"`
+	Payload string `json:"payload"` // opaque job spec, canonical compact JSON
+
+	Worker   string `json:"worker"`
+	Attempt  int    `json:"attempt"`  // 1-based execution attempt
+	Deadline int64  `json:"deadline"` // claim: lease expiry stamp
+	NB       int64  `json:"nb"`       // fail/expire: requeue not-before stamp, 0 = terminal
+
+	FP    string `json:"fp"` // complete: artifact FNV-1a fingerprint, %016x
+	Bytes int    `json:"bytes"`
+	Err   string `json:"err"` // fail: worker-reported cause
+}
+
+// AppendJSONL appends the canonical one-line JSON encoding of r, including
+// the trailing newline: fixed key order, fixed per-op field set, built on
+// the schedstat canonical-JSONL primitives. One record has exactly one
+// byte representation — that is what makes journal prefixes comparable
+// across runs and write∘read∘write a fixed point.
+func (r Record) AppendJSONL(b []byte) []byte {
+	b = append(b, `{"seq":`...)
+	b = appendUint(b, r.Seq)
+	b = append(b, `,"op":`...)
+	b = schedstat.AppendJSONString(b, r.Op)
+	b = schedstat.AppendKeyInt(b, "t", r.T)
+	switch r.Op {
+	case OpSubmit:
+		b = schedstat.AppendKeyInt(b, "job", int64(r.Job))
+		b = schedstat.AppendKeyStr(b, "client", r.Client)
+		b = schedstat.AppendKeyStr(b, "name", r.Name)
+		b = schedstat.AppendKeyInt(b, "prio", int64(r.Prio))
+		b = schedstat.AppendKeyStr(b, "payload", r.Payload)
+	case OpClaim:
+		b = schedstat.AppendKeyInt(b, "job", int64(r.Job))
+		b = schedstat.AppendKeyStr(b, "worker", r.Worker)
+		b = schedstat.AppendKeyInt(b, "attempt", int64(r.Attempt))
+		b = schedstat.AppendKeyInt(b, "deadline", r.Deadline)
+	case OpComplete:
+		b = schedstat.AppendKeyInt(b, "job", int64(r.Job))
+		b = schedstat.AppendKeyStr(b, "worker", r.Worker)
+		b = schedstat.AppendKeyInt(b, "attempt", int64(r.Attempt))
+		b = schedstat.AppendKeyStr(b, "fp", r.FP)
+		b = schedstat.AppendKeyInt(b, "bytes", int64(r.Bytes))
+	case OpFail:
+		b = schedstat.AppendKeyInt(b, "job", int64(r.Job))
+		b = schedstat.AppendKeyStr(b, "worker", r.Worker)
+		b = schedstat.AppendKeyInt(b, "attempt", int64(r.Attempt))
+		b = schedstat.AppendKeyStr(b, "err", r.Err)
+		b = schedstat.AppendKeyInt(b, "nb", r.NB)
+	case OpExpire:
+		b = schedstat.AppendKeyInt(b, "job", int64(r.Job))
+		b = schedstat.AppendKeyInt(b, "attempt", int64(r.Attempt))
+		b = schedstat.AppendKeyInt(b, "nb", r.NB)
+	case OpCancel:
+		b = schedstat.AppendKeyInt(b, "job", int64(r.Job))
+	case OpDrain:
+		// seq, op, t only.
+	}
+	return append(b, '}', '\n')
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// String renders the canonical encoding without the newline.
+func (r Record) String() string {
+	b := r.AppendJSONL(nil)
+	return string(b[:len(b)-1])
+}
+
+// normalize zeroes every field that is not part of r's op and rejects
+// unknown ops, so hand-written or padded JSON compares equal to what the
+// writer produces.
+func (r *Record) normalize() error {
+	keep := *r
+	*r = Record{Seq: keep.Seq, Op: keep.Op, T: keep.T}
+	switch keep.Op {
+	case OpSubmit:
+		r.Job, r.Client, r.Name, r.Prio, r.Payload =
+			keep.Job, keep.Client, keep.Name, keep.Prio, keep.Payload
+	case OpClaim:
+		r.Job, r.Worker, r.Attempt, r.Deadline =
+			keep.Job, keep.Worker, keep.Attempt, keep.Deadline
+	case OpComplete:
+		r.Job, r.Worker, r.Attempt, r.FP, r.Bytes =
+			keep.Job, keep.Worker, keep.Attempt, keep.FP, keep.Bytes
+	case OpFail:
+		r.Job, r.Worker, r.Attempt, r.Err, r.NB =
+			keep.Job, keep.Worker, keep.Attempt, keep.Err, keep.NB
+	case OpExpire:
+		r.Job, r.Attempt, r.NB = keep.Job, keep.Attempt, keep.NB
+	case OpCancel:
+		r.Job = keep.Job
+	case OpDrain:
+		// seq, op, t only.
+	default:
+		return fmt.Errorf("simq: unknown journal op %q", keep.Op)
+	}
+	return nil
+}
+
+// MarshalJournal renders a whole record sequence in canonical JSONL.
+func MarshalJournal(recs []Record) []byte {
+	var b []byte
+	for _, r := range recs {
+		b = r.AppendJSONL(b)
+	}
+	return b
+}
+
+// ReadJournal parses a JSONL journal strictly: every line must be a valid
+// record. Malformed input returns an error with its line number; it never
+// panics. Blank lines are permitted and skipped. Reading the output of
+// MarshalJournal reproduces the records exactly (the fuzz target pins the
+// write∘read∘write fixed point).
+func ReadJournal(r io.Reader) ([]Record, error) {
+	recs, _, err := readJournal(r, false)
+	return recs, err
+}
+
+// RecoverJournal parses a journal that may end mid-record — the footprint
+// of a dispatcher killed during an append. A final line that fails to
+// parse AND is not newline-terminated is treated as a torn write: the
+// records before it are returned together with the byte offset where the
+// torn tail begins, so the caller can truncate and resume appending.
+// Corruption anywhere else is still an error: a torn tail is the only
+// damage a crash can inflict on an append-only file.
+func RecoverJournal(r io.Reader) (recs []Record, goodBytes int64, err error) {
+	return readJournal(r, true)
+}
+
+func readJournal(r io.Reader, recover bool) ([]Record, int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var recs []Record
+	var off int64
+	for line := 1; ; line++ {
+		raw, err := br.ReadBytes('\n')
+		terminated := err == nil
+		if err != nil && err != io.EOF {
+			return nil, 0, fmt.Errorf("simq: journal line %d: %v", line, err)
+		}
+		if len(raw) == 0 {
+			return recs, off, nil
+		}
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) == 0 {
+			off += int64(len(raw))
+			if !terminated {
+				return recs, off, nil
+			}
+			continue
+		}
+		var rec Record
+		perr := json.Unmarshal(trimmed, &rec)
+		if perr == nil {
+			perr = rec.normalize()
+		}
+		if perr != nil {
+			if recover && !terminated {
+				// Torn tail: the crash interrupted this append.
+				return recs, off, nil
+			}
+			return nil, 0, fmt.Errorf("simq: journal line %d: %v", line, perr)
+		}
+		recs = append(recs, rec)
+		off += int64(len(raw))
+		if !terminated {
+			return recs, off, nil
+		}
+	}
+}
+
+// JournalWriter streams canonical journal records to an io.Writer with one
+// reusable encode buffer (the schedstat.Writer shape). Errors are sticky.
+// It does not buffer across records: after Append returns nil the record's
+// bytes have been handed to the underlying writer, which is what gives the
+// dispatcher its write-ahead guarantee when w is an *os.File.
+type JournalWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJournalWriter returns a journal appender over w.
+func NewJournalWriter(w io.Writer) *JournalWriter {
+	return &JournalWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Append writes one record and reports the first error seen.
+func (w *JournalWriter) Append(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = r.AppendJSONL(w.buf[:0])
+	if _, err := w.w.Write(w.buf); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Err reports the first underlying write error, if any.
+func (w *JournalWriter) Err() error { return w.err }

@@ -1,0 +1,248 @@
+package simq
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sampleJournal is one of every op in a coherent order, reused across the
+// encode/decode and recovery tests.
+func sampleJournal() []Record {
+	return []Record{
+		{Seq: 1, Op: OpSubmit, T: 100, Job: 0, Client: "alice", Name: "ft-A", Prio: 5, Payload: `{"bench":"ft"}`},
+		{Seq: 2, Op: OpSubmit, T: 150, Job: 1, Client: "bob", Name: "cg-B", Prio: 9, Payload: `{"bench":"cg"}`},
+		{Seq: 3, Op: OpClaim, T: 200, Job: 1, Worker: "w1", Attempt: 1, Deadline: 30_000_000_200},
+		{Seq: 4, Op: OpFail, T: 300, Job: 1, Worker: "w1", Attempt: 1, Err: "oom", NB: 1_000_000_300},
+		{Seq: 5, Op: OpClaim, T: 400, Job: 0, Worker: "w2", Attempt: 1, Deadline: 30_000_000_400},
+		{Seq: 6, Op: OpExpire, T: 30_000_000_401, Job: 0, Attempt: 1, NB: 32_000_000_401},
+		{Seq: 7, Op: OpClaim, T: 32_000_000_500, Job: 1, Worker: "w2", Attempt: 2, Deadline: 62_000_000_500},
+		{Seq: 8, Op: OpComplete, T: 32_000_000_900, Job: 1, Worker: "w2", Attempt: 2, FP: "00000000deadbeef", Bytes: 512},
+		{Seq: 9, Op: OpCancel, T: 33_000_000_000, Job: 0},
+		{Seq: 10, Op: OpDrain, T: 34_000_000_000},
+	}
+}
+
+func TestRecordCanonicalEncoding(t *testing.T) {
+	tests := []struct {
+		rec  Record
+		want string
+	}{
+		{
+			Record{Seq: 1, Op: OpSubmit, T: 100, Job: 0, Client: "a", Name: "n", Prio: 5, Payload: `{"x":1}`},
+			`{"seq":1,"op":"submit","t":100,"job":0,"client":"a","name":"n","prio":5,"payload":"{\"x\":1}"}`,
+		},
+		{
+			Record{Seq: 2, Op: OpClaim, T: 200, Job: 3, Worker: "w", Attempt: 1, Deadline: 900},
+			`{"seq":2,"op":"claim","t":200,"job":3,"worker":"w","attempt":1,"deadline":900}`,
+		},
+		{
+			Record{Seq: 3, Op: OpComplete, T: 300, Job: 3, Worker: "w", Attempt: 1, FP: "0123456789abcdef", Bytes: 42},
+			`{"seq":3,"op":"complete","t":300,"job":3,"worker":"w","attempt":1,"fp":"0123456789abcdef","bytes":42}`,
+		},
+		{
+			Record{Seq: 4, Op: OpFail, T: 400, Job: 3, Worker: "w", Attempt: 1, Err: "boom", NB: 500},
+			`{"seq":4,"op":"fail","t":400,"job":3,"worker":"w","attempt":1,"err":"boom","nb":500}`,
+		},
+		{
+			Record{Seq: 5, Op: OpExpire, T: 500, Job: 3, Attempt: 2, NB: 0},
+			`{"seq":5,"op":"expire","t":500,"job":3,"attempt":2,"nb":0}`,
+		},
+		{
+			Record{Seq: 6, Op: OpCancel, T: 600, Job: 3},
+			`{"seq":6,"op":"cancel","t":600,"job":3}`,
+		},
+		{
+			Record{Seq: 7, Op: OpDrain, T: 700},
+			`{"seq":7,"op":"drain","t":700}`,
+		},
+	}
+	for _, tc := range tests {
+		if got := tc.rec.String(); got != tc.want {
+			t.Errorf("%s record:\n got  %s\n want %s", tc.rec.Op, got, tc.want)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	recs := sampleJournal()
+	b := MarshalJournal(recs)
+	got, err := ReadJournal(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d round-tripped as %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// write∘read∘write fixed point.
+	if again := MarshalJournal(got); !bytes.Equal(again, b) {
+		t.Fatal("re-marshal of read records differs from original bytes")
+	}
+}
+
+func TestReadJournalNormalizesForeignFields(t *testing.T) {
+	// A cancel record padded with fields cancel does not carry must compare
+	// equal to the canonical form.
+	in := `{"seq":1,"op":"cancel","t":5,"job":2,"worker":"sneaky","fp":"ff","nb":9}` + "\n"
+	recs, err := ReadJournal(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	want := Record{Seq: 1, Op: OpCancel, T: 5, Job: 2}
+	if len(recs) != 1 || recs[0] != want {
+		t.Fatalf("read %+v, want %+v", recs, want)
+	}
+}
+
+func TestReadJournalSkipsBlankLines(t *testing.T) {
+	in := "\n" + Record{Seq: 1, Op: OpDrain, T: 5}.String() + "\n\n  \n"
+	recs, err := ReadJournal(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("read %d records, want 1", len(recs))
+	}
+}
+
+func TestReadJournalErrorsCarryLineNumbers(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		frag string
+	}{
+		{"malformed json", "{\"seq\":1,\"op\":\"drain\",\"t\":1}\nnot json\n", "line 2"},
+		{"unknown op", "{\"seq\":1,\"op\":\"vanish\",\"t\":1}\n", `unknown journal op "vanish"`},
+		{"wrong type", "{\"seq\":\"one\",\"op\":\"drain\",\"t\":1}\n", "line 1"},
+	}
+	for _, tc := range tests {
+		_, err := ReadJournal(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: ReadJournal accepted bad input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestRecoverJournalTornTail(t *testing.T) {
+	recs := sampleJournal()
+	full := MarshalJournal(recs)
+	// goodBytes for the intact prefix of 9 records.
+	prefix := MarshalJournal(recs[:9])
+	// Cut at several points inside the final record's JSON (cutting only
+	// the trailing newline leaves complete JSON — covered below).
+	for _, cut := range []int{1, 5, len(full) - len(prefix) - 2} {
+		torn := full[:len(prefix)+cut]
+		got, goodBytes, err := RecoverJournal(bytes.NewReader(torn))
+		if err != nil {
+			t.Fatalf("cut %d: RecoverJournal: %v", cut, err)
+		}
+		if goodBytes != int64(len(prefix)) {
+			t.Fatalf("cut %d: goodBytes = %d, want %d", cut, goodBytes, len(prefix))
+		}
+		if len(got) != 9 {
+			t.Fatalf("cut %d: recovered %d records, want 9", cut, len(got))
+		}
+		// Strict reading of the torn file fails...
+		if _, err := ReadJournal(bytes.NewReader(torn)); err == nil {
+			t.Fatalf("cut %d: strict ReadJournal accepted a torn journal", cut)
+		}
+		// ...but the truncated-to-goodBytes file reads clean.
+		if again, err := ReadJournal(bytes.NewReader(torn[:goodBytes])); err != nil || len(again) != 9 {
+			t.Fatalf("cut %d: truncated journal reads %d records, err %v", cut, len(again), err)
+		}
+	}
+
+	// A crash that wrote the whole final record but not its newline lost
+	// nothing: the record is intact and recovery keeps it.
+	almost := full[:len(full)-1]
+	got, goodBytes, err := RecoverJournal(bytes.NewReader(almost))
+	if err != nil {
+		t.Fatalf("RecoverJournal(missing newline): %v", err)
+	}
+	if len(got) != 10 || goodBytes != int64(len(almost)) {
+		t.Fatalf("missing-newline recovery = %d records, goodBytes %d; want 10, %d", len(got), goodBytes, len(almost))
+	}
+}
+
+func TestRecoverJournalIntactFile(t *testing.T) {
+	full := MarshalJournal(sampleJournal())
+	recs, goodBytes, err := RecoverJournal(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("RecoverJournal: %v", err)
+	}
+	if goodBytes != int64(len(full)) || len(recs) != 10 {
+		t.Fatalf("goodBytes=%d recs=%d, want %d and 10", goodBytes, len(recs), len(full))
+	}
+}
+
+func TestRecoverJournalRejectsMidFileCorruption(t *testing.T) {
+	// A torn tail is the only damage a crash can cause; garbage on an
+	// interior (newline-terminated) line is corruption even in recover mode.
+	in := "garbage\n" + Record{Seq: 1, Op: OpDrain, T: 5}.String() + "\n"
+	if _, _, err := RecoverJournal(strings.NewReader(in)); err == nil {
+		t.Fatal("RecoverJournal accepted interior corruption")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk gone")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJournalWriterStickyError(t *testing.T) {
+	w := NewJournalWriter(&failWriter{n: 1})
+	if err := w.Append(Record{Seq: 1, Op: OpDrain, T: 1}); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := w.Append(Record{Seq: 2, Op: OpDrain, T: 2}); err == nil {
+		t.Fatal("second append should fail")
+	}
+	if err := w.Append(Record{Seq: 3, Op: OpDrain, T: 3}); err == nil || w.Err() == nil {
+		t.Fatal("error did not stick")
+	}
+}
+
+func TestJournalWriterMatchesMarshal(t *testing.T) {
+	recs := sampleJournal()
+	var buf bytes.Buffer
+	w := NewJournalWriter(&buf)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), MarshalJournal(recs)) {
+		t.Fatal("streamed journal differs from MarshalJournal")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	// FNV-1a reference vectors.
+	if got := Fingerprint(nil); got != 0xcbf29ce484222325 {
+		t.Errorf("Fingerprint(nil) = %#x, want the FNV offset basis", got)
+	}
+	if got := Fingerprint([]byte("a")); got != 0xaf63dc4c8601ec8c {
+		t.Errorf("Fingerprint(a) = %#x, want 0xaf63dc4c8601ec8c", got)
+	}
+	if got := FingerprintString(0xaf63dc4c8601ec8c); got != "af63dc4c8601ec8c" {
+		t.Errorf("FingerprintString = %q", got)
+	}
+	if got := FingerprintString(0x1); got != "0000000000000001" {
+		t.Errorf("FingerprintString not fixed width: %q", got)
+	}
+}

@@ -1,0 +1,99 @@
+package simq
+
+// The HTTP/JSON wire protocol between psq-style clients, simd-style
+// workers, and the dispatcher. Pure data — the HTTP plumbing lives in
+// internal/simqd; keeping the types here lets the deterministic tests
+// exercise encode/decode without a socket.
+
+// API paths served by the dispatcher.
+const (
+	PathSubmit   = "/api/submit"
+	PathStatus   = "/api/status"
+	PathJobs     = "/api/jobs"
+	PathClaim    = "/api/claim"
+	PathComplete = "/api/complete"
+	PathFail     = "/api/fail"
+	PathCancel   = "/api/cancel"
+	PathResult   = "/api/result"
+	PathDrain    = "/api/drain"
+	PathStats    = "/api/stats"
+)
+
+// SubmitRequest asks the dispatcher to queue one job. Payload is the
+// opaque job spec the worker will execute (canonical compact JSON; see
+// experiments.Payload for the standard scenario/experiment schema).
+type SubmitRequest struct {
+	Client  string `json:"client"`
+	Name    string `json:"name"`
+	Prio    int    `json:"prio"`
+	Payload string `json:"payload"`
+}
+
+// SubmitReply returns the assigned job ID.
+type SubmitReply struct {
+	Job int `json:"job"`
+}
+
+// ClaimRequest asks for the next runnable job on behalf of a worker.
+type ClaimRequest struct {
+	Worker string `json:"worker"`
+}
+
+// ClaimReply hands a leased job to a worker. A 204 response (no body)
+// means nothing is runnable right now.
+type ClaimReply struct {
+	Job      int    `json:"job"`
+	Name     string `json:"name"`
+	Attempt  int    `json:"attempt"`
+	Payload  string `json:"payload"`
+	Deadline int64  `json:"deadline"`
+}
+
+// CompleteRequest uploads a result artifact for a leased job. Artifact
+// bytes ride as base64 (encoding/json's []byte form); FP must equal the
+// FNV-1a fingerprint of the bytes — the dispatcher re-hashes and rejects
+// a mismatch before journaling anything.
+type CompleteRequest struct {
+	Worker   string `json:"worker"`
+	Job      int    `json:"job"`
+	Attempt  int    `json:"attempt"`
+	FP       string `json:"fp"`
+	Artifact []byte `json:"artifact"`
+}
+
+// FailRequest reports a worker-side execution failure.
+type FailRequest struct {
+	Worker  string `json:"worker"`
+	Job     int    `json:"job"`
+	Attempt int    `json:"attempt"`
+	Err     string `json:"err"`
+}
+
+// CancelRequest withdraws a job.
+type CancelRequest struct {
+	Job int `json:"job"`
+}
+
+// ErrorReply is the JSON body of every non-2xx response.
+type ErrorReply struct {
+	Error string `json:"error"`
+}
+
+// StatsReply extends the queue aggregate with service-level counters kept
+// outside the journaled state (they describe traffic, not queue truth).
+type StatsReply struct {
+	Stats
+	// Rejected counts quota/drain submit rejections since this
+	// dispatcher process started (rejections are never journaled, so the
+	// counter resets on restart — by design).
+	Rejected uint64 `json:"rejected"`
+	// Duplicates counts idempotent duplicate completion deliveries.
+	Duplicates uint64 `json:"duplicates"`
+	// FPMismatches counts completion deliveries whose artifact bytes
+	// disagreed with an earlier verified result — each one is a
+	// determinism-contract violation caught at the service boundary.
+	FPMismatches uint64 `json:"fp_mismatches"`
+	// StaleReports counts completions/failures for leases that had
+	// already expired and been re-queued or re-leased.
+	StaleReports uint64 `json:"stale_reports"`
+}

@@ -1,0 +1,210 @@
+package simq
+
+import (
+	"bytes"
+	"testing"
+
+	"hplsim/internal/sim"
+)
+
+// scriptedRun drives a full service history — submits from several
+// clients, claims, a worker failure with retry, a lease expiry, a
+// duplicate-proof completion, a cancel, and a drain — capturing the
+// canonical Snapshot after every record. It is the reference run the
+// crash-recovery tests replay against.
+func scriptedRun(t *testing.T) (cfg Config, recs []Record, snaps [][]byte) {
+	t.Helper()
+	cfg = Config{LeaseFor: 10 * sim.Second, MaxAttempts: 3, BackoffBase: sim.Second,
+		BackoffCap: 4 * sim.Second, AgingRate: 0.5, QuotaPerClient: 4}
+	sc := newScript(t, cfg)
+	snap := func() { snaps = append(snaps, sc.s.Snapshot()) }
+
+	j0 := sc.submit(1*tick, "alice", "ft", 3)
+	snap()
+	j1 := sc.submit(2*tick, "bob", "cg", 8)
+	snap()
+	j2 := sc.submit(3*tick, "alice", "mg", 1)
+	snap()
+
+	// bob's cg outranks everything: claimed first.
+	job, attempt := sc.claim(4*tick, "w1")
+	if job != j1 {
+		t.Fatalf("first claim = job %d, want %d", job, j1)
+	}
+	snap()
+	// w1 dies; the lease expires at 14 s and cg requeues with backoff.
+	job, attempt = sc.claim(5*tick, "w2")
+	if job != j0 {
+		t.Fatalf("second claim = job %d, want %d", job, j0)
+	}
+	snap()
+	sc.complete(6*tick, "w2", j0, attempt, []byte("artifact-ft"))
+	snap()
+	if n := sc.expireAll(14 * tick); n != 1 {
+		t.Fatalf("expired %d leases, want 1 (w1's cg)", n)
+	}
+	snap()
+	// cg cools until 15 s; meanwhile mg is the only ready job.
+	job, attempt = sc.claim(14*tick+int64(sim.Millisecond), "w2")
+	if job != j2 {
+		t.Fatalf("third claim = job %d, want %d (mg while cg cools)", job, j2)
+	}
+	snap()
+	sc.fail(15*tick, "w2", j2, attempt, "node oom")
+	snap()
+	// cg cooled: reclaim and complete it.
+	job, attempt = sc.claim(16*tick, "w3")
+	if job != j1 || attempt != 2 {
+		t.Fatalf("fourth claim = job %d attempt %d, want %d attempt 2", job, attempt, j1)
+	}
+	snap()
+	sc.complete(17*tick, "w3", j1, attempt, []byte("artifact-cg"))
+	snap()
+	// mg cooled at 16 s: claim it, then cancel it mid-lease.
+	job, _ = sc.claim(18*tick, "w1")
+	if job != j2 {
+		t.Fatalf("fifth claim = job %d, want %d", job, j2)
+	}
+	snap()
+	sc.apply(Record{Op: OpCancel, T: 19 * tick, Job: j2})
+	snap()
+	sc.apply(Record{Op: OpDrain, T: 20 * tick})
+	snap()
+
+	if len(sc.recs) != len(snaps) {
+		t.Fatalf("captured %d snapshots for %d records", len(snaps), len(sc.recs))
+	}
+	return cfg, sc.recs, snaps
+}
+
+// TestRecoverAtEveryOffset is the crash-recovery oracle: for every prefix
+// length N of the reference journal, a dispatcher that died after
+// journaling record N and replayed its journal on restart must land in
+// byte-identical state to the uninterrupted run as of record N.
+func TestRecoverAtEveryOffset(t *testing.T) {
+	cfg, recs, snaps := scriptedRun(t)
+
+	// N = 0: an empty journal recovers the empty state.
+	empty, err := Replay(cfg, nil)
+	if err != nil {
+		t.Fatalf("replay of empty journal: %v", err)
+	}
+	if !bytes.Equal(empty.Snapshot(), NewState(cfg).Snapshot()) {
+		t.Fatal("empty replay differs from fresh state")
+	}
+
+	for n := 1; n <= len(recs); n++ {
+		recovered, err := Replay(cfg, recs[:n])
+		if err != nil {
+			t.Fatalf("replay of %d-record prefix: %v", n, err)
+		}
+		if got, want := recovered.Snapshot(), snaps[n-1]; !bytes.Equal(got, want) {
+			t.Errorf("prefix %d: recovered snapshot differs from live run\nrecovered:\n%s\nlive:\n%s", n, got, want)
+		}
+		// The recovered dispatcher resumes exactly where the record
+		// sequence left off.
+		if recovered.NextSeq() != recs[n-1].Seq+1 {
+			t.Errorf("prefix %d: NextSeq = %d, want %d", n, recovered.NextSeq(), recs[n-1].Seq+1)
+		}
+	}
+}
+
+// TestRecoverThroughJournalBytes runs the same oracle through the byte
+// layer: marshal the journal, tear it at every byte of the final record,
+// recover with RecoverJournal, replay, and compare snapshots. This is the
+// exact code path a restarted dispatcher takes over its journal file.
+func TestRecoverThroughJournalBytes(t *testing.T) {
+	cfg, recs, snaps := scriptedRun(t)
+	full := MarshalJournal(recs)
+
+	for n := 1; n <= len(recs); n++ {
+		prefix := MarshalJournal(recs[:n])
+		// Tear a few bytes into the next record (or use the clean prefix
+		// when n is the last record).
+		torn := prefix
+		if n < len(recs) {
+			next := recs[n].AppendJSONL(nil)
+			torn = append(append([]byte{}, prefix...), next[:len(next)/2]...)
+		}
+		got, goodBytes, err := RecoverJournal(bytes.NewReader(torn))
+		if err != nil {
+			t.Fatalf("prefix %d: RecoverJournal: %v", n, err)
+		}
+		if goodBytes != int64(len(prefix)) {
+			t.Fatalf("prefix %d: goodBytes = %d, want %d", n, goodBytes, len(prefix))
+		}
+		recovered, err := Replay(cfg, got)
+		if err != nil {
+			t.Fatalf("prefix %d: replay: %v", n, err)
+		}
+		if !bytes.Equal(recovered.Snapshot(), snaps[n-1]) {
+			t.Errorf("prefix %d: snapshot after torn-tail recovery differs from live run", n)
+		}
+	}
+
+	// Sanity: the full journal replays to the final snapshot.
+	got, _, err := RecoverJournal(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("RecoverJournal(full): %v", err)
+	}
+	final, err := Replay(cfg, got)
+	if err != nil {
+		t.Fatalf("replay(full): %v", err)
+	}
+	if !bytes.Equal(final.Snapshot(), snaps[len(snaps)-1]) {
+		t.Fatal("full replay differs from live final state")
+	}
+}
+
+// TestReplayIsConfigFree: requeue records carry their computed backoff, so
+// a journal replays identically under a different Config — the journal is
+// self-contained.
+func TestReplayIsConfigFree(t *testing.T) {
+	cfg, recs, snaps := scriptedRun(t)
+	other := Config{LeaseFor: 99 * sim.Second, MaxAttempts: 7, BackoffBase: 9 * sim.Second,
+		AgingRate: cfg.AgingRate, QuotaPerClient: cfg.QuotaPerClient}
+	replayed, err := Replay(other, recs)
+	if err != nil {
+		t.Fatalf("replay under different config: %v", err)
+	}
+	if !bytes.Equal(replayed.Snapshot(), snaps[len(snaps)-1]) {
+		t.Fatal("snapshot depends on replay-time lease/backoff config")
+	}
+}
+
+// TestReplayRejectsTamperedJournal: corrupting any claim decision in the
+// journal is detected by replay, not silently adopted.
+func TestReplayRejectsTamperedJournal(t *testing.T) {
+	cfg, recs, _ := scriptedRun(t)
+	for i, rec := range recs {
+		if rec.Op != OpClaim {
+			continue
+		}
+		tampered := make([]Record, len(recs))
+		copy(tampered, recs)
+		tampered[i].Job = rec.Job + 1000
+		if _, err := Replay(cfg, tampered); err == nil {
+			t.Errorf("tampered claim at record %d replayed cleanly", i)
+		}
+	}
+}
+
+// TestSnapshotIsReadableJSON: snapshots parse and carry the fields the
+// status API promises.
+func TestSnapshotIsReadableJSON(t *testing.T) {
+	cfg, recs, snaps := scriptedRun(t)
+	s, err := Replay(cfg, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snaps[len(snaps)-1]
+	if snap[len(snap)-1] != '\n' {
+		t.Fatal("snapshot not newline-terminated")
+	}
+	if got := s.Stats(); got.Done != 2 || got.Failed != 0 || got.Canceled != 1 || !got.Draining {
+		t.Fatalf("final stats = %+v", got)
+	}
+	if !s.Quiesced() {
+		t.Fatal("drained queue with no in-flight work should be quiesced")
+	}
+}

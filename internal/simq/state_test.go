@@ -1,0 +1,408 @@
+package simq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hplsim/internal/sim"
+)
+
+func mustApply(t *testing.T, s *State, rec Record) {
+	t.Helper()
+	if err := s.Apply(rec); err != nil {
+		t.Fatalf("Apply(%+v): %v", rec, err)
+	}
+}
+
+// script drives a State exactly the way the service edge does — decide,
+// stamp a record, apply — while keeping the record sequence for replay
+// tests. It is the in-process twin of internal/simqd's commit path.
+type script struct {
+	t    *testing.T
+	s    *State
+	recs []Record
+}
+
+func newScript(t *testing.T, cfg Config) *script {
+	return &script{t: t, s: NewState(cfg)}
+}
+
+func (sc *script) apply(rec Record) Record {
+	sc.t.Helper()
+	rec.Seq = sc.s.NextSeq()
+	mustApply(sc.t, sc.s, rec)
+	sc.recs = append(sc.recs, rec)
+	return rec
+}
+
+func (sc *script) submit(now int64, client, name string, prio int) int {
+	sc.t.Helper()
+	if err := sc.s.SubmitErr(client); err != nil {
+		sc.t.Fatalf("submit %q at t=%d rejected: %v", name, now, err)
+	}
+	id := sc.s.NextID()
+	sc.apply(Record{Op: OpSubmit, T: now, Job: id, Client: client, Name: name, Prio: prio, Payload: `{"bench":"` + name + `"}`})
+	return id
+}
+
+func (sc *script) claim(now int64, worker string) (job, attempt int) {
+	sc.t.Helper()
+	job, attempt, ok := sc.s.PeekClaim(now)
+	if !ok {
+		sc.t.Fatalf("nothing claimable at t=%d", now)
+	}
+	sc.apply(Record{Op: OpClaim, T: now, Job: job, Worker: worker, Attempt: attempt,
+		Deadline: now + int64(sc.s.Config().LeaseFor)})
+	return job, attempt
+}
+
+func (sc *script) complete(now int64, worker string, job, attempt int, artifact []byte) {
+	sc.t.Helper()
+	sc.apply(Record{Op: OpComplete, T: now, Job: job, Worker: worker, Attempt: attempt,
+		FP: FingerprintString(Fingerprint(artifact)), Bytes: len(artifact)})
+}
+
+func (sc *script) fail(now int64, worker string, job, attempt int, msg string) {
+	sc.t.Helper()
+	sc.apply(Record{Op: OpFail, T: now, Job: job, Worker: worker, Attempt: attempt,
+		Err: msg, NB: sc.s.ExpiryDisposition(now, attempt)})
+}
+
+// expireAll journals expire records for every lease past its deadline at
+// now, the way the edge sweeps before serving a claim.
+func (sc *script) expireAll(now int64) int {
+	sc.t.Helper()
+	n := 0
+	for {
+		job, attempt, ok := sc.s.NextExpiry(now)
+		if !ok {
+			return n
+		}
+		sc.apply(Record{Op: OpExpire, T: now, Job: job, Attempt: attempt,
+			NB: sc.s.ExpiryDisposition(now, attempt)})
+		n++
+	}
+}
+
+func (sc *script) state(job int) JobState {
+	sc.t.Helper()
+	v, ok := sc.s.Job(job)
+	if !ok {
+		sc.t.Fatalf("job %d unknown", job)
+	}
+	switch v.State {
+	case "pending":
+		return Pending
+	case "leased":
+		return Leased
+	case "done":
+		return Done
+	case "failed":
+		return Failed
+	case "canceled":
+		return Canceled
+	}
+	sc.t.Fatalf("job %d in unknown state %q", job, v.State)
+	return 0
+}
+
+const tick = int64(sim.Second)
+
+func TestLifecycleComplete(t *testing.T) {
+	sc := newScript(t, Config{})
+	j := sc.submit(1*tick, "alice", "ft", 5)
+	if got := sc.s.InFlight("alice"); got != 1 {
+		t.Fatalf("in-flight after submit = %d, want 1", got)
+	}
+	job, attempt := sc.claim(2*tick, "w1")
+	if job != j || attempt != 1 {
+		t.Fatalf("claimed job %d attempt %d, want job %d attempt 1", job, attempt, j)
+	}
+	sc.complete(3*tick, "w1", job, attempt, []byte("artifact"))
+	v, _ := sc.s.Job(j)
+	if v.State != "done" || v.FP == "" || v.Bytes != 8 || v.DoneT != 3*tick {
+		t.Fatalf("done view = %+v", v)
+	}
+	if sc.s.InFlight("alice") != 0 {
+		t.Fatalf("in-flight after completion = %d, want 0", sc.s.InFlight("alice"))
+	}
+	st := sc.s.Stats()
+	if st.Done != 1 || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryKeepsEarnedAge(t *testing.T) {
+	// Two jobs age at 1 prio/s. Job 0 (prio 1, submitted first) fails once;
+	// its retry keeps the original submit stamp, so it still outranks job 1
+	// (prio 2, submitted much later) once its backoff cools.
+	sc := newScript(t, Config{AgingRate: 1})
+	j0 := sc.submit(0, "a", "old", 1)
+	job, attempt := sc.claim(1*tick, "w1")
+	sc.fail(2*tick, "w1", job, attempt, "transient")
+	j1 := sc.submit(10*tick, "a", "young", 2)
+	// Backoff after attempt 1 is BackoffBase (1 s): cooled by t=3 s.
+	job, attempt = sc.claim(11*tick, "w2")
+	if job != j0 || attempt != 2 {
+		t.Fatalf("claimed job %d attempt %d, want aged job %d attempt 2 (j1=%d)", job, attempt, j0, j1)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	cfg := Config{BackoffBase: sim.Second, BackoffCap: 5 * sim.Second}.WithDefaults()
+	want := []sim.Duration{sim.Second, 2 * sim.Second, 4 * sim.Second, 5 * sim.Second, 5 * sim.Second}
+	for i, w := range want {
+		if got := cfg.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestExpiryDisposition(t *testing.T) {
+	cfg := Config{MaxAttempts: 2, BackoffBase: sim.Second}
+	s := NewState(cfg)
+	if nb := s.ExpiryDisposition(100, 1); nb != 100+int64(sim.Second) {
+		t.Errorf("disposition of attempt 1 = %d, want requeue at %d", nb, 100+int64(sim.Second))
+	}
+	if nb := s.ExpiryDisposition(100, 2); nb != 0 {
+		t.Errorf("disposition of final attempt = %d, want 0 (terminal)", nb)
+	}
+}
+
+func TestLeaseExpiryRequeuesWithBackoff(t *testing.T) {
+	sc := newScript(t, Config{MaxAttempts: 2})
+	j := sc.submit(0, "a", "ft", 1)
+	_, _ = sc.claim(1*tick, "w1")
+	deadline := 1*tick + int64(sc.s.Config().LeaseFor)
+
+	// Before the deadline nothing expires.
+	if n := sc.expireAll(deadline - 1); n != 0 {
+		t.Fatalf("expired %d leases before the deadline", n)
+	}
+	if n := sc.expireAll(deadline); n != 1 {
+		t.Fatalf("expired %d leases at the deadline, want 1", n)
+	}
+	if sc.state(j) != Pending {
+		t.Fatalf("job %d after first expiry: %v, want pending (1 attempt left)", j, sc.state(j))
+	}
+	// Still cooling: not claimable until deadline+backoff.
+	if _, _, ok := sc.s.PeekClaim(deadline + 1); ok {
+		t.Fatal("cooled job claimable before its backoff passed")
+	}
+	cooled := deadline + int64(sc.s.Config().Backoff(1))
+	job, attempt := sc.claim(cooled, "w2")
+	if job != j || attempt != 2 {
+		t.Fatalf("reclaim = job %d attempt %d, want job %d attempt 2", job, attempt, j)
+	}
+	// Second expiry exhausts the budget: terminal failure.
+	sc.expireAll(cooled + int64(sc.s.Config().LeaseFor))
+	if sc.state(j) != Failed {
+		t.Fatalf("job %d after final expiry: %v, want failed", j, sc.state(j))
+	}
+	v, _ := sc.s.Job(j)
+	if !strings.Contains(v.Err, "lease expired") {
+		t.Fatalf("terminal expiry err = %q", v.Err)
+	}
+	if sc.s.InFlight("a") != 0 {
+		t.Fatalf("in-flight after terminal failure = %d", sc.s.InFlight("a"))
+	}
+}
+
+func TestQuotaRejectionsAreDeterministic(t *testing.T) {
+	sc := newScript(t, Config{QuotaPerClient: 2})
+	sc.submit(1, "alice", "a", 0)
+	j2 := sc.submit(2, "alice", "b", 0)
+	// Third submit rejected — and rejected identically on every ask.
+	for i := 0; i < 3; i++ {
+		if err := sc.s.SubmitErr("alice"); !errors.Is(err, ErrQuota) {
+			t.Fatalf("ask %d: SubmitErr = %v, want ErrQuota", i, err)
+		}
+	}
+	// Another client is unaffected.
+	if err := sc.s.SubmitErr("bob"); err != nil {
+		t.Fatalf("bob rejected: %v", err)
+	}
+	// Completing one of alice's jobs frees a slot.
+	job, attempt := sc.claim(3, "w")
+	if job != sc.recs[0].Job {
+		t.Fatalf("claimed job %d, want the first submit", job)
+	}
+	sc.complete(4, "w", job, attempt, []byte("x"))
+	if err := sc.s.SubmitErr("alice"); err != nil {
+		t.Fatalf("after completion SubmitErr = %v, want nil", err)
+	}
+	// Canceling the other also frees its slot.
+	sc.apply(Record{Op: OpCancel, T: 5, Job: j2})
+	if got := sc.s.InFlight("alice"); got != 0 {
+		t.Fatalf("in-flight after cancel = %d, want 0", got)
+	}
+}
+
+func TestDrainStopsSubmitsFinishesInFlight(t *testing.T) {
+	sc := newScript(t, Config{})
+	j := sc.submit(1, "a", "slow", 0)
+	job, attempt := sc.claim(2, "w")
+	sc.apply(Record{Op: OpDrain, T: 3})
+	if !sc.s.Draining() {
+		t.Fatal("not draining after drain record")
+	}
+	if err := sc.s.SubmitErr("b"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("SubmitErr while draining = %v, want ErrDraining", err)
+	}
+	if sc.s.Quiesced() {
+		t.Fatal("quiesced with a lease still out")
+	}
+	// The in-flight job still completes.
+	sc.complete(4, "w", job, attempt, []byte("done late"))
+	if sc.state(j) != Done {
+		t.Fatalf("in-flight job ended %v, want done", sc.state(j))
+	}
+	if !sc.s.Quiesced() {
+		t.Fatal("not quiesced after the last lease resolved")
+	}
+}
+
+func TestApplyRejectsSeqGapAndStampRegression(t *testing.T) {
+	s := NewState(Config{})
+	mustApply(t, s, Record{Seq: 1, Op: OpSubmit, T: 10, Job: 0, Client: "c", Name: "j", Payload: "{}"})
+	if err := s.Apply(Record{Seq: 3, Op: OpDrain, T: 20}); err == nil || !strings.Contains(err.Error(), "seq") {
+		t.Fatalf("seq gap accepted: %v", err)
+	}
+	if err := s.Apply(Record{Seq: 2, Op: OpDrain, T: 5}); err == nil || !strings.Contains(err.Error(), "precedes") {
+		t.Fatalf("stamp regression accepted: %v", err)
+	}
+	// State is untouched by rejected records.
+	if s.Seq() != 1 || s.LastStamp() != 10 {
+		t.Fatalf("rejected records mutated state: seq=%d last=%d", s.Seq(), s.LastStamp())
+	}
+}
+
+func TestApplyRejectsClaimDivergence(t *testing.T) {
+	s := NewState(Config{})
+	mustApply(t, s, Record{Seq: 1, Op: OpSubmit, T: 10, Job: 0, Client: "c", Name: "lo", Prio: 1, Payload: "{}"})
+	mustApply(t, s, Record{Seq: 2, Op: OpSubmit, T: 11, Job: 1, Client: "c", Name: "hi", Prio: 9, Payload: "{}"})
+	// The queue head is job 1 (higher priority); a journal claiming job 0
+	// was written by diverged logic and must be refused.
+	err := s.Apply(Record{Seq: 3, Op: OpClaim, T: 12, Job: 0, Worker: "w", Attempt: 1, Deadline: 99 * tick})
+	if err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("diverged claim accepted: %v", err)
+	}
+	// Claiming from an empty queue is likewise detected.
+	s2 := NewState(Config{})
+	err = s2.Apply(Record{Seq: 1, Op: OpClaim, T: 1, Job: 0, Worker: "w", Attempt: 1, Deadline: 2})
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("claim against empty queue accepted: %v", err)
+	}
+}
+
+func TestApplyRejectsForeignLeaseResolution(t *testing.T) {
+	sc := newScript(t, Config{})
+	sc.submit(1, "a", "ft", 0)
+	job, attempt := sc.claim(2, "w1")
+	bad := []Record{
+		{Op: OpComplete, T: 3, Job: job, Worker: "w2", Attempt: attempt, FP: "ff", Bytes: 1},     // wrong worker
+		{Op: OpComplete, T: 3, Job: job, Worker: "w1", Attempt: attempt + 1, FP: "ff", Bytes: 1}, // wrong attempt
+		{Op: OpComplete, T: 3, Job: job, Worker: "w1", Attempt: attempt},                         // no fingerprint
+		{Op: OpComplete, T: 3, Job: 42, Worker: "w1", Attempt: attempt, FP: "ff", Bytes: 1},      // unknown job
+		{Op: OpFail, T: 3, Job: job, Worker: "w2", Attempt: attempt, Err: "x"},                   // wrong worker
+		{Op: OpExpire, T: 3, Job: job, Attempt: attempt},                                         // before deadline
+	}
+	for i, rec := range bad {
+		rec.Seq = sc.s.NextSeq()
+		if err := sc.s.Apply(rec); err == nil {
+			t.Errorf("bad record %d (%s) accepted", i, rec.Op)
+		}
+	}
+	// The real resolution still goes through.
+	sc.complete(3, "w1", job, attempt, []byte("ok"))
+}
+
+func TestCancel(t *testing.T) {
+	sc := newScript(t, Config{})
+	j0 := sc.submit(1, "a", "p", 0)
+	j1 := sc.submit(2, "a", "q", 9)
+	job, attempt := sc.claim(3, "w") // claims j1 (higher prio)
+	if job != j1 {
+		t.Fatalf("claimed %d, want %d", job, j1)
+	}
+	sc.apply(Record{Op: OpCancel, T: 4, Job: j0}) // cancel pending
+	sc.apply(Record{Op: OpCancel, T: 5, Job: j1}) // cancel leased
+	if sc.state(j0) != Canceled || sc.state(j1) != Canceled {
+		t.Fatalf("states after cancel: %v, %v", sc.state(j0), sc.state(j1))
+	}
+	// A canceled lease's late completion is refused (stale report).
+	rec := Record{Seq: sc.s.NextSeq(), Op: OpComplete, T: 6, Job: j1, Worker: "w", Attempt: attempt, FP: "ff", Bytes: 1}
+	if err := sc.s.Apply(rec); err == nil {
+		t.Fatal("completion of a canceled job accepted")
+	}
+	// Canceling a canceled job is refused.
+	rec = Record{Seq: sc.s.NextSeq(), Op: OpCancel, T: 6, Job: j0}
+	if err := sc.s.Apply(rec); err == nil {
+		t.Fatal("double cancel accepted")
+	}
+	if sc.s.InFlight("a") != 0 {
+		t.Fatalf("in-flight after cancels = %d", sc.s.InFlight("a"))
+	}
+}
+
+func TestJobsAndPayloadAccessors(t *testing.T) {
+	sc := newScript(t, Config{})
+	sc.submit(1, "a", "x", 0)
+	sc.submit(2, "b", "y", 0)
+	views := sc.s.Jobs()
+	if len(views) != 2 || views[0].ID != 0 || views[1].ID != 1 {
+		t.Fatalf("Jobs() = %+v", views)
+	}
+	if p, ok := sc.s.Payload(0); !ok || p != `{"bench":"x"}` {
+		t.Fatalf("Payload(0) = %q, %v", p, ok)
+	}
+	if _, ok := sc.s.Payload(99); ok {
+		t.Fatal("Payload(99) found a job")
+	}
+	if _, ok := sc.s.Job(99); ok {
+		t.Fatal("Job(99) found a job")
+	}
+}
+
+func TestSubmitRecordValidation(t *testing.T) {
+	s := NewState(Config{QuotaPerClient: 1})
+	// Wrong job ID.
+	if err := s.Apply(Record{Seq: 1, Op: OpSubmit, T: 1, Job: 7, Client: "c", Name: "n", Payload: "{}"}); err == nil {
+		t.Fatal("submit with wrong job ID accepted")
+	}
+	// Missing client.
+	if err := s.Apply(Record{Seq: 1, Op: OpSubmit, T: 1, Job: 0, Name: "n", Payload: "{}"}); err == nil {
+		t.Fatal("submit with no client accepted")
+	}
+	mustApply(t, s, Record{Seq: 1, Op: OpSubmit, T: 1, Job: 0, Client: "c", Name: "n", Payload: "{}"})
+	// A journaled submit that violates the quota means the journal and the
+	// admission logic disagree: replay must refuse it.
+	if err := s.Apply(Record{Seq: 2, Op: OpSubmit, T: 2, Job: 1, Client: "c", Name: "n2", Payload: "{}"}); err == nil ||
+		!errors.Is(err, ErrQuota) {
+		t.Fatalf("inadmissible journaled submit: %v, want ErrQuota", err)
+	}
+	// Claim deadline before its stamp is refused.
+	if err := s.Apply(Record{Seq: 2, Op: OpClaim, T: 10, Job: 0, Worker: "w", Attempt: 1, Deadline: 9}); err == nil {
+		t.Fatal("claim with deadline before stamp accepted")
+	}
+	// Unknown op is refused.
+	if err := s.Apply(Record{Seq: 2, Op: "vanish", T: 10}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestStateStringer(t *testing.T) {
+	want := map[JobState]string{Pending: "pending", Leased: "leased", Done: "done",
+		Failed: "failed", Canceled: "canceled", JobState(9): "JobState(9)"}
+	for st, w := range want {
+		if st.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(st), st.String(), w)
+		}
+	}
+	for _, f := range []Fault{FaultWorkerCrash, FaultDropResult, FaultDuplicateDelivery, FaultDispatcherCrash, Fault(99)} {
+		if f.String() == "" {
+			t.Errorf("Fault(%d).String() empty", int(f))
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package simqd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hplsim/internal/sim"
+	"hplsim/internal/simq"
+)
+
+// TestQuotaBackpressure: each client has a fixed in-flight budget; the
+// submit that exceeds it is rejected with 429, deterministically — the
+// same submission sequence always rejects the same requests.
+func TestQuotaBackpressure(t *testing.T) {
+	h := newHarness(t, simq.Config{QuotaPerClient: 2})
+	if _, err := h.client.Submit("alice", "a1", 0, `{"p":1}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.client.Submit("alice", "a2", 0, `{"p":2}`); err != nil {
+		t.Fatal(err)
+	}
+	// Third in-flight job for alice: over quota.
+	if _, err := h.client.Submit("alice", "a3", 0, `{"p":3}`); !IsStatus(err, 429) {
+		t.Fatalf("over-quota submit: %v, want 429", err)
+	}
+	// The quota is per client, not global: bob is unaffected.
+	if _, err := h.client.Submit("bob", "b1", 0, `{"p":4}`); err != nil {
+		t.Fatalf("other client's submit hit alice's quota: %v", err)
+	}
+	// A leased job still counts against the quota...
+	if _, ok, err := h.client.Claim("w"); err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	if _, err := h.client.Submit("alice", "a3", 0, `{"p":3}`); !IsStatus(err, 429) {
+		t.Fatalf("submit with a job merely leased: %v, want 429", err)
+	}
+	// ...and only completion frees a slot.
+	w := &Worker{Client: h.client, Name: "w2",
+		Runner: func(p string) ([]byte, error) { return []byte("x"), nil }}
+	if _, err := w.DrainQueue(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.client.Complete("w", 0, 1, []byte("x")); err != nil {
+		t.Fatalf("completing the first lease: %v", err)
+	}
+	if _, err := h.client.Submit("alice", "a3", 0, `{"p":3}`); err != nil {
+		t.Fatalf("submit after slots freed: %v", err)
+	}
+	st, err := h.client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 2 {
+		t.Fatalf("Rejected = %d, want 2", st.Rejected)
+	}
+}
+
+// TestDrainStopsIntakeFinishesInFlight: drain mode is a one-way valve —
+// new submissions bounce with 503 while jobs already inside run to
+// completion, and Quiesced flips once the queue is empty.
+func TestDrainStopsIntakeFinishesInFlight(t *testing.T) {
+	h := newHarness(t, simq.Config{})
+	h.submit("alice", "running", `{"p":1}`)
+	pending := h.submit("alice", "queued", `{"p":2}`)
+	lease, ok, err := h.client.Claim("w")
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+
+	st, err := h.client.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Draining || st.Quiesced {
+		t.Fatalf("after drain: draining=%v quiesced=%v, want true,false", st.Draining, st.Quiesced)
+	}
+	// Intake is closed.
+	if _, err := h.client.Submit("bob", "late", 0, `{"p":3}`); !IsStatus(err, 503) {
+		t.Fatalf("submit while draining: %v, want 503", err)
+	}
+	// Drain is idempotent, not an error.
+	if _, err := h.client.Drain(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+
+	// In-flight work still finishes: the leased job's completion is
+	// accepted, and the still-pending job can still be claimed and run.
+	if err := h.client.Complete("w", lease.Job, lease.Attempt, []byte("done")); err != nil {
+		t.Fatalf("completing in-flight job during drain: %v", err)
+	}
+	w := &Worker{Client: h.client, Name: "w2",
+		Runner: func(p string) ([]byte, error) { return []byte("done"), nil }}
+	h.mustRun(w)
+	if v, _ := h.client.Status(pending); v.State != "done" {
+		t.Fatalf("queued job after drain = %s, want done", v.State)
+	}
+
+	st, err = h.client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Draining || !st.Quiesced {
+		t.Fatalf("after finishing in-flight: draining=%v quiesced=%v, want true,true", st.Draining, st.Quiesced)
+	}
+	if st.Rejected != 1 || st.Done != 2 {
+		t.Fatalf("stats = %+v, want 1 rejected, 2 done", st)
+	}
+}
+
+// TestCompleteConflicts: the three ways a completion can be wrong — bytes
+// that contradict an accepted artifact (409 + FPMismatches), a report
+// against a lease the worker no longer holds (409 + StaleReports), and a
+// fingerprint that does not match its own bytes (400).
+func TestCompleteConflicts(t *testing.T) {
+	h := newHarness(t, simq.Config{LeaseFor: 5 * sim.Second})
+	job := h.submit("alice", "contested", `{"p":1}`)
+	if _, ok, err := h.client.Claim("w1"); err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	if err := h.client.Complete("w1", job, 1, []byte("truth")); err != nil {
+		t.Fatal(err)
+	}
+	// Identical duplicate: absorbed.
+	if err := h.client.Complete("w1", job, 1, []byte("truth")); err != nil {
+		t.Fatalf("identical duplicate rejected: %v", err)
+	}
+	// Same job, different bytes: the determinism contract is violated and
+	// the dispatcher must say so, not shrug.
+	err := h.client.Complete("w1", job, 1, []byte("lies"))
+	if !IsStatus(err, 409) {
+		t.Fatalf("conflicting completion: %v, want 409", err)
+	}
+	if !strings.Contains(err.Error(), "determinism") {
+		t.Fatalf("conflict error does not name the broken contract: %v", err)
+	}
+
+	// Stale report: w2's lease expires and the job is re-leased to w3.
+	// w2's late report against its dead lease must bounce without touching
+	// the live one.
+	late := h.submit("alice", "slow-worker", `{"p":2}`)
+	if _, ok, err := h.client.Claim("w2"); err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	h.clock.Advance(int64(6 * sim.Second))
+	// The sweep requeues the job under backoff; the re-lease comes after.
+	if _, ok, err := h.client.Claim("w3"); err != nil || ok {
+		t.Fatalf("claim during retry backoff: ok=%v err=%v", ok, err)
+	}
+	h.clock.Advance(int64(2 * sim.Second))
+	release, ok, err := h.client.Claim("w3")
+	if err != nil || !ok {
+		t.Fatalf("re-claim: ok=%v err=%v", ok, err)
+	}
+	if err := h.client.Complete("w2", late, 1, []byte("w2 late artifact")); !IsStatus(err, 409) {
+		t.Fatalf("stale completion: %v, want 409", err)
+	}
+	if err := h.client.Complete("w3", release.Job, release.Attempt, []byte("w3 artifact")); err != nil {
+		t.Fatalf("live lease's completion after stale report: %v", err)
+	}
+	if v, _ := h.client.Status(late); v.State != "done" || v.Attempt != 2 {
+		t.Fatalf("late job = %s attempt %d, want done attempt 2", v.State, v.Attempt)
+	}
+
+	// A self-inconsistent report (fp does not hash the bytes) is a 400.
+	body, _ := json.Marshal(simq.CompleteRequest{
+		Worker: "w1", Job: job, Attempt: 1, FP: "not-a-real-fp", Artifact: []byte("truth")})
+	resp, err := http.Post(h.hs.URL+simq.PathComplete, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched fingerprint: status %d, want 400", resp.StatusCode)
+	}
+
+	st, err := h.client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicates != 1 || st.FPMismatches != 1 || st.StaleReports != 1 {
+		t.Fatalf("stats = %+v, want duplicates=1 fpMismatches=1 staleReports=1", st)
+	}
+}
+
+// TestHandlerValidation sweeps the HTTP edge: wrong methods, bad bodies,
+// unknown jobs, and the not-finished result state.
+func TestHandlerValidation(t *testing.T) {
+	h := newHarness(t, simq.Config{})
+
+	// Wrong method on a POST path.
+	resp, err := http.Get(h.hs.URL + simq.PathSubmit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on submit: %d, want 405", resp.StatusCode)
+	}
+
+	// Unparseable body.
+	resp, err = http.Post(h.hs.URL+simq.PathSubmit, "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d, want 400", resp.StatusCode)
+	}
+
+	// Submit without a client identity.
+	if _, err := h.client.Submit("", "anon", 0, `{"p":1}`); !IsStatus(err, 400) {
+		t.Fatalf("anonymous submit: %v, want 400", err)
+	}
+	// Claim without a worker identity.
+	if _, _, err := h.client.Claim(""); !IsStatus(err, 400) {
+		t.Fatalf("anonymous claim: %v, want 400", err)
+	}
+
+	// Unknown job everywhere it can be named.
+	if _, err := h.client.Status(99); !IsStatus(err, 404) {
+		t.Fatalf("status of unknown job: %v, want 404", err)
+	}
+	if _, err := h.client.Result(99); !IsStatus(err, 404) {
+		t.Fatalf("result of unknown job: %v, want 404", err)
+	}
+	if err := h.client.Cancel(99); !IsStatus(err, 404) {
+		t.Fatalf("cancel of unknown job: %v, want 404", err)
+	}
+	if err := h.client.Complete("w", 99, 1, []byte("x")); !IsStatus(err, 404) {
+		t.Fatalf("complete of unknown job: %v, want 404", err)
+	}
+
+	// Result of an unfinished job: 202, try again later.
+	job := h.submit("alice", "pending", `{"p":1}`)
+	if _, err := h.client.Result(job); !IsStatus(err, 202) {
+		t.Fatalf("result of pending job: %v, want 202", err)
+	}
+
+	// Jobs listing reflects the one submission.
+	vs, err := h.client.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].ID != job || vs[0].State != "pending" {
+		t.Fatalf("jobs listing = %+v", vs)
+	}
+}
+
+// TestCancelLifecycle: cancel withdraws pending and leased jobs (freeing
+// quota), and refuses to rewrite history on finished ones.
+func TestCancelLifecycle(t *testing.T) {
+	h := newHarness(t, simq.Config{QuotaPerClient: 1})
+	job := h.submit("alice", "doomed", `{"p":1}`)
+	// Quota full; cancel frees it.
+	if _, err := h.client.Submit("alice", "blocked", 0, `{"p":2}`); !IsStatus(err, 429) {
+		t.Fatalf("expected quota rejection, got %v", err)
+	}
+	if err := h.client.Cancel(job); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.client.Status(job); v.State != "canceled" {
+		t.Fatalf("canceled job state = %s", v.State)
+	}
+	if _, err := h.client.Result(job); !IsStatus(err, 410) {
+		t.Fatalf("result of canceled job: %v, want 410", err)
+	}
+	// The slot is free again.
+	job2 := h.submit("alice", "second", `{"p":2}`)
+	w := &Worker{Client: h.client, Name: "w",
+		Runner: func(p string) ([]byte, error) { return []byte("x"), nil }}
+	h.mustRun(w)
+	// Done jobs cannot be canceled.
+	if err := h.client.Cancel(job2); !IsStatus(err, 409) {
+		t.Fatalf("cancel of done job: %v, want 409", err)
+	}
+	// Double cancel is also a 409.
+	if err := h.client.Cancel(job); !IsStatus(err, 409) {
+		t.Fatalf("double cancel: %v, want 409", err)
+	}
+}

@@ -1,0 +1,187 @@
+package simqd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"hplsim/internal/simq"
+)
+
+// StatusError is a non-2xx dispatcher reply.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("simqd: dispatcher replied %d: %s", e.Code, e.Msg)
+}
+
+// IsStatus reports whether err is a StatusError with the given HTTP code.
+func IsStatus(err error, code int) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == code
+}
+
+// Client is a synchronous dispatcher client — one request, one reply, no
+// background machinery. psq wraps it; the worker loop drives it.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient talks to the dispatcher at base (e.g. "http://127.0.0.1:8347").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// post sends req as JSON and decodes the 200 reply into out (out may be
+// nil). A 204 returns (false, nil): nothing available. Non-2xx replies
+// return a *StatusError carrying the dispatcher's message.
+func (c *Client) post(path string, req, out any) (bool, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, fmt.Errorf("simqd: encoding request: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, fmt.Errorf("simqd: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, fmt.Errorf("simqd: decoding %s reply: %w", path, err)
+		}
+	}
+	return true, nil
+}
+
+func (c *Client) get(path string, query url.Values, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return fmt.Errorf("simqd: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var er simq.ErrorReply
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+		er.Error = resp.Status
+	}
+	return &StatusError{Code: resp.StatusCode, Msg: er.Error}
+}
+
+// Submit queues one job and returns its ID.
+func (c *Client) Submit(client, name string, prio int, payload string) (int, error) {
+	var reply simq.SubmitReply
+	_, err := c.post(simq.PathSubmit, simq.SubmitRequest{
+		Client: client, Name: name, Prio: prio, Payload: payload}, &reply)
+	return reply.Job, err
+}
+
+// Claim asks for the next runnable job. ok is false when the queue has
+// nothing runnable right now.
+func (c *Client) Claim(worker string) (reply simq.ClaimReply, ok bool, err error) {
+	ok, err = c.post(simq.PathClaim, simq.ClaimRequest{Worker: worker}, &reply)
+	return reply, ok, err
+}
+
+// Complete uploads a result artifact for a leased job. The fingerprint is
+// computed here: the wire carries both so the dispatcher can cross-check.
+func (c *Client) Complete(worker string, job, attempt int, artifact []byte) error {
+	_, err := c.post(simq.PathComplete, simq.CompleteRequest{
+		Worker: worker, Job: job, Attempt: attempt,
+		FP: simq.FingerprintString(simq.Fingerprint(artifact)), Artifact: artifact}, nil)
+	return err
+}
+
+// Fail reports a worker-side execution failure.
+func (c *Client) Fail(worker string, job, attempt int, msg string) error {
+	_, err := c.post(simq.PathFail, simq.FailRequest{
+		Worker: worker, Job: job, Attempt: attempt, Err: msg}, nil)
+	return err
+}
+
+// Cancel withdraws a pending or leased job.
+func (c *Client) Cancel(job int) error {
+	_, err := c.post(simq.PathCancel, simq.CancelRequest{Job: job}, nil)
+	return err
+}
+
+// Status fetches one job's view.
+func (c *Client) Status(job int) (simq.JobView, error) {
+	var v simq.JobView
+	err := c.get(simq.PathStatus, url.Values{"job": {fmt.Sprint(job)}}, &v)
+	return v, err
+}
+
+// Jobs lists every job in submission order.
+func (c *Client) Jobs() ([]simq.JobView, error) {
+	var vs []simq.JobView
+	err := c.get(simq.PathJobs, nil, &vs)
+	return vs, err
+}
+
+// Result fetches a done job's artifact bytes. A 202 StatusError means the
+// job has not finished; 410 means it failed or was canceled.
+func (c *Client) Result(job int) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + simq.PathResult + "?job=" + fmt.Sprint(job))
+	if err != nil {
+		return nil, fmt.Errorf("simqd: result: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Drain puts the dispatcher in drain mode (idempotent) and returns stats.
+func (c *Client) Drain() (simq.StatsReply, error) {
+	var reply simq.StatsReply
+	_, err := c.post(simq.PathDrain, struct{}{}, &reply)
+	return reply, err
+}
+
+// Stats fetches the queue aggregate and traffic counters.
+func (c *Client) Stats() (simq.StatsReply, error) {
+	var reply simq.StatsReply
+	err := c.get(simq.PathStats, nil, &reply)
+	return reply, err
+}
+
+// Wait polls until the job leaves the queue (done, failed, or canceled)
+// and returns its final view. poll is the sleep between status reads.
+func (c *Client) Wait(job int, poll time.Duration) (simq.JobView, error) {
+	for {
+		v, err := c.Status(job)
+		if err != nil {
+			return v, err
+		}
+		switch v.State {
+		case "done", "failed", "canceled":
+			return v, nil
+		}
+		time.Sleep(poll)
+	}
+}

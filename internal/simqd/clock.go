@@ -1,0 +1,65 @@
+// Package simqd is the service edge of the simulation queue: the HTTP
+// dispatcher (simqd), the synchronous worker loop, and the client the psq
+// CLI wraps. All queue truth lives in internal/simq as a journaled,
+// replayable state machine; this package only decides transitions, stamps
+// them with a clock, journals them write-ahead, and moves artifact bytes.
+//
+// Concurrency posture: the repository bans unmanaged goroutines and
+// channels (schedlint's conc rule), so this package spawns none. The
+// dispatcher's handlers run on net/http's service goroutines serialized by
+// one mutex; the worker and client are fully synchronous. Lease expiry is
+// swept opportunistically when claims arrive instead of by a timer
+// goroutine — a dispatcher at rest does nothing, and every transition
+// still happens under a journaled stamp.
+package simqd
+
+import (
+	"sync/atomic"
+
+	"hplsim/internal/walltime"
+)
+
+// Clock supplies the dispatcher's journal stamps, in nanoseconds on an
+// arbitrary monotonic scale. The dispatcher clamps stamps to be
+// non-decreasing across restarts (records demand it), so the scale's
+// origin only has to be consistent within one journal.
+type Clock interface {
+	Now() int64
+}
+
+// HostClock stamps records with real elapsed time, resuming from the last
+// journaled stamp: restarting the dispatcher never moves its clock
+// backwards. The wall clock is read through internal/walltime — the one
+// sanctioned edge — and only ever feeds journal stamps, never simulation
+// state.
+type HostClock struct {
+	base int64
+	sw   walltime.Stopwatch
+}
+
+// NewHostClock starts a host clock at the given base stamp.
+func NewHostClock(base int64) *HostClock {
+	return &HostClock{base: base, sw: walltime.Start()}
+}
+
+// Now reports base + elapsed host time.
+func (c *HostClock) Now() int64 {
+	return c.base + int64(c.sw.Elapsed())
+}
+
+// FakeClock is a hand-advanced clock for tests and deterministic
+// harnesses: stamps move only when the test says so, making journals
+// byte-reproducible across runs. Reads and writes are atomic so a test
+// goroutine can advance it between requests served on HTTP goroutines.
+type FakeClock struct {
+	t atomic.Int64
+}
+
+// Now reports the current fake time.
+func (c *FakeClock) Now() int64 { return c.t.Load() }
+
+// Set moves the fake clock to v.
+func (c *FakeClock) Set(v int64) { c.t.Store(v) }
+
+// Advance moves the fake clock forward by d nanoseconds.
+func (c *FakeClock) Advance(d int64) { c.t.Add(d) }

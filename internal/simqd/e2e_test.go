@@ -1,0 +1,213 @@
+package simqd
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"hplsim/internal/experiments"
+	"hplsim/internal/nas"
+	"hplsim/internal/sim"
+	"hplsim/internal/simq"
+)
+
+// testPayload is the sub-second workload every service test runs.
+func testPayload(seed uint64) string {
+	p := experiments.Payload{
+		Custom: &nas.CustomSpec{
+			Bench: "svc", Class: "T", Ranks: 4, Iterations: 4,
+			TargetSeconds: 0.05, Sensitivity: 0.3,
+		},
+		Scheme:      "hpl",
+		Seed:        seed,
+		Topo:        "2x2x2",
+		FastForward: true,
+		NoStorms:    true,
+	}
+	return p.Canonical()
+}
+
+// harness is one dispatcher under httptest with a hand-advanced clock.
+type harness struct {
+	t      *testing.T
+	dir    string
+	srv    *Server
+	hs     *httptest.Server
+	client *Client
+	clock  *FakeClock
+}
+
+func newHarness(t *testing.T, cfg simq.Config) *harness {
+	t.Helper()
+	dir := t.TempDir()
+	clock := &FakeClock{}
+	clock.Set(int64(sim.Second))
+	srv, err := Open(dir, cfg, clock)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return &harness{t: t, dir: dir, srv: srv, hs: hs,
+		client: NewClient(hs.URL), clock: clock}
+}
+
+func (h *harness) submit(client, name, payload string) int {
+	h.t.Helper()
+	job, err := h.client.Submit(client, name, 0, payload)
+	if err != nil {
+		h.t.Fatalf("submit %s: %v", name, err)
+	}
+	return job
+}
+
+func (h *harness) result(job int) []byte {
+	h.t.Helper()
+	b, err := h.client.Result(job)
+	if err != nil {
+		h.t.Fatalf("result of job %d: %v", job, err)
+	}
+	return b
+}
+
+func (h *harness) mustRun(w *Worker) {
+	h.t.Helper()
+	claimed, err := w.RunOne()
+	if err != nil {
+		h.t.Fatalf("worker %s: %v", w.Name, err)
+	}
+	if !claimed {
+		h.t.Fatalf("worker %s found nothing to claim", w.Name)
+	}
+}
+
+// TestEndToEndRetryDeterminism is the tentpole's acceptance test: the same
+// payload submitted three times — once run cleanly, once through a worker
+// that crashes mid-lease forcing an expiry retry, once through a worker
+// whose result is dropped and whose retry double-delivers — produces three
+// byte-identical artifacts.
+func TestEndToEndRetryDeterminism(t *testing.T) {
+	h := newHarness(t, simq.Config{LeaseFor: 10 * sim.Second})
+	payload := testPayload(7)
+
+	healthy := &Worker{Client: h.client, Name: "w-ok"}
+	crashy := &Worker{Client: h.client, Name: "w-crash", Chaos: simq.Chaos{Seed: 1, WorkerCrash: 1}}
+	droppy := &Worker{Client: h.client, Name: "w-drop", Chaos: simq.Chaos{Seed: 2, DropResult: 1}}
+	dupey := &Worker{Client: h.client, Name: "w-dup", Chaos: simq.Chaos{Seed: 3, DuplicateDelivery: 1}}
+
+	// Job A: the clean run.
+	a := h.submit("alice", "clean", payload)
+	h.mustRun(healthy)
+
+	// Job B: claimed by a worker that dies without a word. The lease must
+	// expire before anyone else can run it.
+	b := h.submit("alice", "crashed-once", payload)
+	h.mustRun(crashy)
+	if v, _ := h.client.Status(b); v.State != "leased" {
+		t.Fatalf("job %d after crashy claim: %s, want leased", b, v.State)
+	}
+	// Past the deadline, the next claim sweeps the expiry — but the
+	// requeued job is still cooling under its retry backoff, so the same
+	// request finds nothing runnable yet.
+	h.clock.Advance(int64(11 * sim.Second))
+	if claimed, err := healthy.RunOne(); err != nil || claimed {
+		t.Fatalf("claim during retry backoff: claimed=%v err=%v", claimed, err)
+	}
+	h.clock.Advance(int64(2 * sim.Second))
+	h.mustRun(healthy) // claims attempt 2, completes
+
+	// Job C: the run happens but the report is lost; the retry completes
+	// and then delivers its result twice.
+	c := h.submit("bob", "dropped-once", payload)
+	h.mustRun(droppy)
+	h.clock.Advance(int64(11 * sim.Second))
+	if claimed, err := dupey.RunOne(); err != nil || claimed {
+		t.Fatalf("claim during retry backoff: claimed=%v err=%v", claimed, err)
+	}
+	h.clock.Advance(int64(2 * sim.Second))
+	h.mustRun(dupey)
+
+	// All three artifacts must be byte-identical.
+	ab, bb, cb := h.result(a), h.result(b), h.result(c)
+	if !bytes.Equal(ab, bb) {
+		t.Error("clean artifact differs from crashed-retry artifact")
+	}
+	if !bytes.Equal(ab, cb) {
+		t.Error("clean artifact differs from dropped-retry artifact")
+	}
+
+	// The retries really happened: jobs B and C are on attempt 2.
+	for _, job := range []int{b, c} {
+		v, err := h.client.Status(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != "done" || v.Attempt != 2 {
+			t.Errorf("job %d = %s attempt %d, want done attempt 2", job, v.State, v.Attempt)
+		}
+	}
+	// And the duplicate delivery was absorbed as an idempotent no-op.
+	st, err := h.client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicates != 1 || st.FPMismatches != 0 || st.StaleReports != 0 {
+		t.Errorf("stats = %+v, want exactly one absorbed duplicate", st)
+	}
+	if st.Done != 3 || st.Failed != 0 {
+		t.Errorf("stats = %+v, want 3 done", st)
+	}
+}
+
+// TestSubmitTwiceSameArtifact: the plain determinism statement at the
+// service boundary, no chaos involved.
+func TestSubmitTwiceSameArtifact(t *testing.T) {
+	h := newHarness(t, simq.Config{})
+	w := &Worker{Client: h.client, Name: "w"}
+	a := h.submit("alice", "first", testPayload(42))
+	b := h.submit("alice", "second", testPayload(42))
+	h.mustRun(w)
+	h.mustRun(w)
+	if !bytes.Equal(h.result(a), h.result(b)) {
+		t.Fatal("same payload produced different artifacts")
+	}
+	// A different seed is a different artifact.
+	c := h.submit("alice", "other-seed", testPayload(43))
+	h.mustRun(w)
+	if bytes.Equal(h.result(a), h.result(c)) {
+		t.Fatal("different seeds produced identical artifacts")
+	}
+}
+
+// TestWorkerFailurePathRetries: a payload the runner cannot execute burns
+// through MaxAttempts fail records and ends terminally failed, with the
+// worker's message preserved.
+func TestWorkerFailurePathRetries(t *testing.T) {
+	h := newHarness(t, simq.Config{MaxAttempts: 2, BackoffBase: sim.Second})
+	job := h.submit("alice", "doomed", `{"scheme":"warp","bench":"ft","class":"A"}`)
+	w := &Worker{Client: h.client, Name: "w"}
+	h.mustRun(w)
+	if v, _ := h.client.Status(job); v.State != "pending" || v.Attempt != 1 {
+		t.Fatalf("after first failure: %s attempt %d, want pending 1", v.State, v.Attempt)
+	}
+	// Cooling: nothing claimable until the backoff passes.
+	if claimed, err := w.RunOne(); err != nil || claimed {
+		t.Fatalf("claim during backoff: claimed=%v err=%v", claimed, err)
+	}
+	h.clock.Advance(int64(2 * sim.Second))
+	h.mustRun(w)
+	v, err := h.client.Status(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "failed" || v.Attempt != 2 {
+		t.Fatalf("final state = %s attempt %d, want failed 2", v.State, v.Attempt)
+	}
+	if v.Err == "" {
+		t.Fatal("terminal failure lost the worker's error message")
+	}
+	// The result endpoint reports the failure, not a hang.
+	if _, err := h.client.Result(job); !IsStatus(err, 410) {
+		t.Fatalf("result of failed job: %v, want 410", err)
+	}
+}

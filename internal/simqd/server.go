@@ -1,0 +1,476 @@
+package simqd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"hplsim/internal/simq"
+)
+
+// Server is the dispatcher: a journaled simq.State behind an HTTP/JSON
+// API. Every mutation follows the write-ahead protocol — decide the
+// record, append it to the journal, then Apply it — so a dispatcher killed
+// at any instant recovers its exact queue state by replaying the journal
+// (Open does precisely that). Handlers are serialized by one mutex: the
+// queue is a decision log, not a throughput engine, and a total order of
+// transitions is what makes the journal an oracle.
+type Server struct {
+	mu    sync.Mutex
+	st    *simq.State
+	jw    *simq.JournalWriter
+	jf    *os.File
+	spool string
+	clock Clock
+
+	// Service-level traffic counters (outside the journaled truth).
+	rejected     uint64
+	duplicates   uint64
+	fpMismatches uint64
+	staleReports uint64
+}
+
+// Open recovers (or creates) a dispatcher over dir. The journal lives at
+// dir/journal.jsonl; artifacts spool under dir/spool. A torn trailing
+// record — the footprint of a crash mid-append — is truncated away; any
+// other corruption is an error. A nil clock selects a HostClock resuming
+// from the last journaled stamp.
+func Open(dir string, cfg simq.Config, clock Clock) (*Server, error) {
+	spool := filepath.Join(dir, "spool")
+	if err := os.MkdirAll(spool, 0o755); err != nil {
+		return nil, fmt.Errorf("simqd: creating spool: %w", err)
+	}
+	jf, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("simqd: opening journal: %w", err)
+	}
+	recs, goodBytes, err := simq.RecoverJournal(jf)
+	if err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("simqd: reading journal: %w", err)
+	}
+	if err := jf.Truncate(goodBytes); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("simqd: truncating torn journal tail: %w", err)
+	}
+	if _, err := jf.Seek(goodBytes, 0); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("simqd: seeking journal: %w", err)
+	}
+	st, err := simq.Replay(cfg, recs)
+	if err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("simqd: replaying journal: %w", err)
+	}
+	if clock == nil {
+		clock = NewHostClock(st.LastStamp())
+	}
+	return &Server{
+		st:    st,
+		jw:    simq.NewJournalWriter(jf),
+		jf:    jf,
+		spool: spool,
+		clock: clock,
+	}, nil
+}
+
+// Close releases the journal file. The in-memory state is disposable by
+// design: reopening the directory rebuilds it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jf.Close()
+}
+
+// Snapshot renders the canonical queue state (the crash-recovery oracle).
+func (s *Server) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Snapshot()
+}
+
+// Stats reports the queue aggregate and traffic counters.
+func (s *Server) Stats() simq.StatsReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+// Seq reports the last journaled record sequence number.
+func (s *Server) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Seq()
+}
+
+// now reads the clock, clamped so stamps never regress below the last
+// journaled record (the journal's monotonicity contract).
+func (s *Server) now() int64 {
+	n := s.clock.Now()
+	if last := s.st.LastStamp(); n < last {
+		n = last
+	}
+	return n
+}
+
+// commit is the write-ahead path: assign the next sequence number, append
+// to the journal, then apply. An Apply failure after a successful append
+// means the decision logic and the state machine disagree — a bug, not a
+// runtime condition — and is surfaced as a 500 by the callers.
+func (s *Server) commit(rec simq.Record) (simq.Record, error) {
+	rec.Seq = s.st.NextSeq()
+	if err := s.jw.Append(rec); err != nil {
+		return rec, fmt.Errorf("simqd: journal append: %w", err)
+	}
+	if err := s.st.Apply(rec); err != nil {
+		return rec, fmt.Errorf("simqd: journaled record refused by state (journal/logic divergence): %w", err)
+	}
+	return rec, nil
+}
+
+// sweepExpired journals expire records for every lease past its deadline
+// at now. Called before serving claims: expiry is observed lazily, when
+// the queue is next asked for work, not by a background timer.
+func (s *Server) sweepExpired(now int64) error {
+	for {
+		job, attempt, ok := s.st.NextExpiry(now)
+		if !ok {
+			return nil
+		}
+		rec := simq.Record{Op: simq.OpExpire, T: now, Job: job, Attempt: attempt,
+			NB: s.st.ExpiryDisposition(now, attempt)}
+		if _, err := s.commit(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Handler returns the dispatcher's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(simq.PathSubmit, s.handleSubmit)
+	mux.HandleFunc(simq.PathClaim, s.handleClaim)
+	mux.HandleFunc(simq.PathComplete, s.handleComplete)
+	mux.HandleFunc(simq.PathFail, s.handleFail)
+	mux.HandleFunc(simq.PathCancel, s.handleCancel)
+	mux.HandleFunc(simq.PathStatus, s.handleStatus)
+	mux.HandleFunc(simq.PathJobs, s.handleJobs)
+	mux.HandleFunc(simq.PathResult, s.handleResult)
+	mux.HandleFunc(simq.PathDrain, s.handleDrain)
+	mux.HandleFunc(simq.PathStats, s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck — the response is already committed
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, simq.ErrorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req simq.SubmitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Client == "" || req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "submit needs client and name")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.st.SubmitErr(req.Client); err != nil {
+		s.rejected++
+		code := http.StatusTooManyRequests
+		if err == simq.ErrDraining {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	rec := simq.Record{Op: simq.OpSubmit, T: s.now(), Job: s.st.NextID(),
+		Client: req.Client, Name: req.Name, Prio: req.Prio, Payload: req.Payload}
+	if _, err := s.commit(rec); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simq.SubmitReply{Job: rec.Job})
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req simq.ClaimRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeErr(w, http.StatusBadRequest, "claim needs a worker name")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	if err := s.sweepExpired(now); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	job, attempt, ok := s.st.PeekClaim(now)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	deadline := now + int64(s.st.Config().LeaseFor)
+	rec := simq.Record{Op: simq.OpClaim, T: now, Job: job, Worker: req.Worker,
+		Attempt: attempt, Deadline: deadline}
+	if _, err := s.commit(rec); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	v, _ := s.st.Job(job)
+	payload, _ := s.st.Payload(job)
+	writeJSON(w, http.StatusOK, simq.ClaimReply{
+		Job: job, Name: v.Name, Attempt: attempt, Payload: payload, Deadline: deadline,
+	})
+}
+
+func (s *Server) spoolPath(job int) string {
+	return filepath.Join(s.spool, fmt.Sprintf("job-%06d.artifact", job))
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req simq.CompleteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	// The report must be internally consistent before anything else: the
+	// fingerprint field is the worker's claim about its own bytes.
+	fp := simq.FingerprintString(simq.Fingerprint(req.Artifact))
+	if req.FP != fp {
+		writeErr(w, http.StatusBadRequest,
+			"artifact fingerprint %s does not match its bytes (%s)", req.FP, fp)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.st.Job(req.Job)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %d", req.Job)
+		return
+	}
+	if v.State == "done" {
+		// Duplicate delivery. The determinism contract says a re-run —
+		// and therefore a re-send — carries identical bytes; verify, then
+		// treat as an idempotent no-op.
+		if v.FP == req.FP {
+			s.duplicates++
+			writeJSON(w, http.StatusOK, simq.SubmitReply{Job: req.Job})
+			return
+		}
+		s.fpMismatches++
+		writeErr(w, http.StatusConflict,
+			"job %d already has artifact %s; duplicate delivery carries %s — determinism contract violated",
+			req.Job, v.FP, req.FP)
+		return
+	}
+	if v.State != "leased" || v.Attempt != req.Attempt || v.Worker != req.Worker {
+		s.staleReports++
+		writeErr(w, http.StatusConflict,
+			"job %d is %s (attempt %d, worker %q); stale report from %q attempt %d",
+			req.Job, v.State, v.Attempt, v.Worker, req.Worker, req.Attempt)
+		return
+	}
+	// Spool the artifact before journaling the completion: once the
+	// record lands, the result must be servable. Write-then-rename keeps
+	// a crash from leaving a half-written artifact behind a committed
+	// record.
+	tmp := s.spoolPath(req.Job) + ".tmp"
+	if err := os.WriteFile(tmp, req.Artifact, 0o644); err != nil {
+		writeErr(w, http.StatusInternalServerError, "spooling artifact: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, s.spoolPath(req.Job)); err != nil {
+		writeErr(w, http.StatusInternalServerError, "spooling artifact: %v", err)
+		return
+	}
+	rec := simq.Record{Op: simq.OpComplete, T: s.now(), Job: req.Job,
+		Worker: req.Worker, Attempt: req.Attempt, FP: req.FP, Bytes: len(req.Artifact)}
+	if _, err := s.commit(rec); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simq.SubmitReply{Job: req.Job})
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req simq.FailRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.st.Job(req.Job)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %d", req.Job)
+		return
+	}
+	if v.State != "leased" || v.Attempt != req.Attempt || v.Worker != req.Worker {
+		s.staleReports++
+		writeErr(w, http.StatusConflict, "job %d is %s; stale failure report", req.Job, v.State)
+		return
+	}
+	now := s.now()
+	rec := simq.Record{Op: simq.OpFail, T: now, Job: req.Job, Worker: req.Worker,
+		Attempt: req.Attempt, Err: req.Err, NB: s.st.ExpiryDisposition(now, req.Attempt)}
+	if _, err := s.commit(rec); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simq.SubmitReply{Job: req.Job})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req simq.CancelRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.st.Job(req.Job)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %d", req.Job)
+		return
+	}
+	if v.State != "pending" && v.State != "leased" {
+		writeErr(w, http.StatusConflict, "job %d is already %s", req.Job, v.State)
+		return
+	}
+	rec := simq.Record{Op: simq.OpCancel, T: s.now(), Job: req.Job}
+	if _, err := s.commit(rec); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simq.SubmitReply{Job: req.Job})
+}
+
+// jobParam parses the ?job=N query parameter.
+func jobParam(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("job")
+	if q == "" {
+		return 0, fmt.Errorf("missing job parameter")
+	}
+	return strconv.Atoi(q)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := jobParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	v, ok := s.st.Job(job)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %d", job)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := s.st.Jobs()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, err := jobParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	v, ok := s.st.Job(job)
+	path := s.spoolPath(job)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %d", job)
+		return
+	}
+	switch v.State {
+	case "done":
+		b, err := os.ReadFile(path)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "reading artifact: %v", err)
+			return
+		}
+		if got := simq.FingerprintString(simq.Fingerprint(b)); got != v.FP {
+			writeErr(w, http.StatusInternalServerError,
+				"spooled artifact fingerprints to %s, journal says %s — spool corruption", got, v.FP)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(b) //nolint:errcheck — the response is already committed
+	case "failed", "canceled":
+		writeErr(w, http.StatusGone, "job %d %s: %s", job, v.State, v.Err)
+	default:
+		writeErr(w, http.StatusAccepted, "job %d is %s", job, v.State)
+	}
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.st.Draining() {
+		rec := simq.Record{Op: simq.OpDrain, T: s.now()}
+		if _, err := s.commit(rec); err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.statsLocked())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	reply := s.statsLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) statsLocked() simq.StatsReply {
+	return simq.StatsReply{
+		Stats:        s.st.Stats(),
+		Rejected:     s.rejected,
+		Duplicates:   s.duplicates,
+		FPMismatches: s.fpMismatches,
+		StaleReports: s.staleReports,
+	}
+}

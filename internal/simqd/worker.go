@@ -1,0 +1,109 @@
+package simqd
+
+import (
+	"fmt"
+	"time"
+
+	"hplsim/internal/experiments"
+	"hplsim/internal/simq"
+)
+
+// RunJobPayload is the standard payload runner: parse the payload as an
+// experiments.Payload and execute the measured run. The artifact is a pure
+// function of the payload bytes (experiments' determinism contract), which
+// is exactly what the dispatcher's fingerprint verification assumes.
+func RunJobPayload(payload string) ([]byte, error) {
+	p, err := experiments.ParsePayload([]byte(payload))
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunPayload(p)
+}
+
+// Worker is the synchronous execution loop: claim a lease, run the
+// payload, report the artifact. Chaos faults rehearse the failure paths
+// deterministically — a crashed worker simply stops touching its lease and
+// lets it expire, a dropped result spends the compute but reports nothing,
+// a duplicate delivery reports twice and expects the second to be an
+// idempotent no-op.
+type Worker struct {
+	Client *Client
+	// Name identifies this worker on claims and reports.
+	Name string
+	// Chaos injects faults keyed by (job, attempt); zero injects none.
+	Chaos simq.Chaos
+	// Runner executes one payload (nil = RunJobPayload).
+	Runner func(payload string) ([]byte, error)
+}
+
+// RunOne claims and processes at most one job. claimed reports whether a
+// lease was obtained (even if chaos then crashed or muted the worker —
+// the lease is spent either way and recovery is the dispatcher's job).
+func (w *Worker) RunOne() (claimed bool, err error) {
+	lease, ok, err := w.Client.Claim(w.Name)
+	if err != nil || !ok {
+		return false, err
+	}
+	job, attempt := uint64(lease.Job), uint64(lease.Attempt)
+	if w.Chaos.Hit(simq.FaultWorkerCrash, job, attempt) {
+		// Simulated crash after claim: abandon the lease without a word.
+		// The dispatcher's expiry sweep requeues the job.
+		return true, nil
+	}
+	runner := w.Runner
+	if runner == nil {
+		runner = RunJobPayload
+	}
+	artifact, rerr := runner(lease.Payload)
+	if rerr != nil {
+		if ferr := w.Client.Fail(w.Name, lease.Job, lease.Attempt, rerr.Error()); ferr != nil {
+			return true, fmt.Errorf("simqd: reporting failure of job %d: %w", lease.Job, ferr)
+		}
+		return true, nil
+	}
+	if w.Chaos.Hit(simq.FaultDropResult, job, attempt) {
+		// The run happened, the report is lost: same recovery path as a
+		// crash, but the retry must reproduce these exact bytes.
+		return true, nil
+	}
+	if err := w.Client.Complete(w.Name, lease.Job, lease.Attempt, artifact); err != nil {
+		return true, fmt.Errorf("simqd: reporting job %d: %w", lease.Job, err)
+	}
+	if w.Chaos.Hit(simq.FaultDuplicateDelivery, job, attempt) {
+		// Send the identical report again; the dispatcher must absorb it.
+		if err := w.Client.Complete(w.Name, lease.Job, lease.Attempt, artifact); err != nil {
+			return true, fmt.Errorf("simqd: duplicate delivery of job %d rejected: %w", lease.Job, err)
+		}
+	}
+	return true, nil
+}
+
+// DrainQueue processes jobs until a claim comes back empty, returning how
+// many leases were obtained.
+func (w *Worker) DrainQueue() (int, error) {
+	n := 0
+	for {
+		claimed, err := w.RunOne()
+		if err != nil {
+			return n, err
+		}
+		if !claimed {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// Serve polls the dispatcher forever: drain the queue, sleep, repeat.
+// Returns only on error. This is simqd -worker / psq work.
+func (w *Worker) Serve(poll time.Duration) error {
+	for {
+		claimed, err := w.RunOne()
+		if err != nil {
+			return err
+		}
+		if !claimed {
+			time.Sleep(poll)
+		}
+	}
+}
